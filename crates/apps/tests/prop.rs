@@ -1,0 +1,100 @@
+//! Property-based tests of the mini-apps: randomized decompositions of the
+//! distributed stencil always match the naive reference, and LeanMD
+//! conserves particles and momentum for arbitrary (sane) parameters.
+
+use charm_apps::leanmd::{charm::run_charm as run_leanmd, MdParams};
+use charm_apps::stencil3d::{charm::run_charm as run_stencil, kernel, StencilParams};
+use charm_core::{Backend, Runtime};
+use charm_sim::MachineModel;
+use proptest::prelude::*;
+
+fn sim_rt(npes: usize) -> Runtime {
+    Runtime::new(npes)
+        .backend(Backend::Sim(MachineModel::local(npes)))
+        .meter_compute(false)
+}
+
+fn reference_checksum(params: &StencilParams) -> (f64, f64) {
+    let [gx, gy, gz] = params.grid;
+    let mut grid = vec![0.0; gx * gy * gz];
+    for x in 0..gx {
+        for y in 0..gy {
+            for z in 0..gz {
+                grid[(x * gy + y) * gz + z] = charm_apps::stencil3d::init_value(x, y, z);
+            }
+        }
+    }
+    let out = kernel::naive_jacobi(&grid, params.grid, params.iters as usize);
+    let [bx, by, bz] = params.block_dims();
+    let mut s_total = 0.0;
+    let mut w_total = 0.0;
+    for cx in 0..params.chares[0] {
+        for cy in 0..params.chares[1] {
+            for cz in 0..params.chares[2] {
+                let mut b = kernel::Block::zeros(bx, by, bz);
+                b.fill(|x, y, z| {
+                    let g = [cx * bx + x, cy * by + y, cz * bz + z];
+                    out[(g[0] * gy + g[1]) * gz + g[2]]
+                });
+                let (s, w) = b.checksum();
+                s_total += s;
+                w_total += w;
+            }
+        }
+    }
+    (s_total, w_total)
+}
+
+proptest! {
+    // Each case runs a full simulated parallel job; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_decomposition_matches_reference(
+        bx in 1usize..4,
+        by in 1usize..3,
+        bz in 1usize..3,
+        block in 2usize..5,
+        iters in 0u32..7,
+        npes in 1usize..5,
+    ) {
+        let params = StencilParams::new(
+            [bx * block, by * block, bz * block],
+            [bx, by, bz],
+            iters,
+        );
+        let want = reference_checksum(&params);
+        let got = run_stencil(params, sim_rt(npes)).checksum;
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        prop_assert!(close(got.0, want.0) && close(got.1, want.1),
+            "got {got:?}, want {want:?}");
+    }
+
+    #[test]
+    fn leanmd_conserves_for_random_params(
+        cells in 2usize..4,
+        per_cell in 1usize..10,
+        steps in 1u32..12,
+        migrate_every in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let params = MdParams {
+            cells: [cells, cells, cells],
+            per_cell,
+            cell_size: 4.0,
+            cutoff: 4.0,
+            dt: 0.004,
+            steps,
+            migrate_every,
+            seed,
+        };
+        let n0 = params.num_particles() as u64;
+        let r = run_leanmd(params, sim_rt(2));
+        prop_assert_eq!(r.particles, n0, "particles conserved");
+        for k in 0..3 {
+            prop_assert!(r.momentum[k].abs() < 1e-9,
+                "momentum conserved: {:?}", r.momentum);
+        }
+        prop_assert!(r.kinetic.is_finite());
+    }
+}

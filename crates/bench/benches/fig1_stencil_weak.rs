@@ -1,0 +1,69 @@
+//! Figure 1 — stencil3d weak scaling (Blue Waters model).
+//!
+//! Paper: time per step on up to 2048 nodes / 65k cores for Charm++,
+//! mpi4py and CharmPy, all within a few percent of each other (CharmPy at
+//! worst 6.2% slower than Charm++), roughly flat with scale.
+//!
+//! Here: a fixed block per PE, simulated PE counts doubling up to
+//! `CHARMRS_MAX_PES` (default 64), three series:
+//!   * `charm++`  — charm-rs, native dispatch;
+//!   * `mpi4py`   — minimpi ranks (buffer sends, same kernel);
+//!   * `charmpy`  — charm-rs, dynamic dispatch (pickle codec + modeled
+//!     interpreter overhead).
+//!
+//! Expected shape: flat-ish lines, charm++ ≤ mpi4py ≈ charmpy, charmpy
+//! within ~10% of charm++.
+
+use charm_apps::stencil3d::{charm::run_charm, mpi::run_mpi, StencilParams};
+use charm_bench::{best_of, env_usize, pe_series, print_ratios, print_table, Series};
+use charm_core::{Backend, DispatchMode, Runtime};
+use charm_sim::MachineModel;
+
+fn main() {
+    let iters = env_usize("CHARMRS_ITERS", 30) as u32;
+    let block = env_usize("CHARMRS_BLOCK", 64);
+    let pes = pe_series(1, 64);
+
+    let params_for = |p: usize| {
+        StencilParams::new([block * p, block, block], [p, 1, 1], iters)
+    };
+    let rt = |p: usize, dispatch: DispatchMode| {
+        Runtime::new(p)
+            .backend(Backend::Sim(MachineModel::bluewaters(p.div_ceil(32).max(8))))
+            .dispatch(dispatch)
+    };
+
+    let mut charmxx = Series {
+        label: "charm++".into(),
+        points: Vec::new(),
+    };
+    let mut mpi4py = Series {
+        label: "mpi4py".into(),
+        points: Vec::new(),
+    };
+    let mut charmpy = Series {
+        label: "charmpy".into(),
+        points: Vec::new(),
+    };
+
+    for &p in &pes {
+        let t = best_of(|| run_charm(params_for(p), rt(p, DispatchMode::Native)).time_per_step_ms);
+        charmxx.points.push((p, t));
+        let t = best_of(|| run_mpi(params_for(p), rt(p, DispatchMode::Native)).time_per_step_ms);
+        mpi4py.points.push((p, t));
+        let t = best_of(|| run_charm(params_for(p), rt(p, DispatchMode::Dynamic)).time_per_step_ms);
+        charmpy.points.push((p, t));
+        eprintln!("fig1: {p} PEs done");
+    }
+
+    let series = [charmxx, mpi4py, charmpy];
+    print_table(
+        &format!(
+            "Fig 1: stencil3d weak scaling, {block}^3 block/PE, {iters} iters, \
+             Blue Waters model (time per step, ms)"
+        ),
+        "PEs",
+        &series,
+    );
+    print_ratios("fig1", &series[2], &series[0]);
+}

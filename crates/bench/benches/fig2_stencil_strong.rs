@@ -1,0 +1,80 @@
+//! Figure 2 — stencil3d strong scaling (Cori KNL model).
+//!
+//! Paper: fixed grid on 2 KNL nodes, 8→128 cores; time per step falls
+//! near-linearly from ~1600 ms to ~110 ms, with all three implementations
+//! close together (log-scale y axis).
+//!
+//! Here: a fixed global grid, simulated PEs 8→`CHARMRS_MAX_PES` (default
+//! 128), same three series. Expected shape: near-linear scaling (t ∝ 1/p),
+//! implementations within ~10% of each other.
+
+use charm_apps::stencil3d::{charm::run_charm, mpi::run_mpi, StencilParams};
+use charm_bench::{best_of, env_usize, pe_series, print_table, Series};
+use charm_core::{Backend, DispatchMode, Runtime};
+use charm_sim::MachineModel;
+
+fn main() {
+    let iters = env_usize("CHARMRS_ITERS", 20) as u32;
+    // Global grid fixed; x divisible by every PE count in the series.
+    let gx = env_usize("CHARMRS_BLOCK", 4) * 128;
+    let grid = [gx, 64, 64];
+    let pes = pe_series(8, 128);
+
+    let params_for = |p: usize| StencilParams::new(grid, [p, 1, 1], iters);
+    let rt = |_p: usize, dispatch: DispatchMode| {
+        move |p: usize| {
+            Runtime::new(p)
+                .backend(Backend::Sim(MachineModel::cori_knl()))
+                .dispatch(dispatch)
+        }
+    };
+    let _ = rt;
+
+    let mk = |p: usize, dispatch: DispatchMode| {
+        Runtime::new(p)
+            .backend(Backend::Sim(MachineModel::cori_knl()))
+            .dispatch(dispatch)
+    };
+
+    let mut charmxx = Series {
+        label: "charm++".into(),
+        points: Vec::new(),
+    };
+    let mut mpi4py = Series {
+        label: "mpi4py".into(),
+        points: Vec::new(),
+    };
+    let mut charmpy = Series {
+        label: "charmpy".into(),
+        points: Vec::new(),
+    };
+
+    for &p in &pes {
+        let t = best_of(|| run_charm(params_for(p), mk(p, DispatchMode::Native)).time_per_step_ms);
+        charmxx.points.push((p, t));
+        let t = best_of(|| run_mpi(params_for(p), mk(p, DispatchMode::Native)).time_per_step_ms);
+        mpi4py.points.push((p, t));
+        let t = best_of(|| run_charm(params_for(p), mk(p, DispatchMode::Dynamic)).time_per_step_ms);
+        charmpy.points.push((p, t));
+        eprintln!("fig2: {p} PEs done");
+    }
+
+    let series = [charmxx, mpi4py, charmpy];
+    print_table(
+        &format!(
+            "Fig 2: stencil3d strong scaling, {}x{}x{} grid, {iters} iters, \
+             Cori KNL model (time per step, ms)",
+            grid[0], grid[1], grid[2]
+        ),
+        "PEs",
+        &series,
+    );
+    // Parallel efficiency of the charm++ series relative to the first point.
+    if let Some(&(p0, t0)) = series[0].points.first() {
+        println!("\n## charm++ parallel efficiency vs {p0} PEs");
+        for &(p, t) in &series[0].points {
+            let ideal = t0 * p0 as f64 / p as f64;
+            println!("{p:>8}  {:>8.2}%", 100.0 * ideal / t);
+        }
+    }
+}

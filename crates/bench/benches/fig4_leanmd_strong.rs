@@ -1,0 +1,76 @@
+//! Figure 4 — LeanMD strong scaling (Blue Waters model).
+//!
+//! Paper: 8 million particles on 2048–16384 cores; CharmPy within 20% of
+//! the C++ Charm++ version, the gap wider than stencil3d because the very
+//! fine-grained decomposition (hundreds of chares per PE) exposes the
+//! per-entry-method runtime overhead.
+//!
+//! Here: a scaled-down box (cells fixed, PEs 4→`CHARMRS_MAX_PES`, default
+//! 32), two series: `charm++` (native dispatch) and `charmpy` (dynamic).
+//! Expected shape: both scale; charmpy runs ~10–30% slower — a visibly
+//! larger gap than the stencil benches, for the paper's stated reason.
+
+use charm_apps::leanmd::{charm::run_charm, MdParams};
+use charm_bench::{best_of, env_usize, pe_series, print_table, Series};
+use charm_core::{Backend, DispatchMode, Runtime};
+use charm_sim::MachineModel;
+
+fn main() {
+    let steps = env_usize("CHARMRS_ITERS", 10) as u32;
+    let cells = env_usize("CHARMRS_CELLS", 6);
+    let per_cell = env_usize("CHARMRS_PER_CELL", 64);
+    let pes = pe_series(4, 32);
+
+    let params = MdParams {
+        cells: [cells, cells, cells],
+        per_cell,
+        cell_size: 4.0,
+        cutoff: 4.0,
+        dt: 0.002,
+        steps,
+        migrate_every: 5,
+        seed: 7,
+    };
+    let mk = |p: usize, dispatch: DispatchMode| {
+        Runtime::new(p)
+            .backend(Backend::Sim(MachineModel::bluewaters(8)))
+            .dispatch(dispatch)
+    };
+
+    let mut charmxx = Series {
+        label: "charm++".into(),
+        points: Vec::new(),
+    };
+    let mut charmpy = Series {
+        label: "charmpy".into(),
+        points: Vec::new(),
+    };
+
+    for &p in &pes {
+        let t = best_of(|| run_charm(params.clone(), mk(p, DispatchMode::Native)).time_per_step_ms);
+        charmxx.points.push((p, t));
+        let t =
+            best_of(|| run_charm(params.clone(), mk(p, DispatchMode::Dynamic)).time_per_step_ms);
+        charmpy.points.push((p, t));
+        eprintln!("fig4: {p} PEs done");
+    }
+
+    let n_computes = params.all_computes().len();
+    let series = [charmxx, charmpy];
+    print_table(
+        &format!(
+            "Fig 4: LeanMD strong scaling, {c}^3 cells x {per_cell} particles \
+             ({} computes), {steps} steps, Blue Waters model (time per step, ms)",
+            n_computes,
+            c = cells,
+        ),
+        "PEs",
+        &series,
+    );
+    println!("\n## charmpy / charm++ overhead");
+    for row in 0..series[0].points.len() {
+        let p = series[0].points[row].0;
+        let r = series[1].points[row].1 / series[0].points[row].1;
+        println!("{p:>8}  {:>8.1}%", (r - 1.0) * 100.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the serialization substrate (paper §IV-B):
+//! fast vs pickle codecs, and the `Buf` zero-copy path vs per-element
+//! encoding — the mechanism behind "NumPy arrays bypass pickling".
+
+use charm_wire::{Buf, Codec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone)]
+struct GhostMsg {
+    iter: u32,
+    face: u8,
+    data: Vec<f64>,
+}
+
+#[derive(Serialize, Deserialize, Clone)]
+struct GhostMsgBuf {
+    iter: u32,
+    face: u8,
+    data: Buf<f64>,
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_roundtrip");
+    for n in [64usize, 1024, 16384] {
+        let vec_msg = GhostMsg {
+            iter: 7,
+            face: 3,
+            data: (0..n).map(|i| i as f64).collect(),
+        };
+        let buf_msg = GhostMsgBuf {
+            iter: 7,
+            face: 3,
+            data: Buf::from_vec((0..n).map(|i| i as f64).collect()),
+        };
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("fast_vec", n), &vec_msg, |b, m| {
+            b.iter(|| {
+                let bytes = Codec::Fast.encode(m).unwrap();
+                Codec::Fast.decode::<GhostMsg>(&bytes).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pickle_vec", n), &vec_msg, |b, m| {
+            b.iter(|| {
+                let bytes = Codec::Pickle.encode(m).unwrap();
+                Codec::Pickle.decode::<GhostMsg>(&bytes).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fast_buf", n), &buf_msg, |b, m| {
+            b.iter(|| {
+                let bytes = Codec::Fast.encode(m).unwrap();
+                Codec::Fast.decode::<GhostMsgBuf>(&bytes).unwrap()
+            })
+        });
+        // The "NumPy bypass": Buf stays memcpy-fast even under pickle.
+        g.bench_with_input(BenchmarkId::new("pickle_buf", n), &buf_msg, |b, m| {
+            b.iter(|| {
+                let bytes = Codec::Pickle.encode(m).unwrap();
+                Codec::Pickle.decode::<GhostMsgBuf>(&bytes).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn varint_benches(c: &mut Criterion) {
+    c.bench_function("varint_roundtrip_mixed", |b| {
+        let values: Vec<u64> = (0..256).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(2600);
+            for &v in &values {
+                charm_wire::varint::write_u64(&mut buf, v);
+            }
+            let mut off = 0;
+            let mut acc = 0u64;
+            while off < buf.len() {
+                let (v, used) = charm_wire::varint::read_u64(&buf[off..]).unwrap();
+                acc = acc.wrapping_add(v);
+                off += used;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = codec_benches, varint_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! # charm-bench — the benchmark harness that regenerates the paper's
+//! evaluation (one target per figure) plus design-choice ablations.
+//!
+//! Figures run the mini-apps on the *simulated* backend (virtual time; see
+//! DESIGN.md §1 for the substitution rationale) and print the same series
+//! the paper plots. Scale is reduced by default and controlled by:
+//!
+//! * `CHARMRS_MAX_PES` — largest simulated PE count (default 64),
+//! * `CHARMRS_ITERS`   — iterations per run (default figure-specific),
+//! * `CHARMRS_BLOCK`   — stencil block edge (default figure-specific).
+
+use std::time::Duration;
+
+/// Read a positive integer knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Geometric PE series `start, 2·start, …` capped by `CHARMRS_MAX_PES`
+/// (default `max_default`).
+pub fn pe_series(start: usize, max_default: usize) -> Vec<usize> {
+    let max = env_usize("CHARMRS_MAX_PES", max_default);
+    let mut v = Vec::new();
+    let mut p = start;
+    while p <= max {
+        v.push(p);
+        p *= 2;
+    }
+    if v.is_empty() {
+        v.push(start);
+    }
+    v
+}
+
+/// One plotted series: a label and `(x, time-per-step)` points.
+pub struct Series {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// `(simulated cores, ms per step)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Print a paper-style table: one row per x value, one column per series.
+pub fn print_table(title: &str, xlabel: &str, series: &[Series]) {
+    println!("\n# {title}");
+    print!("{xlabel:>8}");
+    for s in series {
+        print!("  {:>14}", s.label);
+    }
+    println!();
+    let xs: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (row, &x) in xs.iter().enumerate() {
+        print!("{x:>8}");
+        for s in series {
+            match s.points.get(row) {
+                Some(&(_, v)) => print!("  {v:>14.3}"),
+                None => print!("  {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print ratio columns (e.g. charmpy/charm++) for quick band checks.
+pub fn print_ratios(label: &str, a: &Series, b: &Series) {
+    println!("\n## ratio {label} ({} / {})", a.label, b.label);
+    for (&(x, va), &(_, vb)) in a.points.iter().zip(&b.points) {
+        if vb > 0.0 {
+            println!("{x:>8}  {:>8.3}", va / vb);
+        }
+    }
+}
+
+/// Milliseconds from a duration, as f64.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run `f` `CHARMRS_REPS` times (default 2) and keep the smallest value —
+/// the standard way to damp host-timing noise in metered simulations.
+pub fn best_of(f: impl Fn() -> f64) -> f64 {
+    let reps = env_usize("CHARMRS_REPS", 2);
+    (0..reps)
+        .map(|_| f())
+        .fold(f64::INFINITY, f64::min)
+}

@@ -1,0 +1,156 @@
+//! Checkpoint / restart — the paper's fault-tolerance future-work item.
+//!
+//! `ctx.checkpoint(dir, &done)` makes every PE serialize its local chares
+//! (state, reduction sequence numbers, and any when-guard-buffered
+//! messages) plus the collection metadata into `dir/pe<N>.ckpt`. A later
+//! `Runtime::run_restored(dir, entry)` reads every file, re-installs the
+//! collections and redistributes the chares by their placement policy —
+//! possibly onto a *different* number of PEs — before running `entry`,
+//! which re-kicks the application (e.g. re-broadcasts its Start message
+//! with the saved iteration number).
+//!
+//! Requirements, as in Charm++'s double checkpointing: all chare types are
+//! registered migratable, and the checkpoint is taken at an application
+//! sync point with no messages in flight and no suspended coroutines
+//! (quiescence detection is the easy way to guarantee this). Futures and
+//! coroutine stacks are *not* checkpointed.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::collections::CollSpec;
+use crate::ids::{CollectionId, FutureId, Index};
+
+/// One serialized chare in a checkpoint.
+#[derive(Serialize, Deserialize)]
+pub struct CkptChare {
+    /// Its collection.
+    pub coll: CollectionId,
+    /// Its index.
+    pub index: Index,
+    /// Serialized state (the migratable pack).
+    pub data: Vec<u8>,
+    /// Reduction sequence number.
+    pub red_seq: u64,
+    /// When-guard-buffered messages, serialized, with reply futures and
+    /// per-message guard ids. (Reply futures are only meaningful when
+    /// restoring into the same run; cross-run restores should checkpoint
+    /// with none pending.)
+    pub buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)>,
+}
+
+/// One PE's checkpoint file.
+#[derive(Serialize, Deserialize)]
+pub struct CkptFile {
+    /// Format version.
+    pub version: u32,
+    /// Number of PEs at checkpoint time.
+    pub npes: u64,
+    /// Collection metadata known to this PE.
+    pub specs: Vec<CollSpec>,
+    /// This PE's local chares.
+    pub chares: Vec<CkptChare>,
+}
+
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Path of one PE's checkpoint file in `dir`.
+pub fn pe_file(dir: &Path, pe: usize) -> std::path::PathBuf {
+    dir.join(format!("pe{pe}.ckpt"))
+}
+
+/// Write one PE's checkpoint.
+pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = charm_wire::Codec::Fast
+        .encode(file)
+        .map_err(|e| std::io::Error::other(format!("checkpoint encode: {e}")))?;
+    std::fs::write(pe_file(dir, pe), bytes)
+}
+
+/// Read every PE checkpoint file in `dir` (pe0..peN until a gap).
+pub fn read_all(dir: &Path) -> std::io::Result<Vec<CkptFile>> {
+    let mut out = Vec::new();
+    for pe in 0.. {
+        let path = pe_file(dir, pe);
+        if !path.exists() {
+            break;
+        }
+        let bytes = std::fs::read(&path)?;
+        let file: CkptFile = charm_wire::Codec::Fast
+            .decode(&bytes)
+            .map_err(|e| std::io::Error::other(format!("checkpoint decode: {e}")))?;
+        if file.version != CKPT_VERSION {
+            return Err(std::io::Error::other(format!(
+                "checkpoint version {} unsupported (expected {CKPT_VERSION})",
+                file.version
+            )));
+        }
+        out.push(file);
+    }
+    if out.is_empty() {
+        return Err(std::io::Error::other(format!(
+            "no checkpoint files found in {}",
+            dir.display()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collections::{CollKind, Placement};
+    use crate::ids::ChareTypeId;
+
+    fn sample() -> CkptFile {
+        CkptFile {
+            version: CKPT_VERSION,
+            npes: 4,
+            specs: vec![CollSpec {
+                id: CollectionId { creator: 0, seq: 1 },
+                ctype: ChareTypeId(2),
+                kind: CollKind::Dense { dims: vec![4, 4] },
+                placement: Placement::Block,
+                use_lb: true,
+            }],
+            chares: vec![CkptChare {
+                coll: CollectionId { creator: 0, seq: 1 },
+                index: Index::from((1, 2)),
+                data: vec![1, 2, 3],
+                red_seq: 7,
+                buffered: vec![(vec![9], None, None)],
+            }],
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ckpt-test-{}", std::process::id()));
+        write_file(&dir, 0, &sample()).unwrap();
+        write_file(&dir, 1, &sample()).unwrap();
+        let files = read_all(&dir).unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].chares.len(), 1);
+        assert_eq!(files[0].chares[0].red_seq, 7);
+        assert!(files[0].specs[0].use_lb);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(read_all(Path::new("/nonexistent-ckpt-dir-xyz")).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_errors() {
+        let dir = std::env::temp_dir().join(format!("ckpt-ver-{}", std::process::id()));
+        let mut f = sample();
+        f.version = 999;
+        write_file(&dir, 0, &f).unwrap();
+        assert!(read_all(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,283 @@
+//! Collections of chares (paper §II-C, §II-G): groups (one member per PE),
+//! dense N-dimensional arrays, sparse arrays with dynamic insertion, and
+//! singleton chares — all described by a [`CollSpec`] replicated to every
+//! PE at creation time.
+//!
+//! Unlike Charm++ (and like CharmPy), a chare type is *not* tied to a
+//! collection kind at declaration: the same `Chare` impl can be used for a
+//! singleton, a group, and arrays of any dimensionality.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChareTypeId, CollectionId, Index, Pe};
+
+/// What shape of collection this is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollKind {
+    /// A single chare living on one PE.
+    Singleton {
+        /// The PE it was created on (also its home).
+        pe: Pe,
+    },
+    /// One member per PE, indexed by PE number.
+    Group,
+    /// Dense N-D array: one member per index in the box `[0,dims_i)`.
+    Dense {
+        /// Extent in each dimension.
+        dims: Vec<i32>,
+    },
+    /// Sparse array: members inserted dynamically (`ckInsert`).
+    Sparse,
+}
+
+/// How array elements map to PEs — the `ArrayMap` mechanism (§II-G1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Contiguous blocks of the (row-major) index space per PE.
+    Block,
+    /// Row-major index order dealt round-robin over PEs.
+    RoundRobin,
+    /// Placement by stable hash of the index.
+    Hash,
+    /// A user placement function registered on the runtime builder, by id
+    /// (the analog of a custom `ArrayMap` chare).
+    Custom(u32),
+}
+
+/// Signature of a custom placement function: `(index, num_pes) -> pe`.
+pub type PlacementFn = dyn Fn(&Index, usize) -> Pe + Send + Sync;
+
+/// Registry of custom placement functions (ArrayMaps).
+#[derive(Default, Clone)]
+pub struct Placements {
+    fns: Vec<Arc<PlacementFn>>,
+}
+
+impl Placements {
+    /// Register a placement function, returning the handle to pass at array
+    /// creation.
+    pub fn register(&mut self, f: impl Fn(&Index, usize) -> Pe + Send + Sync + 'static) -> Placement {
+        let id = self.fns.len() as u32;
+        self.fns.push(Arc::new(f));
+        Placement::Custom(id)
+    }
+
+    pub(crate) fn get(&self, id: u32) -> &PlacementFn {
+        &**self
+            .fns
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("custom placement {id} not registered"))
+    }
+}
+
+/// Collection metadata replicated to every PE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollSpec {
+    /// The collection's id.
+    pub id: CollectionId,
+    /// Registered chare type of the members.
+    pub ctype: ChareTypeId,
+    /// Shape of the collection.
+    pub kind: CollKind,
+    /// Element→PE mapping (ignored for groups/singletons).
+    pub placement: Placement,
+    /// Whether members participate in at-sync load balancing.
+    pub use_lb: bool,
+}
+
+impl CollSpec {
+    /// Row-major enumeration of all indices of a dense array.
+    pub fn dense_indices(dims: &[i32]) -> impl Iterator<Item = Index> + '_ {
+        let total: i64 = dims.iter().map(|&d| d.max(0) as i64).product();
+        (0..total).map(move |mut lin| {
+            let mut coords = [0i32; crate::ids::MAX_DIMS];
+            // Row-major: last dimension varies fastest.
+            for i in (0..dims.len()).rev() {
+                let d = dims[i] as i64;
+                coords[i] = (lin % d) as i32;
+                lin /= d;
+            }
+            Index::new(&coords[..dims.len()])
+        })
+    }
+
+    /// Total member count of a dense array.
+    pub fn dense_len(dims: &[i32]) -> u64 {
+        dims.iter().map(|&d| d.max(0) as u64).product()
+    }
+
+    /// Row-major linear position of `index` within `dims`.
+    pub fn linear(dims: &[i32], index: &Index) -> u64 {
+        let mut lin: u64 = 0;
+        for (i, &c) in index.coords().iter().enumerate() {
+            lin = lin * dims[i] as u64 + c as u64;
+        }
+        lin
+    }
+
+    /// The *initial* PE an element is placed on, per the placement policy.
+    ///
+    /// This is also an element's "home" for groups and singletons; dense and
+    /// sparse array homes use [`CollSpec::home_pe`] (hash-based) so any PE
+    /// can compute them without knowing the placement function.
+    pub fn place(&self, index: &Index, npes: usize, placements: &Placements) -> Pe {
+        match &self.kind {
+            CollKind::Singleton { pe } => *pe,
+            CollKind::Group => index.first() as usize,
+            CollKind::Dense { dims } => match self.placement {
+                Placement::Block => {
+                    let total = Self::dense_len(dims).max(1);
+                    let lin = Self::linear(dims, index);
+                    // Even contiguous blocks, remainder spread over the
+                    // first PEs (standard block distribution).
+                    ((lin * npes as u64) / total) as usize
+                }
+                Placement::RoundRobin => (Self::linear(dims, index) % npes as u64) as usize,
+                Placement::Hash => (index.stable_hash() % npes as u64) as usize,
+                Placement::Custom(id) => placements.get(id)(index, npes) % npes,
+            },
+            CollKind::Sparse => match self.placement {
+                Placement::Custom(id) => placements.get(id)(index, npes) % npes,
+                _ => (index.stable_hash() % npes as u64) as usize,
+            },
+        }
+    }
+
+    /// The home PE responsible for tracking an element's location.
+    pub fn home_pe(&self, index: &Index, npes: usize) -> Pe {
+        match &self.kind {
+            CollKind::Singleton { pe } => *pe,
+            CollKind::Group => index.first() as usize,
+            CollKind::Dense { .. } | CollKind::Sparse => {
+                (index.stable_hash() % npes as u64) as usize
+            }
+        }
+    }
+}
+
+/// Per-PE live state for one collection.
+pub struct CollState {
+    /// The replicated spec.
+    pub spec: CollSpec,
+    /// Members currently hosted by this PE.
+    pub local_members: u64,
+    /// Members hosted by this PE's reduction-tree subtree (this PE
+    /// included). Maintained at creation, insertion and LB migration; the
+    /// reduction protocol's completion counts rest on it.
+    pub subtree_members: u64,
+    /// Whether `done_inserting` was seen (sparse arrays).
+    pub done_inserting: bool,
+    /// Next broadcast-delivery bookkeeping could live here later.
+    pub red_broadcast_seen: u64,
+}
+
+/// Per-PE table of known collections.
+pub type CollTable = HashMap<CollectionId, CollState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_spec(dims: Vec<i32>, placement: Placement) -> CollSpec {
+        CollSpec {
+            id: CollectionId { creator: 0, seq: 0 },
+            ctype: ChareTypeId(0),
+            kind: CollKind::Dense { dims },
+            placement,
+            use_lb: false,
+        }
+    }
+
+    #[test]
+    fn dense_enumeration_row_major() {
+        let idx: Vec<Index> = CollSpec::dense_indices(&[2, 3]).collect();
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx[0], Index::from((0, 0)));
+        assert_eq!(idx[1], Index::from((0, 1)));
+        assert_eq!(idx[3], Index::from((1, 0)));
+        assert_eq!(idx[5], Index::from((1, 2)));
+    }
+
+    #[test]
+    fn linear_inverts_enumeration() {
+        let dims = [3, 4, 5];
+        for (i, ix) in CollSpec::dense_indices(&dims).enumerate() {
+            assert_eq!(CollSpec::linear(&dims, &ix), i as u64);
+        }
+    }
+
+    #[test]
+    fn block_placement_is_contiguous_and_balanced() {
+        let spec = dense_spec(vec![8], Placement::Block);
+        let pls = Placements::default();
+        let pes: Vec<Pe> = (0..8)
+            .map(|i| spec.place(&Index::from(i), 4, &pls))
+            .collect();
+        assert_eq!(pes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn block_placement_handles_remainders() {
+        let spec = dense_spec(vec![7], Placement::Block);
+        let pls = Placements::default();
+        let mut counts = [0usize; 3];
+        for i in 0..7 {
+            let pe = spec.place(&Index::from(i), 3, &pls);
+            counts[pe] += 1;
+        }
+        // 7 over 3 PEs: every PE gets 2 or 3.
+        assert!(counts.iter().all(|&c| c == 2 || c == 3), "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let spec = dense_spec(vec![6], Placement::RoundRobin);
+        let pls = Placements::default();
+        let pes: Vec<Pe> = (0..6)
+            .map(|i| spec.place(&Index::from(i), 3, &pls))
+            .collect();
+        assert_eq!(pes, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn custom_placement_like_arraymap() {
+        // The paper's MyMap example: procNum = index[0] % 20.
+        let mut pls = Placements::default();
+        let placement = pls.register(|ix, npes| (ix.first() as usize % 20) % npes);
+        let spec = dense_spec(vec![40], placement);
+        for i in 0..40 {
+            let pe = spec.place(&Index::from(i), 32, &pls);
+            assert_eq!(pe, (i as usize % 20) % 32);
+        }
+    }
+
+    #[test]
+    fn group_home_and_place_is_pe() {
+        let spec = CollSpec {
+            id: CollectionId { creator: 1, seq: 2 },
+            ctype: ChareTypeId(0),
+            kind: CollKind::Group,
+            placement: Placement::Hash,
+            use_lb: false,
+        };
+        let pls = Placements::default();
+        for pe in 0..8usize {
+            assert_eq!(spec.place(&Index::pe(pe), 8, &pls), pe);
+            assert_eq!(spec.home_pe(&Index::pe(pe), 8), pe);
+        }
+    }
+
+    #[test]
+    fn home_pe_is_stable_and_in_range() {
+        let spec = dense_spec(vec![10, 10], Placement::Block);
+        for ix in CollSpec::dense_indices(&[10, 10]) {
+            let h = spec.home_pe(&ix, 7);
+            assert!(h < 7);
+            assert_eq!(h, spec.home_pe(&ix, 7));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Coroutines — threaded entry methods (paper §II-H).
+//!
+//! A threaded entry method runs on its own OS thread, but *never
+//! concurrently* with its PE's scheduler: the chare is moved into the
+//! coroutine on resume and moved back on every suspension, over a pair of
+//! rendezvous channels. While the coroutine waits (on a future or a state
+//! predicate) the scheduler holds the chare again and keeps delivering
+//! ordinary entry methods to it — which is exactly what makes the CharmPy
+//! pattern
+//!
+//! ```text
+//! @threaded def work(self): ... self.wait('self.msg_count == n') ...
+//! def recvData(self, data): self.msg_count += 1
+//! ```
+//!
+//! expressible here with zero `unsafe` and no lock held across a
+//! suspension.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Once;
+
+use crate::chare::{Chare, ChareBox};
+use crate::ctx::{Ctx, CtxSeed, Op};
+use crate::future::Future;
+use crate::ids::{ChareId, FutureId};
+use crate::msg::{Message, Payload};
+
+/// Type-erased wait predicate over the chare state.
+pub(crate) type WaitPred = Box<dyn Fn(&dyn Any) -> bool + Send>;
+
+/// What a suspended coroutine is waiting for.
+pub(crate) enum WaitKind {
+    /// A value for this future.
+    Future(FutureId),
+    /// The chare state to satisfy this predicate (the `wait` construct).
+    Pred(WaitPred),
+}
+
+impl std::fmt::Debug for WaitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitKind::Future(fid) => write!(f, "WaitKind::Future({}.{})", fid.pe, fid.seq),
+            WaitKind::Pred(_) => write!(f, "WaitKind::Pred"),
+        }
+    }
+}
+
+/// Scheduler → coroutine control.
+pub(crate) enum CoroInput {
+    /// First handoff: run the body with this chare.
+    Start {
+        chare: Box<dyn ChareBox>,
+        now_ns: u64,
+        reply_to: Option<FutureId>,
+    },
+    /// Wake a suspended coroutine (with the awaited future's value, if any).
+    Resume {
+        chare: Box<dyn ChareBox>,
+        value: Option<Payload>,
+        now_ns: u64,
+    },
+    /// The runtime is exiting; unwind quietly.
+    #[allow(dead_code)]
+    Shutdown,
+}
+
+/// Coroutine → scheduler control. Both variants return the chare and flush
+/// the coroutine's buffered ops. `work_ns` is the user-code time of the
+/// finished segment, measured *inside* the coroutine so the OS-thread
+/// rendezvous cost is excluded (a real Charm++ user-level context switch is
+/// ~100 ns; metering our mpsc handshake would grossly overcharge).
+pub(crate) enum CoroYield {
+    /// Suspended; resume when `wait` is satisfied.
+    Blocked {
+        chare: Box<dyn ChareBox>,
+        ops: Vec<Op>,
+        wait: WaitKind,
+        work_ns: u64,
+    },
+    /// The body returned.
+    Done {
+        chare: Box<dyn ChareBox>,
+        ops: Vec<Op>,
+        work_ns: u64,
+    },
+}
+
+/// The coroutine-thread end of the rendezvous.
+pub(crate) struct CoroSide {
+    pub rx: Receiver<CoroInput>,
+    pub tx: Sender<CoroYield>,
+    pub seed: CtxSeed,
+    pub chare_id: ChareId,
+}
+
+/// Panic payload used to unwind coroutines on runtime shutdown.
+struct CoroShutdown;
+
+/// Install (once) a panic hook that keeps shutdown unwinds silent while
+/// leaving real panics loud.
+pub(crate) fn install_quiet_shutdown_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CoroShutdown>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn shutdown() -> ! {
+    std::panic::panic_any(CoroShutdown)
+}
+
+/// The handle a threaded entry method runs with: access to the chare
+/// (`this`), a deferred-op [`Ctx`], and the two suspension primitives.
+pub struct Co<T: Chare> {
+    pub(crate) ctx: Ctx,
+    tx: Sender<CoroYield>,
+    rx: Receiver<CoroInput>,
+    slot: Option<Box<dyn ChareBox>>,
+    segment_start: std::time::Instant,
+    _ph: PhantomData<fn() -> T>,
+}
+
+impl<T: Chare> Co<T> {
+    /// The runtime context (sends, creations, contribute, …).
+    pub fn ctx(&mut self) -> &mut Ctx {
+        &mut self.ctx
+    }
+
+    /// Mutable access to the chare's state.
+    pub fn this(&mut self) -> &mut T {
+        self.slot
+            .as_mut()
+            .expect("chare absent (coroutine internal invariant)")
+            .any_mut()
+            .downcast_mut::<T>()
+            .expect("coroutine launched on a chare of a different type")
+    }
+
+    /// Shared access to the chare's state.
+    pub fn this_ref(&self) -> &T {
+        self.slot
+            .as_ref()
+            .expect("chare absent (coroutine internal invariant)")
+            .any_ref()
+            .downcast_ref::<T>()
+            .expect("coroutine launched on a chare of a different type")
+    }
+
+    fn suspend(&mut self, wait: WaitKind) -> Option<Payload> {
+        let chare = self
+            .slot
+            .take()
+            .expect("nested suspension (coroutine internal invariant)");
+        let ops = std::mem::take(&mut self.ctx.ops);
+        let work_ns = self.segment_start.elapsed().as_nanos() as u64;
+        if self
+            .tx
+            .send(CoroYield::Blocked {
+                chare,
+                ops,
+                wait,
+                work_ns,
+            })
+            .is_err()
+        {
+            shutdown();
+        }
+        match self.rx.recv() {
+            Ok(CoroInput::Resume {
+                chare,
+                value,
+                now_ns,
+            }) => {
+                self.slot = Some(chare);
+                self.ctx.now_ns = now_ns;
+                self.segment_start = std::time::Instant::now();
+                value
+            }
+            _ => shutdown(),
+        }
+    }
+
+    /// Block this coroutine until `future` has a value, and return it
+    /// (`future.get()`). Only this coroutine suspends; the PE continues
+    /// scheduling other work, including other entry methods of this chare.
+    ///
+    /// # Panics
+    /// Panics if called on a PE other than the future's creating PE.
+    pub fn get<V: Message>(&mut self, future: &Future<V>) -> V {
+        assert_eq!(
+            future.id().pe as usize,
+            self.ctx.my_pe(),
+            "futures must be awaited on the PE that created them"
+        );
+        let payload = self
+            .suspend(WaitKind::Future(future.id()))
+            .expect("future resumed without a value");
+        payload.take::<V>(self.ctx.seed.codec)
+    }
+
+    /// Suspend until the chare's state satisfies `pred` — the `self.wait`
+    /// construct (§II-H2). The predicate is re-evaluated by the scheduler
+    /// after every message delivered to this chare.
+    pub fn wait(&mut self, pred: impl Fn(&T) -> bool + Send + 'static) {
+        if pred(self.this_ref()) {
+            return;
+        }
+        let wrapped: WaitPred = Box::new(move |any| {
+            pred(
+                any.downcast_ref::<T>()
+                    .expect("wait predicate evaluated on a chare of a different type"),
+            )
+        });
+        self.suspend(WaitKind::Pred(wrapped));
+    }
+}
+
+/// Body of every coroutine thread: receive the chare, run the user code,
+/// hand everything back. Real panics propagate (the scheduler turns the
+/// closed channel into a loud error); shutdown unwinds are silent.
+pub(crate) fn run_coroutine<T: Chare>(side: CoroSide, body: impl FnOnce(&mut Co<T>)) {
+    install_quiet_shutdown_hook();
+    let (chare, now_ns, reply_to) = match side.rx.recv() {
+        Ok(CoroInput::Start {
+            chare,
+            now_ns,
+            reply_to,
+        }) => (chare, now_ns, reply_to),
+        _ => return,
+    };
+    let mut ctx = Ctx::new(side.seed, now_ns, Some(side.chare_id));
+    ctx.reply_to = reply_to;
+    let mut co = Co::<T> {
+        ctx,
+        tx: side.tx,
+        rx: side.rx,
+        slot: Some(chare),
+        segment_start: std::time::Instant::now(),
+        _ph: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| body(&mut co)));
+    match result {
+        Ok(()) => {
+            let chare = co
+                .slot
+                .take()
+                .expect("coroutine finished without its chare");
+            let ops = std::mem::take(&mut co.ctx.ops);
+            let work_ns = co.segment_start.elapsed().as_nanos() as u64;
+            let _ = co.tx.send(CoroYield::Done {
+                chare,
+                ops,
+                work_ns,
+            });
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<CoroShutdown>().is_none() {
+                // A real application panic: re-raise so the thread dies and
+                // the scheduler (blocked on our channel) reports it.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Scheduler-side handle to a coroutine thread.
+pub(crate) struct CoroHandle {
+    pub tx: Sender<CoroInput>,
+    pub rx: Receiver<CoroYield>,
+    pub join: Option<std::thread::JoinHandle<()>>,
+    pub chare: ChareId,
+    /// Present while the coroutine is suspended.
+    pub wait: Option<WaitKind>,
+}

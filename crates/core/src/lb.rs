@@ -1,0 +1,151 @@
+//! The load-balancing framework (paper §II-J).
+//!
+//! Chares created with `use_lb` participate in AtSync load balancing: each
+//! calls `ctx.at_sync()` at a convenient point; once all local participants
+//! have, the PE ships measured per-chare loads to PE 0, which runs the
+//! configured [`LbStrategy`], broadcasts migration orders, waits for every
+//! migrant to land, and finally resumes all participants via
+//! `resume_from_sync` — exactly the Charm++ protocol shape.
+//!
+//! Strategies themselves live in the `charm-lb` crate; this module defines
+//! the interface and the per-PE/central protocol state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChareId, Pe};
+
+/// Measured load of one chare over the last LB epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbChareStat {
+    /// Which chare.
+    pub id: ChareId,
+    /// Current PE.
+    pub pe: Pe,
+    /// Accumulated entry-method time since the last epoch, nanoseconds.
+    pub load_ns: u64,
+    /// Whether the runtime can move it (registered migratable).
+    pub migratable: bool,
+}
+
+/// The global picture handed to a strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbStats {
+    /// Number of PEs.
+    pub npes: usize,
+    /// Every participating chare in the system.
+    pub chares: Vec<LbChareStat>,
+}
+
+impl LbStats {
+    /// Per-PE total load implied by current placement, seconds.
+    pub fn pe_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.npes];
+        for c in &self.chares {
+            loads[c.pe] += c.load_ns as f64 / 1e9;
+        }
+        loads
+    }
+
+    /// Max/avg PE load ratio — 1.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let loads = self.pe_loads();
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let avg = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        if avg > 0.0 {
+            max / avg
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A centralized load-balancing strategy: maps measured loads to a set of
+/// migrations. Implementations must only move chares with
+/// `migratable == true` and must return destinations `< npes`.
+pub trait LbStrategy: Send + Sync {
+    /// Compute migrations as `(chare, new_pe)` pairs; chares not listed
+    /// stay put.
+    fn assign(&self, stats: &LbStats) -> Vec<(ChareId, Pe)>;
+
+    /// Strategy name for logs and reports.
+    fn name(&self) -> &'static str {
+        "unnamed-lb"
+    }
+}
+
+/// Per-PE protocol state for one LB epoch.
+#[derive(Default)]
+pub struct LbPeState {
+    /// Local participants that called `at_sync` this epoch.
+    pub at_sync_count: u64,
+    /// Whether this PE already shipped its stats.
+    pub stats_sent: bool,
+}
+
+/// Central (PE 0) protocol state.
+#[derive(Default)]
+pub struct LbCentral {
+    /// Stats received so far, one batch per PE.
+    pub batches: Vec<Vec<LbChareStat>>,
+    /// PEs heard from.
+    pub pes_reported: usize,
+    /// Migrations outstanding in the current epoch.
+    pub migrations_pending: u64,
+    /// Whether an epoch is currently running.
+    pub in_epoch: bool,
+    /// Completed LB epochs (reported in `RunReport`).
+    pub epochs_done: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CollectionId, Index};
+
+    fn stat(pe: Pe, load_ms: u64) -> LbChareStat {
+        LbChareStat {
+            id: ChareId {
+                coll: CollectionId { creator: 0, seq: 0 },
+                index: Index::from(pe as i32),
+            },
+            pe,
+            load_ns: load_ms * 1_000_000,
+            migratable: true,
+        }
+    }
+
+    #[test]
+    fn pe_loads_aggregate() {
+        let s = LbStats {
+            npes: 3,
+            chares: vec![stat(0, 10), stat(0, 20), stat(2, 30)],
+        };
+        let loads = s.pe_loads();
+        assert!((loads[0] - 0.030).abs() < 1e-12);
+        assert_eq!(loads[1], 0.0);
+        assert!((loads[2] - 0.030).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let balanced = LbStats {
+            npes: 2,
+            chares: vec![stat(0, 10), stat(1, 10)],
+        };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-9);
+        let skewed = LbStats {
+            npes: 2,
+            chares: vec![stat(0, 30), stat(1, 10)],
+        };
+        assert!((skewed.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_empty_system_is_one() {
+        let s = LbStats {
+            npes: 4,
+            chares: vec![],
+        };
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # charm-core — a CharmPy-style parallel programming model in Rust
+//!
+//! A from-scratch implementation of the programming model of
+//! *CharmPy: A Python Parallel Programming Model* (Galvez, Senthil, Kale —
+//! IEEE CLUSTER 2018) together with the Charm++-equivalent runtime it rests
+//! on: distributed migratable objects ("chares") with asynchronous remote
+//! method invocation, message-driven per-PE schedulers, collections
+//! (groups, dense and sparse N-D arrays), spanning-tree reductions,
+//! distributed futures, `when`-guarded delivery, threaded entry methods,
+//! chare migration with home-based location management, measured-load
+//! AtSync load balancing and quiescence detection.
+//!
+//! ## Model cheat-sheet (CharmPy → charm-rs)
+//!
+//! | CharmPy | charm-rs |
+//! |---|---|
+//! | `class C(Chare)` | `impl Chare for C { type Msg; type Init; … }` |
+//! | `charm.start(main)` | `Runtime::new(n).run(main)` |
+//! | `Chare(C, onPE=p)` / `Group(C)` / `Array(C, dims)` | `Ctx::create_chare` / `Ctx::create_group` / `Ctx::create_array` |
+//! | `proxy.method(args)` | `Proxy::send` (broadcasts from collection proxies) |
+//! | `proxy.method(args, ret=True)` | `Proxy::call` → `Future` |
+//! | `@when("cond")` | `Chare::guard` |
+//! | `@threaded` + `self.wait(...)` | `Ctx::go` + `Co::wait` |
+//! | `future.get()` | `Co::get` |
+//! | `self.contribute(data, reducer, target)` | `Ctx::contribute` |
+//! | `self.migrate(pe)` | `Ctx::migrate_me` |
+//! | `self.AtSync()` | `Ctx::at_sync` |
+//!
+//! ## Backends
+//!
+//! The same application runs on two interchangeable backends
+//! (`runtime::Backend`): real OS threads (one per PE), or a deterministic
+//! virtual-time simulation driven by a `charm_sim::MachineModel` — the
+//! substitute for the paper's Cray testbeds that makes the scaling figures
+//! reproducible on any host.
+
+pub mod chare;
+pub mod checkpoint;
+pub mod collections;
+pub mod coro;
+pub mod ctx;
+pub mod future;
+pub mod ids;
+pub mod lb;
+pub mod msg;
+pub mod pe;
+pub mod proxy;
+pub mod quiescence;
+pub mod reduction;
+pub mod runtime;
+pub mod tree;
+
+pub use chare::{Chare, MsgGuard, Registry};
+pub use collections::Placement;
+pub use coro::Co;
+pub use ctx::{ArrayOpts, Ctx};
+pub use future::Future;
+pub use ids::{ChareId, CollectionId, FutureId, Index, Pe};
+pub use lb::{LbChareStat, LbStats, LbStrategy};
+pub use msg::Message;
+pub use proxy::{Proxy, Section};
+pub use reduction::{RedData, RedTarget, Reducer};
+pub use runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
+pub use tree::TreeShape;
+
+/// Everything an application usually needs.
+pub mod prelude {
+    pub use crate::chare::Chare;
+    pub use crate::collections::Placement;
+    pub use crate::coro::Co;
+    pub use crate::ctx::{ArrayOpts, Ctx};
+    pub use crate::future::Future;
+    pub use crate::ids::{ChareId, Index, Pe};
+    pub use crate::lb::{LbChareStat, LbStats, LbStrategy};
+    pub use crate::msg::Message;
+    pub use crate::chare::MsgGuard;
+    pub use crate::proxy::{Proxy, Section};
+    pub use crate::reduction::{RedData, RedTarget, Reducer};
+    pub use crate::runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
+    pub use crate::tree::TreeShape;
+}

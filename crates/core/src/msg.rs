@@ -1,0 +1,362 @@
+//! Messages, payloads and the runtime envelope.
+//!
+//! Entry-method arguments travel as a [`Payload`]: same-PE sends keep the
+//! boxed value and move it by reference into the callee (the paper's §II-D
+//! optimization — ownership transfer in Rust enforces the "caller must give
+//! up ownership" rule at compile time), while cross-PE sends serialize with
+//! the active codec.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use charm_wire::Codec;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::collections::CollSpec;
+use crate::ids::{ChareId, CollectionId, FutureId, Index, Pe};
+use crate::lb::LbChareStat;
+use crate::reduction::{RedData, RedTarget, Reducer};
+
+/// Marker for types usable as entry-method arguments, constructor arguments
+/// and future values. Blanket-implemented: any serde-able `Send` type works.
+pub trait Message: Serialize + DeserializeOwned + Send + 'static {}
+impl<T: Serialize + DeserializeOwned + Send + 'static> Message for T {}
+
+/// A type-erased message value.
+pub type BoxMsg = Box<dyn Any + Send>;
+
+/// An entry-method argument in transit.
+pub enum Payload {
+    /// Same-process payload, passed by move (never serialized).
+    Local(BoxMsg),
+    /// Serialized payload (cross-PE).
+    Wire(Vec<u8>),
+}
+
+impl Payload {
+    /// Serialized size, if already on the wire.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Payload::Local(_) => 0,
+            Payload::Wire(b) => b.len(),
+        }
+    }
+
+    /// Recover a typed value: downcast if local, decode if serialized.
+    pub fn take<V: Message>(self, codec: Codec) -> V {
+        match self {
+            Payload::Local(b) => *b
+                .downcast::<V>()
+                .unwrap_or_else(|_| panic!("payload type mismatch for {}", std::any::type_name::<V>())),
+            Payload::Wire(bytes) => codec
+                .decode::<V>(&bytes)
+                .unwrap_or_else(|e| panic!("payload decode failed for {}: {e}", std::any::type_name::<V>())),
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Local(_) => write!(f, "Payload::Local"),
+            Payload::Wire(b) => write!(f, "Payload::Wire({}B)", b.len()),
+        }
+    }
+}
+
+/// An outgoing typed payload: the boxed value plus the encoder captured at
+/// the (generic) call site, so the scheduler can serialize it later if the
+/// destination turns out to be remote — without any type registry lookup.
+pub struct OutPayload {
+    pub(crate) any: BoxMsg,
+    pub(crate) encode: fn(&dyn Any, Codec) -> charm_wire::Result<Vec<u8>>,
+}
+
+impl OutPayload {
+    /// Wrap a typed message.
+    pub fn new<M: Message>(m: M) -> OutPayload {
+        OutPayload {
+            any: Box::new(m),
+            encode: |any, codec| {
+                let m = any
+                    .downcast_ref::<M>()
+                    .expect("OutPayload encoder type invariant");
+                codec.encode(m)
+            },
+        }
+    }
+
+    /// Turn into a transit payload for `dst`: local stays boxed, remote is
+    /// serialized. `same_pe_byref=false` (ablation switch) forces
+    /// serialization even locally.
+    pub fn into_payload(
+        self,
+        local: bool,
+        same_pe_byref: bool,
+        codec: Codec,
+    ) -> charm_wire::Result<Payload> {
+        if local && same_pe_byref {
+            Ok(Payload::Local(self.any))
+        } else {
+            Ok(Payload::Wire((self.encode)(&*self.any, codec)?))
+        }
+    }
+}
+
+impl std::fmt::Debug for OutPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OutPayload")
+    }
+}
+
+/// A unit of inter-PE communication.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending PE.
+    pub src: Pe,
+    /// What the message is.
+    pub kind: EnvKind,
+}
+
+/// The runtime message set.
+#[derive(Debug)]
+pub enum EnvKind {
+    /// Invoke an entry method on one chare.
+    Entry {
+        /// Destination chare.
+        to: ChareId,
+        /// The arguments.
+        payload: Payload,
+        /// Future to complete via `ctx.reply` (the `ret=True` mechanism).
+        reply: Option<FutureId>,
+        /// Registered per-message when-condition, if any (§II-E
+        /// sender-side conditions).
+        guard: Option<u32>,
+    },
+    /// Invoke an entry method on every member of a collection; relayed down
+    /// the PE spanning tree rooted at `root`.
+    BroadcastEntry {
+        /// Target collection.
+        coll: CollectionId,
+        /// Pre-encoded arguments (decoded once per member).
+        bytes: Arc<Vec<u8>>,
+        /// Tree root (the broadcasting PE).
+        root: Pe,
+    },
+    /// Replicate collection metadata and create locally-placed members;
+    /// relayed down the PE tree rooted at `root`.
+    CreateCollection {
+        /// The collection being created.
+        spec: CollSpec,
+        /// Pre-encoded constructor argument, shared by all members.
+        init: Arc<Vec<u8>>,
+        /// Tree root (the creating PE).
+        root: Pe,
+    },
+    /// Create one element (sparse-array insert / singleton chare).
+    InsertElem {
+        /// Collection to insert into.
+        coll: CollectionId,
+        /// New element's index.
+        index: Index,
+        /// Constructor argument.
+        init: Payload,
+        /// Explicit PE requested by the inserter, if any.
+        on_pe: Option<Pe>,
+        /// `true` once the destination PE has been decided (the receiving
+        /// PE is then the element's host).
+        placed: bool,
+    },
+    /// Sparse-array insertion phase is complete (`ckDoneInserting`).
+    DoneInserting {
+        /// The collection.
+        coll: CollectionId,
+    },
+    /// Deliver a value to a future on its home PE.
+    FutureValue {
+        /// The future.
+        fid: FutureId,
+        /// Its value.
+        payload: Payload,
+    },
+    /// A partial reduction result flowing up the PE tree.
+    RedPartial {
+        /// Collection being reduced.
+        coll: CollectionId,
+        /// Reduction sequence number within the collection.
+        redno: u64,
+        /// Number of member contributions covered by `data`.
+        count: u64,
+        /// Combined partial data.
+        data: RedData,
+        /// The reducer in use.
+        reducer: Reducer,
+        /// Delivery target (fixed by the first contribution).
+        target: Option<RedTarget>,
+    },
+    /// Final reduction value delivered to a single chare.
+    RedDeliver {
+        /// Destination chare.
+        to: ChareId,
+        /// Application tag selecting what the value means.
+        tag: u32,
+        /// The reduced data.
+        data: RedData,
+    },
+    /// Final reduction value broadcast to all members of a collection.
+    RedBroadcast {
+        /// Destination collection.
+        coll: CollectionId,
+        /// Application tag.
+        tag: u32,
+        /// The reduced data.
+        data: RedData,
+        /// Tree root of the relay.
+        root: Pe,
+    },
+    /// A migrating chare: its packed state plus its runtime baggage.
+    MigrateChare {
+        /// Collection of the migrating chare.
+        coll: CollectionId,
+        /// Its index.
+        index: Index,
+        /// Serialized chare state.
+        data: Vec<u8>,
+        /// Buffered (when-guard deferred) messages, serialized, with
+        /// their pending reply futures and per-message guard ids.
+        buffered: Vec<(Vec<u8>, Option<crate::ids::FutureId>, Option<u32>)>,
+        /// Accumulated load since the last LB epoch, nanoseconds.
+        load_ns: u64,
+        /// The chare's reduction sequence number.
+        red_seq: u64,
+        /// Whether this migration is part of an LB epoch (completion is
+        /// then reported to PE 0).
+        for_lb: bool,
+    },
+    /// Tell a PE where a chare now lives (location cache update).
+    LocationUpdate {
+        /// The chare.
+        id: ChareId,
+        /// Its current PE.
+        pe: Pe,
+    },
+    /// Adjust the reduction-tree subtree member count (sparse inserts).
+    SubtreeAdd {
+        /// The collection.
+        coll: CollectionId,
+        /// Members added (or removed, if negative) below this PE.
+        delta: i64,
+    },
+    /// PE 0 asks every PE to report LB stats; only PEs with *no local
+    /// participants* answer immediately (they would otherwise never reach
+    /// their at-sync trigger and the epoch would hang).
+    LbPoll,
+    /// Per-PE load statistics, sent to PE 0 at an LB sync point.
+    LbStats {
+        /// One entry per LB-participating local chare.
+        stats: Vec<LbChareStat>,
+        /// Number of local chares that reached at_sync (sanity check).
+        at_sync: u64,
+    },
+    /// PE 0 instructs a PE to emigrate the listed chares.
+    LbDoMigrate {
+        /// `(chare, destination)` pairs owned by the receiving PE.
+        moves: Vec<(ChareId, Pe)>,
+        /// Total number of migrations in the epoch (for completion count).
+        total: u64,
+    },
+    /// A migrated chare arrived somewhere (destination → PE 0).
+    LbMigrated,
+    /// LB epoch complete: every PE resumes its at-sync chares.
+    LbResume {
+        /// Tree root of the relay (PE 0).
+        root: Pe,
+    },
+    /// Quiescence-detection probe (PE0 → all, relayed).
+    QdProbe {
+        /// Probe round number.
+        round: u64,
+        /// Tree root (PE 0).
+        root: Pe,
+    },
+    /// Quiescence-detection counters (PE → PE0, combined up the tree).
+    QdCounts {
+        /// Probe round these counters answer.
+        round: u64,
+        /// Messages sent (subtree total).
+        sent: u64,
+        /// Messages processed (subtree total).
+        done: u64,
+        /// PEs covered.
+        pes: u64,
+    },
+    /// Save a checkpoint of this PE's chares into `dir` (initiated by the
+    /// PE that called `ctx.checkpoint`).
+    CkptSave {
+        /// Target directory.
+        dir: String,
+    },
+    /// A PE finished writing its checkpoint file (back to the initiator).
+    CkptAck {
+        /// Chares it saved.
+        saved: u64,
+    },
+    /// Install collection metadata during a restore: no members are
+    /// constructed (they arrive as `MigrateChare` envelopes) and subtree
+    /// counts start at zero. Relayed down the PE tree rooted at `root`.
+    RestoreColl {
+        /// The collection being re-installed.
+        spec: CollSpec,
+        /// Tree root (PE 0).
+        root: Pe,
+    },
+    /// Ask PE 0 to run quiescence detection and complete `fid` when done.
+    QdRequest {
+        /// Future completed (with `()`) at quiescence.
+        fid: crate::ids::FutureId,
+    },
+    /// Start the main chare (delivered once, to PE 0).
+    Bootstrap,
+    /// Shut the runtime down.
+    Exit,
+}
+
+impl EnvKind {
+    /// Whether this message counts toward quiescence detection (application
+    /// traffic) as opposed to runtime control traffic.
+    pub fn counts_for_qd(&self) -> bool {
+        matches!(
+            self,
+            EnvKind::Entry { .. }
+                | EnvKind::BroadcastEntry { .. }
+                | EnvKind::InsertElem { .. }
+                | EnvKind::FutureValue { .. }
+                | EnvKind::RedPartial { .. }
+                | EnvKind::RedDeliver { .. }
+                | EnvKind::RedBroadcast { .. }
+                | EnvKind::MigrateChare { .. }
+        )
+    }
+
+    /// Approximate on-wire size for the network cost model.
+    pub fn size_hint(&self) -> usize {
+        const HDR: usize = 32; // envelope header: ids, tags
+        match self {
+            EnvKind::Entry { payload, .. } => HDR + payload.wire_len(),
+            EnvKind::BroadcastEntry { bytes, .. } => HDR + bytes.len(),
+            EnvKind::CreateCollection { init, .. } => HDR + 64 + init.len(),
+            EnvKind::InsertElem { init, .. } => HDR + init.wire_len(),
+            EnvKind::FutureValue { payload, .. } => HDR + payload.wire_len(),
+            EnvKind::RedPartial { data, .. } => HDR + data.size_hint(),
+            EnvKind::RedDeliver { data, .. } => HDR + data.size_hint(),
+            EnvKind::RedBroadcast { data, .. } => HDR + data.size_hint(),
+            EnvKind::MigrateChare { data, buffered, .. } => {
+                HDR + data.len() + buffered.iter().map(|(b, ..)| b.len() + 16).sum::<usize>()
+            }
+            EnvKind::LbStats { stats, .. } => HDR + stats.len() * 48,
+            EnvKind::LbDoMigrate { moves, .. } => HDR + moves.len() * 40,
+            _ => HDR,
+        }
+    }
+}

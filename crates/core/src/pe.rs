@@ -1,0 +1,2077 @@
+//! The per-PE scheduler: message-driven execution, guarded delivery,
+//! coroutine orchestration, reductions, location management, migration and
+//! the load-balancing / quiescence protocols.
+//!
+//! `PeState` is transport-agnostic: handling an envelope never blocks on
+//! the network — outgoing traffic is queued in `outbox` and shipped by the
+//! driver (threaded channels or the virtual-time event loop in
+//! `runtime.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use charm_sim::MachineModel;
+use charm_wire::Codec;
+
+use crate::chare::{MsgGuards, Registry};
+use crate::checkpoint::{self, CkptChare, CkptFile};
+use crate::collections::{CollKind, CollSpec, CollState, CollTable, Placements};
+use crate::coro::{CoroHandle, CoroInput, CoroSide, CoroYield, WaitKind};
+use crate::ctx::{Ctx, CtxSeed, Op};
+use crate::future::{FutState, FutTable};
+use crate::ids::{ChareId, CollectionId, CoroId, FutureId, Index, Pe};
+use crate::lb::{LbCentral, LbChareStat, LbPeState, LbStats, LbStrategy};
+use crate::msg::{BoxMsg, EnvKind, Envelope, OutPayload, Payload};
+use crate::quiescence::{QdCentral, QdPeState};
+use crate::reduction::{combine, CustomReducers, RedData, RedTable, RedTarget, Reducer};
+use crate::tree::TreeShape;
+
+/// Scheduler configuration shared by both drivers.
+pub(crate) struct SchedCfg {
+    pub codec: Codec,
+    /// Dynamic (CharmPy-like) dispatch: pickle codec + interpreter overhead.
+    pub dynamic: bool,
+    /// §II-D same-PE by-reference optimization (ablation toggle).
+    pub same_pe_byref: bool,
+    pub tree: TreeShape,
+    pub lb: Option<Arc<dyn LbStrategy>>,
+    /// Charge measured handler time to the virtual clock (sim backend).
+    pub meter: bool,
+    /// Scale factor from host compute speed to target machine speed.
+    pub compute_scale: f64,
+    /// Machine model (sim backend only) for the dynamic-dispatch overhead.
+    pub sim_model: Option<MachineModel>,
+    pub is_sim: bool,
+    /// Restore a checkpoint from this directory at bootstrap (PE 0).
+    pub restore_dir: Option<std::path::PathBuf>,
+    /// Registered per-message when-conditions.
+    pub msg_guards: Arc<MsgGuards>,
+}
+
+/// Launcher type for coroutines (the boxed closure spawned on a thread).
+pub(crate) type CoroLauncher = Box<dyn FnOnce(CoroSide) + Send + 'static>;
+
+/// A when-guard-deferred message.
+struct Buffered {
+    msg: BoxMsg,
+    reply: Option<FutureId>,
+    /// Per-message when-condition id, if the sender attached one.
+    guard: Option<u32>,
+}
+
+/// One local chare.
+struct Slot {
+    boxed: Option<Box<dyn crate::chare::ChareBox>>,
+    buffered: Vec<Buffered>,
+    load_ns: u64,
+    red_seq: u64,
+    at_sync: bool,
+    coros: Vec<CoroId>,
+}
+
+impl Slot {
+    fn new(boxed: Box<dyn crate::chare::ChareBox>) -> Slot {
+        Slot {
+            boxed: Some(boxed),
+            buffered: Vec::new(),
+            load_ns: 0,
+            red_seq: 0,
+            at_sync: false,
+            coros: Vec::new(),
+        }
+    }
+}
+
+/// Message/byte counters (quiescence detection + `RunReport`).
+#[derive(Default, Debug, Clone, Copy)]
+pub(crate) struct Counters {
+    pub sent: u64,
+    pub processed: u64,
+    pub bytes: u64,
+    pub entries: u64,
+    pub migrations: u64,
+}
+
+enum Route {
+    Local,
+    Remote(Pe),
+    /// This PE is the element's home but does not (yet) know a location.
+    BufferHere,
+    UnknownColl,
+}
+
+/// What to run on a chare.
+enum Invoke {
+    Entry(BoxMsg, Option<FutureId>, Option<u32>),
+    Reduced(u32, RedData),
+    ResumeFromSync,
+}
+
+pub(crate) struct PeState {
+    pub pe: Pe,
+    pub npes: usize,
+    pub cfg: Arc<SchedCfg>,
+    seed: CtxSeed,
+    registry: Arc<Registry>,
+    placements: Arc<Placements>,
+    reducers: Arc<CustomReducers>,
+
+    chares: HashMap<ChareId, Slot>,
+    colls: CollTable,
+    pending_coll: HashMap<CollectionId, Vec<Envelope>>,
+    pending_chare: HashMap<ChareId, Vec<Envelope>>,
+    locations: HashMap<ChareId, Pe>,
+    futures: FutTable,
+    coros: HashMap<u64, CoroHandle>,
+    next_coro: u64,
+    reds: RedTable,
+
+    lb: LbPeState,
+    lb_central: LbCentral,
+    /// In-progress checkpoint initiated on this PE: (future, acks left,
+    /// chares saved so far).
+    ckpt: Option<(FutureId, usize, u64)>,
+    qd_pe: QdPeState,
+    qd_central: QdCentral,
+
+    /// Outgoing envelopes, drained by the driver after each event.
+    pub outbox: Vec<(Pe, Envelope)>,
+    pub counters: Counters,
+    /// Compute time accrued during the current event (sim backend);
+    /// drained by the driver into the PE's virtual clock.
+    pub event_work_ns: u64,
+    /// Virtual clock (sim backend); maintained by the driver.
+    pub clock_ns: u64,
+    /// Real-time origin (threaded backend).
+    start: Instant,
+    /// Set when this PE has processed `Exit`.
+    pub exited: bool,
+
+    /// PE 0 only: the main entry coroutine body, consumed at `Bootstrap`.
+    pub entry: Option<CoroLauncher>,
+    /// PE 0, restore path: the entry launch waits on this internal future
+    /// (completed by quiescence detection once every restored chare landed).
+    entry_gate: Option<FutureId>,
+    main_id: ChareId,
+}
+
+/// Identity of the built-in main chare (hosted on PE 0).
+pub(crate) fn main_chare_id() -> ChareId {
+    ChareId {
+        coll: CollectionId {
+            creator: u32::MAX,
+            seq: 0,
+        },
+        index: Index::SINGLE,
+    }
+}
+
+impl PeState {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pe: Pe,
+        npes: usize,
+        cfg: Arc<SchedCfg>,
+        registry: Arc<Registry>,
+        placements: Arc<Placements>,
+        reducers: Arc<CustomReducers>,
+        start: Instant,
+        entry: Option<CoroLauncher>,
+    ) -> PeState {
+        let seed = CtxSeed {
+            pe,
+            npes,
+            codec: cfg.codec,
+            fut_seq: Arc::new(AtomicU64::new(0)),
+            coll_seq: Arc::new(AtomicU32::new(0)),
+            registry: Arc::clone(&registry),
+        };
+        PeState {
+            pe,
+            npes,
+            cfg,
+            seed,
+            registry,
+            placements,
+            reducers,
+            chares: HashMap::new(),
+            colls: HashMap::new(),
+            pending_coll: HashMap::new(),
+            pending_chare: HashMap::new(),
+            locations: HashMap::new(),
+            futures: HashMap::new(),
+            coros: HashMap::new(),
+            next_coro: 0,
+            reds: HashMap::new(),
+            lb: LbPeState::default(),
+            lb_central: LbCentral::default(),
+            ckpt: None,
+            qd_pe: QdPeState::default(),
+            qd_central: QdCentral::default(),
+            outbox: Vec::new(),
+            counters: Counters::default(),
+            event_work_ns: 0,
+            clock_ns: 0,
+            start,
+            exited: false,
+            entry,
+            entry_gate: None,
+            main_id: main_chare_id(),
+        }
+    }
+
+    /// Current time in nanoseconds (virtual under sim, real elapsed under
+    /// threads).
+    pub fn now_ns(&self) -> u64 {
+        if self.cfg.is_sim {
+            self.clock_ns + self.event_work_ns
+        } else {
+            self.start.elapsed().as_nanos() as u64
+        }
+    }
+
+    fn new_ctx(&self, this: Option<ChareId>) -> Ctx {
+        Ctx::new(self.seed.clone(), self.now_ns(), this)
+    }
+
+    /// Queue an envelope for `dst` (counting for QD and traffic stats).
+    fn emit(&mut self, dst: Pe, kind: EnvKind) {
+        if kind.counts_for_qd() {
+            self.counters.sent += 1;
+        }
+        if dst != self.pe {
+            self.counters.bytes += kind.size_hint() as u64;
+        }
+        self.outbox.push((dst, Envelope { src: self.pe, kind }));
+    }
+
+    /// Charge compute to the current event (and, optionally, a chare).
+    fn charge_work(&mut self, ns: u64, chare: Option<&ChareId>) {
+        self.event_work_ns += ns;
+        if let Some(id) = chare {
+            if let Some(slot) = self.chares.get_mut(id) {
+                slot.load_ns += ns;
+            }
+        }
+    }
+
+    // =====================================================================
+    // Envelope handling
+    // =====================================================================
+
+    pub fn handle(&mut self, env: Envelope) {
+        if env.kind.counts_for_qd() {
+            self.counters.processed += 1;
+        }
+        self.dispatch(env);
+    }
+
+    /// Dispatch without QD counting — used for re-processing envelopes that
+    /// were parked (they were counted when they first arrived).
+    fn dispatch(&mut self, env: Envelope) {
+        let src = env.src;
+        match env.kind {
+            EnvKind::Entry {
+                to,
+                payload,
+                reply,
+                guard,
+            } => self.route_entry_from(src, to, payload, reply, guard),
+            EnvKind::BroadcastEntry { coll, bytes, root } => {
+                if !self.colls.contains_key(&coll) {
+                    self.park_unknown_coll(coll, EnvKind::BroadcastEntry { coll, bytes, root });
+                    return;
+                }
+                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                    self.emit(
+                        child,
+                        EnvKind::BroadcastEntry {
+                            coll,
+                            bytes: Arc::clone(&bytes),
+                            root,
+                        },
+                    );
+                }
+                let members = self.local_members(coll);
+                for id in members {
+                    self.deliver_wire_entry(id, &bytes, None);
+                }
+            }
+            EnvKind::CreateCollection { spec, init, root } => {
+                self.create_collection(spec, init, root)
+            }
+            EnvKind::InsertElem {
+                coll,
+                index,
+                init,
+                on_pe,
+                placed,
+            } => self.insert_elem(coll, index, init, on_pe, placed),
+            EnvKind::DoneInserting { coll } => {
+                if let Some(cs) = self.colls.get_mut(&coll) {
+                    cs.done_inserting = true;
+                } else {
+                    self.park_unknown_coll(coll, EnvKind::DoneInserting { coll });
+                }
+            }
+            EnvKind::FutureValue { fid, payload } => self.future_value(fid, payload),
+            EnvKind::RedPartial {
+                coll,
+                redno,
+                count,
+                data,
+                reducer,
+                target,
+            } => {
+                if !self.colls.contains_key(&coll) {
+                    self.park_unknown_coll(
+                        coll,
+                        EnvKind::RedPartial {
+                            coll,
+                            redno,
+                            count,
+                            data,
+                            reducer,
+                            target,
+                        },
+                    );
+                    return;
+                }
+                self.red_merge(coll, redno, count, data, Some(reducer), target);
+                self.red_try_complete(coll, redno);
+            }
+            EnvKind::RedDeliver { to, tag, data } => self.route_reduced(to, tag, data),
+            EnvKind::RedBroadcast {
+                coll,
+                tag,
+                data,
+                root,
+            } => {
+                if !self.colls.contains_key(&coll) {
+                    self.park_unknown_coll(
+                        coll,
+                        EnvKind::RedBroadcast {
+                            coll,
+                            tag,
+                            data,
+                            root,
+                        },
+                    );
+                    return;
+                }
+                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                    self.emit(
+                        child,
+                        EnvKind::RedBroadcast {
+                            coll,
+                            tag,
+                            data: data.clone(),
+                            root,
+                        },
+                    );
+                }
+                let members = self.local_members(coll);
+                for id in members {
+                    self.invoke(id, Invoke::Reduced(tag, data.clone()));
+                }
+            }
+            EnvKind::MigrateChare {
+                coll,
+                index,
+                data,
+                buffered,
+                load_ns,
+                red_seq,
+                for_lb,
+            } => self.migrate_in(coll, index, data, buffered, load_ns, red_seq, for_lb),
+            EnvKind::LocationUpdate { id, pe } => {
+                if pe != self.pe {
+                    self.locations.insert(id, pe);
+                } else {
+                    self.locations.remove(&id);
+                }
+                self.flush_pending_chare(id);
+            }
+            EnvKind::SubtreeAdd { coll, delta } => {
+                if let Some(cs) = self.colls.get_mut(&coll) {
+                    cs.subtree_members = (cs.subtree_members as i64 + delta) as u64;
+                } else {
+                    self.park_unknown_coll(coll, EnvKind::SubtreeAdd { coll, delta });
+                    return;
+                }
+                if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
+                    self.emit(parent, EnvKind::SubtreeAdd { coll, delta });
+                }
+            }
+            EnvKind::LbPoll => {
+                // Only PEs without participants answer; everyone else will
+                // (or already did) report via their own at-sync trigger.
+                if !self.lb.stats_sent && self.lb_participants().is_empty() {
+                    self.lb.stats_sent = true;
+                    self.emit(
+                        0,
+                        EnvKind::LbStats {
+                            stats: Vec::new(),
+                            at_sync: 0,
+                        },
+                    );
+                }
+            }
+            EnvKind::LbStats { stats, at_sync } => self.lb_central_stats(stats, at_sync),
+            EnvKind::LbDoMigrate { moves, total: _ } => {
+                // (PE 0 already tracks the epoch's total.)
+                for (id, dst) in moves {
+                    self.migrate_out(id, dst, true);
+                }
+            }
+            EnvKind::LbMigrated => {
+                self.lb_central.migrations_pending =
+                    self.lb_central.migrations_pending.saturating_sub(1);
+                if self.lb_central.migrations_pending == 0 && self.lb_central.in_epoch {
+                    self.lb_finish_epoch();
+                }
+            }
+            EnvKind::LbResume { root } => {
+                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                    self.emit(child, EnvKind::LbResume { root });
+                }
+                self.lb_resume_local();
+            }
+            EnvKind::CkptSave { dir } => self.ckpt_save(src, &dir),
+            EnvKind::CkptAck { saved } => self.ckpt_ack(saved),
+            EnvKind::RestoreColl { spec, root } => self.restore_coll(spec, root),
+            EnvKind::QdProbe { round, root } => self.qd_probe(round, root),
+            EnvKind::QdCounts {
+                round,
+                sent,
+                done,
+                pes,
+            } => self.qd_counts(round, sent, done, pes),
+            EnvKind::QdRequest { fid } => self.qd_request(fid),
+            EnvKind::Bootstrap => self.bootstrap(),
+            EnvKind::Exit => {
+                self.exited = true;
+            }
+        }
+    }
+
+    fn park_unknown_coll(&mut self, coll: CollectionId, kind: EnvKind) {
+        self.pending_coll
+            .entry(coll)
+            .or_default()
+            .push(Envelope { src: self.pe, kind });
+    }
+
+    fn local_members(&self, coll: CollectionId) -> Vec<ChareId> {
+        let mut v: Vec<ChareId> = self
+            .chares
+            .keys()
+            .filter(|id| id.coll == coll)
+            .copied()
+            .collect();
+        v.sort(); // deterministic delivery order
+        v
+    }
+
+    // =====================================================================
+    // Routing and entry delivery
+    // =====================================================================
+
+    fn route_of(&self, id: &ChareId) -> Route {
+        if self.chares.contains_key(id) {
+            return Route::Local;
+        }
+        let Some(cs) = self.colls.get(&id.coll) else {
+            return Route::UnknownColl;
+        };
+        if let Some(&pe) = self.locations.get(id) {
+            return Route::Remote(pe);
+        }
+        match &cs.spec.kind {
+            // Initial placement is globally computable for these kinds.
+            CollKind::Singleton { .. } | CollKind::Group | CollKind::Dense { .. } => {
+                let pe = cs.spec.place(&id.index, self.npes, &self.placements);
+                if pe == self.pe {
+                    // We host it (or will, when creation lands): buffer.
+                    Route::BufferHere
+                } else {
+                    Route::Remote(pe)
+                }
+            }
+            CollKind::Sparse => {
+                let home = cs.spec.home_pe(&id.index, self.npes);
+                if home == self.pe {
+                    Route::BufferHere
+                } else {
+                    Route::Remote(home)
+                }
+            }
+        }
+    }
+
+
+
+    /// Route an entry message; when this PE forwards somebody else's
+    /// message (the chare moved on), tell the original sender where the
+    /// chare lives now, so migration-induced forwarding chains collapse
+    /// after one use (Charm++'s location-update piggyback).
+    fn route_entry_from(
+        &mut self,
+        src: Pe,
+        to: ChareId,
+        payload: Payload,
+        reply: Option<FutureId>,
+        guard: Option<u32>,
+    ) {
+        match self.route_of(&to) {
+            Route::Local => self.deliver_entry(to, payload, reply, guard),
+            Route::Remote(pe) => {
+                if src != self.pe {
+                    self.emit(src, EnvKind::LocationUpdate { id: to, pe });
+                }
+                let payload = self.reencode_for(pe, to.coll, payload);
+                self.emit(
+                    pe,
+                    EnvKind::Entry {
+                        to,
+                        payload,
+                        reply,
+                        guard,
+                    },
+                );
+            }
+            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope {
+                src: self.pe,
+                kind: EnvKind::Entry {
+                    to,
+                    payload,
+                    reply,
+                    guard,
+                },
+            }),
+            Route::UnknownColl => self.park_unknown_coll(
+                to.coll,
+                EnvKind::Entry {
+                    to,
+                    payload,
+                    reply,
+                    guard,
+                },
+            ),
+        }
+    }
+
+    fn route_reduced(&mut self, to: ChareId, tag: u32, data: RedData) {
+        match self.route_of(&to) {
+            Route::Local => self.invoke(to, Invoke::Reduced(tag, data)),
+            Route::Remote(pe) => self.emit(pe, EnvKind::RedDeliver { to, tag, data }),
+            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope {
+                src: self.pe,
+                kind: EnvKind::RedDeliver { to, tag, data },
+            }),
+            Route::UnknownColl => {
+                self.park_unknown_coll(to.coll, EnvKind::RedDeliver { to, tag, data })
+            }
+        }
+    }
+
+    /// A `Local` payload being forwarded to another PE must be serialized
+    /// now (the §II-D by-reference shortcut only holds same-PE).
+    fn reencode_for(&mut self, dst: Pe, coll: CollectionId, payload: Payload) -> Payload {
+        if dst == self.pe {
+            return payload;
+        }
+        match payload {
+            Payload::Wire(b) => Payload::Wire(b),
+            Payload::Local(any) => {
+                let cs = self.colls.get(&coll).expect("forwarding unknown collection");
+                let vt = self.registry.vtable(cs.spec.ctype);
+                let bytes = (vt.encode_msg)(&*any, self.cfg.codec)
+                    .expect("message re-encode for forwarding failed");
+                Payload::Wire(bytes)
+            }
+        }
+    }
+
+    fn decode_payload(&mut self, id: &ChareId, payload: Payload) -> BoxMsg {
+        match payload {
+            Payload::Local(b) => b,
+            Payload::Wire(bytes) => {
+                let decode_msg = {
+                    let cs = self
+                        .colls
+                        .get(&id.coll)
+                        .expect("decode for unknown collection");
+                    self.registry.vtable(cs.spec.ctype).decode_msg
+                };
+                // Dynamic dispatch (CharmPy mode): the measured Rust cost of
+                // the pickle codec runs for real; the interpreter premium is
+                // charged from the machine model (sim backend only).
+                if self.cfg.dynamic {
+                    if let Some(model) = self.cfg.sim_model.clone() {
+                        let ns = model.dynamic_overhead(bytes.len()).as_nanos() as u64;
+                        self.charge_work(ns, Some(id));
+                    }
+                }
+                let codec = self.cfg.codec;
+                self.metered(Some(*id), move || {
+                    decode_msg(codec, &bytes)
+                        .unwrap_or_else(|e| panic!("entry message decode failed: {e}"))
+                })
+            }
+        }
+    }
+
+    fn deliver_wire_entry(&mut self, id: ChareId, bytes: &Arc<Vec<u8>>, reply: Option<FutureId>) {
+        self.deliver_entry(id, Payload::Wire(bytes.as_ref().clone()), reply, None);
+    }
+
+    /// Both the type's receiver-side guard and the optional per-message
+    /// sender-side guard must pass for a message to be deliverable.
+    fn guards_pass(&self, id: &ChareId, msg: &BoxMsg, guard: Option<u32>) -> bool {
+        let slot = self.chares.get(id).expect("guard check on missing chare");
+        let boxed = slot.boxed.as_ref().expect("chare checked out during guard");
+        if !boxed.guard_ok(msg) {
+            return false;
+        }
+        match guard {
+            Some(g) => self.cfg.msg_guards.get(g)(boxed.any_ref(), msg),
+            None => true,
+        }
+    }
+
+    fn deliver_entry(
+        &mut self,
+        id: ChareId,
+        payload: Payload,
+        reply: Option<FutureId>,
+        guard: Option<u32>,
+    ) {
+        let msg = self.decode_payload(&id, payload);
+        let guard_ok = self.guards_pass(&id, &msg, guard);
+        let at_sync = self.chares.get(&id).unwrap().at_sync;
+        if !guard_ok || at_sync {
+            // Deferred by a when-guard, or parked while the chare sits at an
+            // LB sync point (AtSync chares do no work until resumed).
+            self.chares
+                .get_mut(&id)
+                .unwrap()
+                .buffered
+                .push(Buffered { msg, reply, guard });
+            return;
+        }
+        self.invoke(id, Invoke::Entry(msg, reply, guard));
+    }
+
+    /// Run one invocation on a local chare, then execute its deferred ops
+    /// and re-examine guards/waiting coroutines.
+    fn invoke(&mut self, id: ChareId, what: Invoke) {
+        let Some(slot) = self.chares.get_mut(&id) else {
+            // The chare migrated away between routing and invocation
+            // (possible when draining buffers); re-route.
+            match what {
+                Invoke::Entry(msg, reply, guard) => {
+                    let payload = Payload::Local(msg);
+                    self.route_entry_from(self.pe, id, payload, reply, guard);
+                }
+                Invoke::Reduced(tag, data) => self.route_reduced(id, tag, data),
+                Invoke::ResumeFromSync => {}
+            }
+            return;
+        };
+        let mut boxed = slot.boxed.take().expect("re-entrant invoke on one chare");
+        let mut ctx = self.new_ctx(Some(id));
+        let t0 = Instant::now();
+        match what {
+            Invoke::Entry(msg, reply, _) => {
+                ctx.reply_to = reply;
+                boxed.deliver(msg, &mut ctx);
+                self.counters.entries += 1;
+            }
+            Invoke::Reduced(tag, data) => {
+                boxed.reduced_dyn(tag, data, &mut ctx);
+                self.counters.entries += 1;
+            }
+            Invoke::ResumeFromSync => boxed.resume_from_sync_dyn(&mut ctx),
+        }
+        let measured = self.metered_ns(t0);
+        let slot = self.chares.get_mut(&id).expect("slot vanished during invoke");
+        slot.boxed = Some(boxed);
+        self.charge_work(measured, Some(&id));
+        self.exec_ops(ctx.ops, Some(id), ctx.reply_to);
+        self.after_state_change(id);
+    }
+
+    fn metered_ns(&self, t0: Instant) -> u64 {
+        if self.cfg.is_sim && !self.cfg.meter {
+            return 0;
+        }
+        (t0.elapsed().as_nanos() as f64 * self.cfg.compute_scale) as u64
+    }
+
+    /// Meter a closure's real time and charge it as PE work (attributed to
+    /// `chare` if given). Used for serialization costs on both directions.
+    fn metered<R>(&mut self, chare: Option<ChareId>, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        let ns = self.metered_ns(t0);
+        self.charge_work(ns, chare.as_ref());
+        r
+    }
+
+    /// Coroutine segments self-meter their user code (excluding the thread
+    /// rendezvous, which a real user-level-thread runtime would not pay).
+    fn scale_coro_work(&self, work_ns: u64) -> u64 {
+        if self.cfg.is_sim && !self.cfg.meter {
+            return 0;
+        }
+        (work_ns as f64 * self.cfg.compute_scale) as u64
+    }
+
+    /// Retry when-buffered messages and predicate-blocked coroutines until
+    /// no further progress — the receiver-side engine behind `@when`
+    /// (§II-E) and `self.wait` (§II-H2).
+    fn after_state_change(&mut self, id: ChareId) {
+        loop {
+            match self.chares.get(&id) {
+                None => return, // migrated away mid-drain
+                Some(slot) if slot.at_sync => return, // parked for LB
+                Some(_) => {}
+            }
+            // 1. First deliverable buffered message, in arrival order.
+            let ready_msg = {
+                let slot = &self.chares[&id];
+                let pos = slot
+                    .buffered
+                    .iter()
+                    .position(|b| self.guards_pass(&id, &b.msg, b.guard));
+                pos.map(|pos| self.chares.get_mut(&id).unwrap().buffered.remove(pos))
+            };
+            if let Some(b) = ready_msg {
+                self.invoke(id, Invoke::Entry(b.msg, b.reply, b.guard));
+                continue;
+            }
+            // 2. A coroutine whose wait-predicate is now satisfied.
+            let ready_coro = {
+                let slot = self.chares.get(&id).unwrap();
+                let boxed = slot.boxed.as_ref().unwrap();
+                slot.coros.iter().copied().find(|cid| {
+                    match self.coros.get(&cid.0).and_then(|h| h.wait.as_ref()) {
+                        Some(WaitKind::Pred(p)) => p(boxed.any_ref()),
+                        _ => false,
+                    }
+                })
+            };
+            if let Some(cid) = ready_coro {
+                self.resume_coro(cid, None);
+                continue;
+            }
+            return;
+        }
+    }
+
+    // =====================================================================
+    // Deferred ops
+    // =====================================================================
+
+    fn exec_ops(&mut self, ops: Vec<Op>, this: Option<ChareId>, reply: Option<FutureId>) {
+        for op in ops {
+            match op {
+                Op::SendElem {
+                    to,
+                    payload,
+                    reply,
+                    guard,
+                } => {
+                    let (is_local, dst) = match self.route_of(&to) {
+                        Route::Local => (true, self.pe),
+                        Route::Remote(pe) => (false, pe),
+                        Route::BufferHere | Route::UnknownColl => (false, self.pe),
+                    };
+                    let (byref, codec) = (self.cfg.same_pe_byref, self.cfg.codec);
+                    let payload = self.metered(this, || {
+                        payload
+                            .into_payload(is_local, byref, codec)
+                            .expect("entry message failed to encode")
+                    });
+                    // Always goes through the queue, even locally: entry
+                    // methods are asynchronous and never run re-entrantly.
+                    self.emit(
+                        dst,
+                        EnvKind::Entry {
+                            to,
+                            payload,
+                            reply,
+                            guard,
+                        },
+                    );
+                }
+                Op::Multicast {
+                    coll,
+                    members,
+                    bytes,
+                } => {
+                    // Section multicast: one encode at the call site, one
+                    // routed entry per member.
+                    for index in members {
+                        let to = ChareId { coll, index };
+                        let dst = match self.route_of(&to) {
+                            Route::Remote(pe) => pe,
+                            _ => self.pe,
+                        };
+                        self.emit(
+                            dst,
+                            EnvKind::Entry {
+                                to,
+                                payload: Payload::Wire(bytes.clone()),
+                                reply: None,
+                                guard: None,
+                            },
+                        );
+                    }
+                }
+                Op::Broadcast { coll, bytes } => {
+                    self.emit(
+                        self.pe,
+                        EnvKind::BroadcastEntry {
+                            coll,
+                            bytes: Arc::new(bytes),
+                            root: self.pe,
+                        },
+                    );
+                }
+                Op::CreateCollection { spec, init_bytes } => {
+                    self.emit(
+                        self.pe,
+                        EnvKind::CreateCollection {
+                            spec,
+                            init: Arc::new(init_bytes),
+                            root: self.pe,
+                        },
+                    );
+                }
+                Op::InsertElem {
+                    coll,
+                    index,
+                    init,
+                    on_pe,
+                } => {
+                    // Decide the destination if we can; otherwise loop to
+                    // self until the spec arrives.
+                    let dest = self.colls.get(&coll).map(|cs| {
+                        on_pe.unwrap_or_else(|| cs.spec.place(&index, self.npes, &self.placements))
+                    });
+                    let placed = dest.is_some();
+                    let dst = dest.unwrap_or(self.pe);
+                    let init = init
+                        .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                        .expect("constructor argument failed to encode");
+                    self.emit(
+                        dst,
+                        EnvKind::InsertElem {
+                            coll,
+                            index,
+                            init,
+                            on_pe,
+                            placed,
+                        },
+                    );
+                }
+                Op::DoneInserting { coll } => {
+                    for pe in 0..self.npes {
+                        self.emit(pe, EnvKind::DoneInserting { coll });
+                    }
+                }
+                Op::SendFuture { fid, payload } => {
+                    let dst = fid.pe as usize;
+                    let payload = payload
+                        .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                        .expect("future value failed to encode");
+                    self.emit(dst, EnvKind::FutureValue { fid, payload });
+                }
+                Op::Contribute {
+                    data,
+                    reducer,
+                    target,
+                } => {
+                    let id = this.expect("contribute outside a chare");
+                    self.contribute_local(id, data, reducer, target);
+                }
+                Op::MigrateMe { to } => {
+                    let id = this.expect("migrate_me outside a chare");
+                    self.migrate_out(id, to, false);
+                }
+                Op::AtSync => {
+                    let id = this.expect("at_sync outside a chare");
+                    if let Some(slot) = self.chares.get_mut(&id) {
+                        if !slot.at_sync {
+                            slot.at_sync = true;
+                            self.lb.at_sync_count += 1;
+                        }
+                    }
+                    self.lb_check_ready();
+                }
+                Op::Go(f) => {
+                    let id = this.expect("go outside a chare");
+                    self.launch_coro(id, f, reply);
+                }
+                Op::Charge(dt) => {
+                    if self.cfg.is_sim {
+                        self.charge_work(dt.as_nanos() as u64, this.as_ref());
+                    } else {
+                        std::thread::sleep(dt);
+                        if let Some(id) = &this {
+                            if let Some(slot) = self.chares.get_mut(id) {
+                                slot.load_ns += dt.as_nanos() as u64;
+                            }
+                        }
+                    }
+                }
+                Op::StartQd { fid } => {
+                    self.emit(0, EnvKind::QdRequest { fid });
+                }
+                Op::Checkpoint { dir, fid } => {
+                    assert!(self.ckpt.is_none(), "checkpoint already in progress");
+                    self.ckpt = Some((fid, self.npes, 0));
+                    for pe in 0..self.npes {
+                        self.emit(pe, EnvKind::CkptSave { dir: dir.clone() });
+                    }
+                }
+                Op::Exit => {
+                    for pe in 0..self.npes {
+                        self.emit(pe, EnvKind::Exit);
+                    }
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Coroutines
+    // =====================================================================
+
+    fn launch_coro(&mut self, id: ChareId, f: CoroLauncher, reply: Option<FutureId>) {
+        let (in_tx, in_rx) = mpsc::channel::<CoroInput>();
+        let (out_tx, out_rx) = mpsc::channel::<CoroYield>();
+        let side = CoroSide {
+            rx: in_rx,
+            tx: out_tx,
+            seed: self.seed.clone(),
+            chare_id: id,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("coro-{id}"))
+            .spawn(move || f(side))
+            .expect("failed to spawn coroutine thread");
+        let cid = CoroId(self.next_coro);
+        self.next_coro += 1;
+        self.coros.insert(
+            cid.0,
+            CoroHandle {
+                tx: in_tx,
+                rx: out_rx,
+                join: Some(join),
+                chare: id,
+                wait: None,
+            },
+        );
+        self.chares
+            .get_mut(&id)
+            .expect("go on missing chare")
+            .coros
+            .push(cid);
+        let chare = self
+            .chares
+            .get_mut(&id)
+            .unwrap()
+            .boxed
+            .take()
+            .expect("chare checked out at coroutine launch");
+        let now_ns = self.now_ns();
+        let handle = self.coros.get_mut(&cid.0).unwrap();
+        handle
+            .tx
+            .send(CoroInput::Start {
+                chare,
+                now_ns,
+                reply_to: reply,
+            })
+            .expect("coroutine died before start");
+        let y = handle.rx.recv();
+        self.process_yield(cid, y);
+    }
+
+    fn resume_coro(&mut self, cid: CoroId, value: Option<Payload>) {
+        let id = self.coros.get(&cid.0).expect("resume of unknown coroutine").chare;
+        let chare = self
+            .chares
+            .get_mut(&id)
+            .expect("coroutine's chare missing")
+            .boxed
+            .take()
+            .expect("chare checked out at coroutine resume");
+        let now_ns = self.now_ns();
+        let handle = self.coros.get_mut(&cid.0).unwrap();
+        handle.wait = None;
+        handle
+            .tx
+            .send(CoroInput::Resume {
+                chare,
+                value,
+                now_ns,
+            })
+            .expect("coroutine died before resume");
+        let y = handle.rx.recv();
+        self.process_yield(cid, y);
+    }
+
+    fn process_yield(&mut self, cid: CoroId, y: Result<CoroYield, mpsc::RecvError>) {
+        let id = self.coros.get(&cid.0).expect("yield from unknown coroutine").chare;
+        match y {
+            Ok(CoroYield::Blocked {
+                chare,
+                ops,
+                wait,
+                work_ns,
+            }) => {
+                let measured_ns = self.scale_coro_work(work_ns);
+                self.chares.get_mut(&id).unwrap().boxed = Some(chare);
+                self.charge_work(measured_ns, Some(&id));
+                let register_future = match &wait {
+                    WaitKind::Future(fid) => Some(*fid),
+                    WaitKind::Pred(_) => None,
+                };
+                self.coros.get_mut(&cid.0).unwrap().wait = Some(wait);
+                // Flush the coroutine's buffered ops *before* checking for
+                // an already-ready future, so they are never lost.
+                self.exec_ops(ops, Some(id), None);
+                if let Some(fid) = register_future {
+                    match self.futures.remove(&fid) {
+                        Some(FutState::Ready(payload)) => {
+                            // Value already arrived: resume immediately.
+                            self.resume_coro(cid, Some(payload));
+                            return;
+                        }
+                        Some(FutState::Waiting(_)) => {
+                            panic!("two coroutines waiting on one future")
+                        }
+                        _ => {
+                            self.futures.insert(fid, FutState::Waiting(cid));
+                        }
+                    }
+                }
+                self.after_state_change(id);
+            }
+            Ok(CoroYield::Done {
+                chare,
+                ops,
+                work_ns,
+            }) => {
+                let measured_ns = self.scale_coro_work(work_ns);
+                self.chares.get_mut(&id).unwrap().boxed = Some(chare);
+                self.charge_work(measured_ns, Some(&id));
+                if let Some(mut h) = self.coros.remove(&cid.0) {
+                    if let Some(j) = h.join.take() {
+                        let _ = j.join();
+                    }
+                }
+                if let Some(slot) = self.chares.get_mut(&id) {
+                    slot.coros.retain(|c| *c != cid);
+                }
+                self.exec_ops(ops, Some(id), None);
+                self.after_state_change(id);
+            }
+            Err(_) => {
+                // Recover the original panic payload from the dead thread
+                // so the user's message survives, not a generic wrapper.
+                let payload = self
+                    .coros
+                    .get_mut(&cid.0)
+                    .and_then(|h| h.join.take())
+                    .and_then(|j| j.join().err());
+                match payload {
+                    Some(p) => std::panic::resume_unwind(p),
+                    None => panic!("coroutine for chare {id} terminated unexpectedly"),
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Futures
+    // =====================================================================
+
+    fn future_value(&mut self, fid: FutureId, payload: Payload) {
+        debug_assert_eq!(fid.pe as usize, self.pe, "future value routed to wrong PE");
+        if self.entry_gate == Some(fid) {
+            // Restoration quiesced: every checkpointed chare has landed.
+            self.entry_gate = None;
+            self.launch_main();
+            return;
+        }
+        match self.futures.remove(&fid) {
+            Some(FutState::Waiting(cid)) => self.resume_coro(cid, Some(payload)),
+            Some(FutState::Ready(_)) => panic!("future {fid:?} completed twice"),
+            _ => {
+                self.futures.insert(fid, FutState::Ready(payload));
+            }
+        }
+    }
+
+    // =====================================================================
+    // Collections
+    // =====================================================================
+
+    fn initial_counts(&self, spec: &CollSpec) -> Vec<u64> {
+        let mut counts = vec![0u64; self.npes];
+        match &spec.kind {
+            CollKind::Singleton { pe } => counts[*pe] += 1,
+            CollKind::Group => counts.iter_mut().for_each(|c| *c += 1),
+            CollKind::Dense { dims } => {
+                for ix in CollSpec::dense_indices(dims) {
+                    counts[spec.place(&ix, self.npes, &self.placements)] += 1;
+                }
+            }
+            CollKind::Sparse => {}
+        }
+        counts
+    }
+
+    fn subtree_total(&self, counts: &[u64], pe: Pe) -> u64 {
+        counts[pe]
+            + self
+                .cfg
+                .tree
+                .children(pe, 0, self.npes)
+                .iter()
+                .map(|&c| self.subtree_total(counts, c))
+                .sum::<u64>()
+    }
+
+    fn create_collection(&mut self, spec: CollSpec, init: Arc<Vec<u8>>, root: Pe) {
+        for child in self.cfg.tree.children(self.pe, root, self.npes) {
+            self.emit(
+                child,
+                EnvKind::CreateCollection {
+                    spec: spec.clone(),
+                    init: Arc::clone(&init),
+                    root,
+                },
+            );
+        }
+        let counts = self.initial_counts(&spec);
+        let coll = spec.id;
+        let state = CollState {
+            local_members: counts[self.pe],
+            subtree_members: self.subtree_total(&counts, self.pe),
+            done_inserting: !matches!(spec.kind, CollKind::Sparse),
+            red_broadcast_seen: 0,
+            spec,
+        };
+        let spec = state.spec.clone();
+        self.colls.insert(coll, state);
+
+        // Construct locally-placed members (deterministic index order).
+        let mine: Vec<Index> = match &spec.kind {
+            CollKind::Singleton { pe } if *pe == self.pe => vec![Index::SINGLE],
+            CollKind::Group => vec![Index::pe(self.pe)],
+            CollKind::Dense { dims } => CollSpec::dense_indices(dims)
+                .filter(|ix| spec.place(ix, self.npes, &self.placements) == self.pe)
+                .collect(),
+            _ => Vec::new(),
+        };
+        for index in mine {
+            let id = ChareId { coll, index };
+            self.construct_member(id, &init);
+        }
+
+        // Anything that raced ahead of the create can now be handled.
+        if let Some(parked) = self.pending_coll.remove(&coll) {
+            for env in parked {
+                self.dispatch(env);
+            }
+        }
+    }
+
+    fn construct_member(&mut self, id: ChareId, init_bytes: &Arc<Vec<u8>>) {
+        let cs = self.colls.get(&id.coll).expect("construct without spec");
+        let vt = self.registry.vtable(cs.spec.ctype);
+        let init = (vt.decode_init)(self.cfg.codec, init_bytes)
+            .unwrap_or_else(|e| panic!("constructor argument decode failed: {e}"));
+        self.construct_member_box(id, init);
+    }
+
+    fn construct_member_box(&mut self, id: ChareId, init: BoxMsg) {
+        let cs = self.colls.get(&id.coll).expect("construct without spec");
+        let ctype = cs.spec.ctype;
+        let construct = self.registry.vtable(ctype).construct;
+        let mut ctx = self.new_ctx(Some(id));
+        let t0 = Instant::now();
+        let boxed = construct(init, &mut ctx, ctype);
+        let measured = self.metered_ns(t0);
+        self.chares.insert(id, Slot::new(boxed));
+        self.charge_work(measured, Some(&id));
+        self.exec_ops(ctx.ops, Some(id), None);
+        self.flush_pending_chare(id);
+        self.after_state_change(id);
+    }
+
+    fn flush_pending_chare(&mut self, id: ChareId) {
+        if let Some(parked) = self.pending_chare.remove(&id) {
+            for env in parked {
+                self.dispatch(env);
+            }
+        }
+    }
+
+    fn insert_elem(
+        &mut self,
+        coll: CollectionId,
+        index: Index,
+        init: Payload,
+        on_pe: Option<Pe>,
+        placed: bool,
+    ) {
+        let Some(cs) = self.colls.get(&coll) else {
+            self.park_unknown_coll(
+                coll,
+                EnvKind::InsertElem {
+                    coll,
+                    index,
+                    init,
+                    on_pe,
+                    placed,
+                },
+            );
+            return;
+        };
+        if !placed {
+            let dst = on_pe.unwrap_or_else(|| cs.spec.place(&index, self.npes, &self.placements));
+            let init = self.reencode_init_for(dst, coll, init);
+            self.emit(
+                dst,
+                EnvKind::InsertElem {
+                    coll,
+                    index,
+                    init,
+                    on_pe,
+                    placed: true,
+                },
+            );
+            return;
+        }
+        let home = cs.spec.home_pe(&index, self.npes);
+        let id = ChareId { coll, index };
+        let vt = self.registry.vtable(cs.spec.ctype);
+        let init_box = match init {
+            Payload::Local(b) => b,
+            Payload::Wire(bytes) => (vt.decode_init)(self.cfg.codec, &bytes)
+                .unwrap_or_else(|e| panic!("constructor argument decode failed: {e}")),
+        };
+        {
+            let cs = self.colls.get_mut(&coll).unwrap();
+            cs.local_members += 1;
+            cs.subtree_members += 1;
+        }
+        if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
+            self.emit(parent, EnvKind::SubtreeAdd { coll, delta: 1 });
+        }
+        if home != self.pe {
+            self.emit(home, EnvKind::LocationUpdate { id, pe: self.pe });
+        }
+        self.construct_member_box(id, init_box);
+    }
+
+    fn reencode_init_for(&self, dst: Pe, coll: CollectionId, init: Payload) -> Payload {
+        if dst == self.pe {
+            return init;
+        }
+        match init {
+            Payload::Wire(b) => Payload::Wire(b),
+            Payload::Local(any) => {
+                let cs = self.colls.get(&coll).expect("forwarding unknown collection");
+                let vt = self.registry.vtable(cs.spec.ctype);
+                // Init payloads use the init decoder, so encode via the
+                // generic path: we cannot re-use encode_msg (wrong type).
+                // OutPayload already encoded Wire for remote dests, so a
+                // Local init here means dst was believed local; encode with
+                // the vtable's init encoder.
+                let bytes = (vt.encode_init)(&*any, self.cfg.codec)
+                    .expect("constructor argument re-encode failed");
+                Payload::Wire(bytes)
+            }
+        }
+    }
+
+    // =====================================================================
+    // Reductions
+    // =====================================================================
+
+    fn contribute_local(
+        &mut self,
+        id: ChareId,
+        data: RedData,
+        reducer: Reducer,
+        target: RedTarget,
+    ) {
+        let coll = id.coll;
+        let redno = {
+            let slot = self.chares.get_mut(&id).expect("contribute from missing chare");
+            let n = slot.red_seq;
+            slot.red_seq += 1;
+            n
+        };
+        self.red_merge(coll, redno, 1, data, Some(reducer), Some(target));
+        let st = self.reds.get_mut(&(coll, redno)).unwrap();
+        st.local_got += 1;
+        self.red_try_complete(coll, redno);
+    }
+
+    fn red_merge(
+        &mut self,
+        coll: CollectionId,
+        redno: u64,
+        count: u64,
+        data: RedData,
+        reducer: Option<Reducer>,
+        target: Option<RedTarget>,
+    ) {
+        let st = self.reds.entry((coll, redno)).or_default();
+        if st.reducer.is_none() {
+            st.reducer = reducer;
+        }
+        if st.target.is_none() {
+            st.target = target;
+        }
+        st.count += count;
+        st.parts.push(data);
+        // Combine incrementally so memory stays bounded for big fan-ins.
+        if st.parts.len() >= 2 {
+            let reducer = st.reducer.expect("reduction without reducer");
+            let parts = std::mem::take(&mut st.parts);
+            let combined = combine(reducer, parts, &self.reducers);
+            self.reds
+                .get_mut(&(coll, redno))
+                .unwrap()
+                .parts
+                .push(combined);
+        }
+    }
+
+    fn red_try_complete(&mut self, coll: CollectionId, redno: u64) {
+        let Some(cs) = self.colls.get(&coll) else { return };
+        let expected = self.subtree_expected(coll);
+        let st = self.reds.get(&(coll, redno)).expect("red state missing");
+        if expected == 0 || st.count < expected {
+            return;
+        }
+        assert!(
+            st.count == expected,
+            "reduction over-contributed: {} > {} on {} (did members contribute twice?)",
+            st.count,
+            expected,
+            cs.spec.id
+        );
+        let mut st = self.reds.remove(&(coll, redno)).unwrap();
+        let reducer = st.reducer.expect("completing reduction without reducer");
+        let data = if st.parts.len() == 1 {
+            st.parts.pop().unwrap()
+        } else {
+            combine(reducer, std::mem::take(&mut st.parts), &self.reducers)
+        };
+        match self.cfg.tree.parent(self.pe, 0, self.npes) {
+            Some(parent) => self.emit(
+                parent,
+                EnvKind::RedPartial {
+                    coll,
+                    redno,
+                    count: expected,
+                    data,
+                    reducer,
+                    target: st.target,
+                },
+            ),
+            None => {
+                // Root: deliver to the target.
+                let target = st.target.expect("reduction completed without target");
+                self.red_deliver(target, data);
+            }
+        }
+    }
+
+    fn subtree_expected(&self, coll: CollectionId) -> u64 {
+        self.colls.get(&coll).map(|c| c.subtree_members).unwrap_or(0)
+    }
+
+    fn red_deliver(&mut self, target: RedTarget, data: RedData) {
+        match target {
+            RedTarget::Future(fid) => {
+                let dst = fid.pe as usize;
+                let payload = OutPayload::new(data)
+                    .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                    .expect("reduction result failed to encode");
+                self.emit(dst, EnvKind::FutureValue { fid, payload });
+            }
+            RedTarget::Element(id, tag) => {
+                self.route_reduced(id, tag, data);
+            }
+            RedTarget::Broadcast(coll, tag) => {
+                self.emit(
+                    self.pe,
+                    EnvKind::RedBroadcast {
+                        coll,
+                        tag,
+                        data,
+                        root: self.pe,
+                    },
+                );
+            }
+        }
+    }
+
+    // =====================================================================
+    // Migration
+    // =====================================================================
+
+    fn migrate_out(&mut self, id: ChareId, to: Pe, for_lb: bool) {
+        if to == self.pe {
+            if for_lb {
+                self.emit(0, EnvKind::LbMigrated);
+            }
+            return;
+        }
+        {
+            let slot = self
+                .chares
+                .get(&id)
+                .unwrap_or_else(|| panic!("migrate_out of missing chare {id}"));
+            assert!(
+                slot.coros.is_empty(),
+                "cannot migrate {id}: a threaded entry method is active"
+            );
+        }
+        let (encode_msg, home) = {
+            let cs = self.colls.get(&id.coll).expect("migrate without spec");
+            (
+                self.registry.vtable(cs.spec.ctype).encode_msg,
+                cs.spec.home_pe(&id.index, self.npes),
+            )
+        };
+        let slot = self.chares.remove(&id).unwrap();
+        let boxed = slot.boxed.expect("chare checked out at migration");
+        let data = boxed
+            .pack(self.cfg.codec)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} is not migratable; use register_migratable",
+                    self.registry.vtable(boxed.type_id()).name
+                )
+            })
+            .expect("chare state failed to encode");
+        let buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)> = slot
+            .buffered
+            .iter()
+            .map(|b| {
+                (
+                    encode_msg(&*b.msg, self.cfg.codec).expect("buffered message encode failed"),
+                    b.reply,
+                    b.guard,
+                )
+            })
+            .collect();
+        {
+            let cs = self.colls.get_mut(&id.coll).unwrap();
+            cs.local_members -= 1;
+            cs.subtree_members -= 1;
+        }
+        if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
+            self.emit(parent, EnvKind::SubtreeAdd { coll: id.coll, delta: -1 });
+        }
+        self.locations.insert(id, to);
+        // The home PE must learn the new location for fresh senders.
+        if home != self.pe && home != to {
+            self.emit(home, EnvKind::LocationUpdate { id, pe: to });
+        }
+        self.counters.migrations += 1;
+        self.emit(
+            to,
+            EnvKind::MigrateChare {
+                coll: id.coll,
+                index: id.index,
+                data,
+                buffered,
+                load_ns: if for_lb { 0 } else { slot.load_ns },
+                red_seq: slot.red_seq,
+                for_lb,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_in(
+        &mut self,
+        coll: CollectionId,
+        index: Index,
+        data: Vec<u8>,
+        buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)>,
+        load_ns: u64,
+        red_seq: u64,
+        for_lb: bool,
+    ) {
+        let Some(cs) = self.colls.get(&coll) else {
+            self.park_unknown_coll(
+                coll,
+                EnvKind::MigrateChare {
+                    coll,
+                    index,
+                    data,
+                    buffered,
+                    load_ns,
+                    red_seq,
+                    for_lb,
+                },
+            );
+            return;
+        };
+        let id = ChareId { coll, index };
+        let vt = self.registry.vtable(cs.spec.ctype);
+        let unpack = vt.unpack.expect("migrated chare type lacks unpack");
+        let decode_msg = vt.decode_msg;
+        let boxed = unpack(self.cfg.codec, &data, cs.spec.ctype)
+            .unwrap_or_else(|e| panic!("migrated chare decode failed: {e}"));
+        let mut slot = Slot::new(boxed);
+        slot.load_ns = load_ns;
+        slot.red_seq = red_seq;
+        slot.at_sync = for_lb; // LB migrants resume with everyone else
+        for (bytes, reply, guard) in buffered {
+            let msg = decode_msg(self.cfg.codec, &bytes)
+                .unwrap_or_else(|e| panic!("buffered message decode failed: {e}"));
+            slot.buffered.push(Buffered { msg, reply, guard });
+        }
+        self.chares.insert(id, slot);
+        self.locations.remove(&id);
+        {
+            let cs = self.colls.get_mut(&coll).unwrap();
+            cs.local_members += 1;
+            cs.subtree_members += 1;
+        }
+        if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
+            self.emit(parent, EnvKind::SubtreeAdd { coll, delta: 1 });
+        }
+        let home = cs_home(self.colls.get(&coll).unwrap(), &index, self.npes);
+        if home != self.pe {
+            self.emit(home, EnvKind::LocationUpdate { id, pe: self.pe });
+        }
+        if for_lb {
+            self.lb.at_sync_count += 1;
+            self.emit(0, EnvKind::LbMigrated);
+        }
+        self.flush_pending_chare(id);
+        self.after_state_change(id);
+    }
+
+    // =====================================================================
+    // Load balancing protocol
+    // =====================================================================
+
+    fn lb_participants(&self) -> Vec<ChareId> {
+        let mut v: Vec<ChareId> = self
+            .chares
+            .keys()
+            .filter(|id| {
+                self.colls
+                    .get(&id.coll)
+                    .map(|c| c.spec.use_lb)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn lb_check_ready(&mut self) {
+        if self.lb.stats_sent {
+            return;
+        }
+        let participants = self.lb_participants();
+        if participants.is_empty() || self.lb.at_sync_count < participants.len() as u64 {
+            return;
+        }
+        let stats: Vec<LbChareStat> = participants
+            .iter()
+            .map(|id| {
+                let slot = &self.chares[id];
+                let migratable = self
+                    .registry
+                    .vtable(self.colls[&id.coll].spec.ctype)
+                    .migratable;
+                LbChareStat {
+                    id: *id,
+                    pe: self.pe,
+                    load_ns: slot.load_ns,
+                    migratable,
+                }
+            })
+            .collect();
+        // Loads reset at the epoch boundary.
+        for id in &participants {
+            self.chares.get_mut(id).unwrap().load_ns = 0;
+        }
+        self.lb.stats_sent = true;
+        let at_sync = self.lb.at_sync_count;
+        self.emit(0, EnvKind::LbStats { stats, at_sync });
+    }
+
+    fn lb_central_stats(&mut self, stats: Vec<LbChareStat>, _at_sync: u64) {
+        debug_assert_eq!(self.pe, 0, "LB stats routed to non-central PE");
+        self.lb_central.batches.push(stats);
+        self.lb_central.pes_reported += 1;
+        if self.lb_central.pes_reported == 1 {
+            // Epoch begins: poll every PE so ones without participants
+            // still report (they have no at-sync trigger of their own).
+            for pe in 0..self.npes {
+                self.emit(pe, EnvKind::LbPoll);
+            }
+        }
+        if self.lb_central.pes_reported < self.npes {
+            return;
+        }
+        let chares: Vec<LbChareStat> = self.lb_central.batches.drain(..).flatten().collect();
+        self.lb_central.pes_reported = 0;
+        self.lb_central.in_epoch = true;
+        let stats = LbStats {
+            npes: self.npes,
+            chares,
+        };
+        let moves: Vec<(ChareId, Pe)> = match &self.cfg.lb {
+            Some(strategy) => strategy
+                .assign(&stats)
+                .into_iter()
+                .filter(|(id, dst)| {
+                    let cur = stats.chares.iter().find(|c| c.id == *id);
+                    match cur {
+                        Some(c) => c.migratable && c.pe != *dst && *dst < self.npes,
+                        None => false,
+                    }
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        if moves.is_empty() {
+            self.lb_finish_epoch();
+            return;
+        }
+        let total = moves.len() as u64;
+        self.lb_central.migrations_pending = total;
+        let mut per_pe: HashMap<Pe, Vec<(ChareId, Pe)>> = HashMap::new();
+        for (id, dst) in moves {
+            let owner = stats.chares.iter().find(|c| c.id == id).unwrap().pe;
+            per_pe.entry(owner).or_default().push((id, dst));
+        }
+        for (owner, moves) in per_pe {
+            self.emit(owner, EnvKind::LbDoMigrate { moves, total });
+        }
+    }
+
+    fn lb_finish_epoch(&mut self) {
+        self.lb_central.in_epoch = false;
+        self.lb_central.epochs_done += 1;
+        self.emit(0, EnvKind::LbResume { root: 0 });
+    }
+
+    fn lb_resume_local(&mut self) {
+        self.lb.at_sync_count = 0;
+        self.lb.stats_sent = false;
+        let resumed: Vec<ChareId> = self
+            .chares
+            .iter()
+            .filter(|(_, s)| s.at_sync)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut ids = resumed;
+        ids.sort();
+        for id in ids {
+            if let Some(slot) = self.chares.get_mut(&id) {
+                slot.at_sync = false;
+            }
+            self.invoke(id, Invoke::ResumeFromSync);
+        }
+    }
+
+    /// LB epochs completed (read by the driver for the report; PE 0 only).
+    pub fn lb_epochs(&self) -> u64 {
+        self.lb_central.epochs_done
+    }
+
+    /// Diagnostic snapshot printed when a simulated run stalls (runs out of
+    /// events without an `exit()`): everything that could be waiting.
+    pub fn debug_dump(&self) {
+        let buffered: usize = self.chares.values().map(|s| s.buffered.len()).sum();
+        let blocked: usize = self
+            .coros
+            .values()
+            .filter(|h| h.wait.is_some())
+            .count();
+        if buffered == 0
+            && blocked == 0
+            && self.reds.is_empty()
+            && self.pending_chare.is_empty()
+            && self.pending_coll.is_empty()
+            && self.lb.at_sync_count == 0
+        {
+            return;
+        }
+        eprintln!(
+            "  PE {}: {} chares, {} buffered msgs, {} blocked coros, {} reductions in flight, {} pending-chare, {} pending-coll, at_sync={}",
+            self.pe,
+            self.chares.len(),
+            buffered,
+            blocked,
+            self.reds.len(),
+            self.pending_chare.len(),
+            self.pending_coll.len(),
+            self.lb.at_sync_count,
+        );
+        for ((coll, redno), st) in &self.reds {
+            eprintln!(
+                "    red {coll} #{redno}: count {} of subtree {}",
+                st.count,
+                self.subtree_expected(*coll)
+            );
+        }
+        let mut ids: Vec<_> = self.chares.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let slot = &self.chares[&id];
+            if !slot.buffered.is_empty() || slot.at_sync || slot.red_seq > 0 {
+                eprintln!(
+                    "    chare {id}: buffered={} at_sync={} red_seq={}",
+                    slot.buffered.len(),
+                    slot.at_sync,
+                    slot.red_seq
+                );
+            }
+        }
+    }
+
+    // =====================================================================
+    // Quiescence detection
+    // =====================================================================
+
+    fn qd_request(&mut self, fid: FutureId) {
+        debug_assert_eq!(self.pe, 0);
+        self.qd_central.waiters.push(fid);
+        if !self.qd_central.active {
+            self.qd_central.active = true;
+            self.qd_central.last = None;
+            self.qd_start_round();
+        }
+    }
+
+    fn qd_start_round(&mut self) {
+        self.qd_central.round += 1;
+        let round = self.qd_central.round;
+        self.emit(0, EnvKind::QdProbe { round, root: 0 });
+    }
+
+    fn qd_probe(&mut self, round: u64, root: Pe) {
+        let children = self.cfg.tree.children(self.pe, root, self.npes);
+        self.qd_pe = QdPeState {
+            round,
+            pending_children: children.len(),
+            sent: self.counters.sent,
+            done: self.counters.processed,
+            pes: 1,
+            active: true,
+        };
+        for child in children {
+            self.emit(child, EnvKind::QdProbe { round, root });
+        }
+        self.qd_maybe_reply(root);
+    }
+
+    fn qd_counts(&mut self, round: u64, sent: u64, done: u64, pes: u64) {
+        if !self.qd_pe.active || self.qd_pe.round != round {
+            return; // stale round
+        }
+        self.qd_pe.pending_children -= 1;
+        self.qd_pe.sent += sent;
+        self.qd_pe.done += done;
+        self.qd_pe.pes += pes;
+        self.qd_maybe_reply(0);
+    }
+
+    fn qd_maybe_reply(&mut self, root: Pe) {
+        if !self.qd_pe.active || self.qd_pe.pending_children > 0 {
+            return;
+        }
+        self.qd_pe.active = false;
+        let (round, sent, done, pes) = (
+            self.qd_pe.round,
+            self.qd_pe.sent,
+            self.qd_pe.done,
+            self.qd_pe.pes,
+        );
+        match self.cfg.tree.parent(self.pe, root, self.npes) {
+            Some(parent) => self.emit(
+                parent,
+                EnvKind::QdCounts {
+                    round,
+                    sent,
+                    done,
+                    pes,
+                },
+            ),
+            None => {
+                // Root evaluates.
+                if self.qd_central.round_complete(sent, done) {
+                    self.qd_central.active = false;
+                    let waiters = std::mem::take(&mut self.qd_central.waiters);
+                    for fid in waiters {
+                        let dst = fid.pe as usize;
+                        let payload = OutPayload::new(())
+                            .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                            .expect("() failed to encode");
+                        self.emit(dst, EnvKind::FutureValue { fid, payload });
+                    }
+                } else {
+                    self.qd_start_round();
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Checkpoint / restart
+    // =====================================================================
+
+    fn ckpt_save(&mut self, initiator: Pe, dir: &str) {
+        let main_coll = main_chare_id().coll;
+        let specs: Vec<CollSpec> = self
+            .colls
+            .values()
+            .map(|cs| cs.spec.clone())
+            .filter(|spec| spec.id != main_coll)
+            .collect();
+        let mut ids: Vec<ChareId> = self
+            .chares
+            .keys()
+            .filter(|id| id.coll != main_coll)
+            .copied()
+            .collect();
+        ids.sort();
+        let mut chares = Vec::with_capacity(ids.len());
+        for id in ids {
+            let cs = &self.colls[&id.coll];
+            let encode_msg = self.registry.vtable(cs.spec.ctype).encode_msg;
+            let slot = &self.chares[&id];
+            assert!(
+                slot.coros.is_empty(),
+                "cannot checkpoint {id}: a threaded entry method is active"
+            );
+            let boxed = slot.boxed.as_ref().expect("chare checked out at checkpoint");
+            let data = boxed
+                .pack(self.cfg.codec)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{} is not migratable; checkpointing requires register_migratable",
+                        self.registry.vtable(boxed.type_id()).name
+                    )
+                })
+                .expect("chare state failed to encode");
+            let buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)> = slot
+                .buffered
+                .iter()
+                .map(|b| {
+                    (
+                        encode_msg(&*b.msg, self.cfg.codec)
+                            .expect("buffered message encode failed"),
+                        b.reply,
+                        b.guard,
+                    )
+                })
+                .collect();
+            chares.push(CkptChare {
+                coll: id.coll,
+                index: id.index,
+                data,
+                red_seq: slot.red_seq,
+                buffered,
+            });
+        }
+        let saved = chares.len() as u64;
+        let file = CkptFile {
+            version: checkpoint::CKPT_VERSION,
+            npes: self.npes as u64,
+            specs,
+            chares,
+        };
+        checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
+            .unwrap_or_else(|e| panic!("checkpoint write failed on PE {}: {e}", self.pe));
+        self.emit(initiator, EnvKind::CkptAck { saved });
+    }
+
+    fn ckpt_ack(&mut self, saved: u64) {
+        let (fid, left, total) = self.ckpt.take().expect("stray checkpoint ack");
+        let total = total + saved;
+        if left > 1 {
+            self.ckpt = Some((fid, left - 1, total));
+            return;
+        }
+        let dst = fid.pe as usize;
+        let payload = OutPayload::new(total as i64)
+            .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+            .expect("checkpoint count failed to encode");
+        self.emit(dst, EnvKind::FutureValue { fid, payload });
+    }
+
+    fn restore_coll(&mut self, spec: CollSpec, root: Pe) {
+        for child in self.cfg.tree.children(self.pe, root, self.npes) {
+            self.emit(
+                child,
+                EnvKind::RestoreColl {
+                    spec: spec.clone(),
+                    root,
+                },
+            );
+        }
+        // A restored collection starts empty everywhere; members arrive as
+        // MigrateChare envelopes, which maintain local/subtree counts.
+        let coll = spec.id;
+        if spec.id.creator as usize == self.pe {
+            // Keep fresh collection ids from colliding with restored ones.
+            self.seed
+                .coll_seq
+                .fetch_max(spec.id.seq + 1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.colls.entry(coll).or_insert_with(|| CollState {
+            local_members: 0,
+            subtree_members: 0,
+            done_inserting: !matches!(spec.kind, CollKind::Sparse),
+            red_broadcast_seen: 0,
+            spec,
+        });
+        if let Some(parked) = self.pending_coll.remove(&coll) {
+            for env in parked {
+                self.dispatch(env);
+            }
+        }
+    }
+
+    /// PE 0, at bootstrap with a restore directory: read every checkpoint
+    /// file, re-install the collections, and redistribute the chares by
+    /// their placement policy onto the *current* PE count.
+    fn restore_from(&mut self, dir: &std::path::Path) {
+        let files = checkpoint::read_all(dir)
+            .unwrap_or_else(|e| panic!("checkpoint restore failed: {e}"));
+        let mut seen = std::collections::HashSet::new();
+        let mut specs = Vec::new();
+        for f in &files {
+            for spec in &f.specs {
+                if seen.insert(spec.id) {
+                    specs.push(spec.clone());
+                }
+            }
+        }
+        for spec in &specs {
+            self.emit(
+                0,
+                EnvKind::RestoreColl {
+                    spec: spec.clone(),
+                    root: 0,
+                },
+            );
+        }
+        let spec_of = |coll: CollectionId| {
+            specs
+                .iter()
+                .find(|s| s.id == coll)
+                .unwrap_or_else(|| panic!("checkpointed chare of unknown collection {coll}"))
+        };
+        let mut restored = 0u64;
+        for f in files {
+            for c in f.chares {
+                let dest = spec_of(c.coll).place(&c.index, self.npes, &self.placements);
+                self.emit(
+                    dest,
+                    EnvKind::MigrateChare {
+                        coll: c.coll,
+                        index: c.index,
+                        data: c.data,
+                        buffered: c.buffered,
+                        load_ns: 0,
+                        red_seq: c.red_seq,
+                        for_lb: false,
+                    },
+                );
+                restored += 1;
+            }
+        }
+        let _ = restored;
+    }
+
+    // =====================================================================
+    // Bootstrap
+    // =====================================================================
+
+    fn bootstrap(&mut self) {
+        debug_assert_eq!(self.pe, 0, "bootstrap on non-zero PE");
+        if let Some(dir) = self.cfg.restore_dir.clone() {
+            // Re-install the checkpoint, then hold the entry coroutine
+            // until quiescence confirms every restored chare has landed —
+            // otherwise the entry's first broadcast could race migrants.
+            self.restore_from(&dir);
+            let fid = FutureId {
+                pe: self.pe as u32,
+                seq: self
+                    .seed
+                    .fut_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            };
+            self.entry_gate = Some(fid);
+            self.emit(0, EnvKind::QdRequest { fid });
+            return;
+        }
+        self.launch_main();
+    }
+
+    fn launch_main(&mut self) {
+        let id = self.main_id;
+        // The main chare lives in a synthetic singleton collection known
+        // only to PE 0 — it is never addressed remotely.
+        let spec = CollSpec {
+            id: id.coll,
+            ctype: self.registry.type_of::<crate::runtime::Main>(),
+            kind: CollKind::Singleton { pe: 0 },
+            placement: crate::collections::Placement::Hash,
+            use_lb: false,
+        };
+        self.colls.insert(
+            id.coll,
+            CollState {
+                spec,
+                local_members: 1,
+                subtree_members: 1,
+                done_inserting: true,
+                red_broadcast_seen: 0,
+            },
+        );
+        self.chares.insert(
+            id,
+            Slot::new(Box::new(crate::chare::holder_for(
+                crate::runtime::Main,
+                self.registry.type_of::<crate::runtime::Main>(),
+            ))),
+        );
+        let entry = self.entry.take().expect("bootstrap without entry closure");
+        self.launch_coro(id, entry, None);
+    }
+}
+
+fn cs_home(cs: &CollState, index: &Index, npes: usize) -> Pe {
+    cs.spec.home_pe(index, npes)
+}

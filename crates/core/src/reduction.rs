@@ -1,0 +1,400 @@
+//! Reductions (paper §II-F, §IV-D).
+//!
+//! All members of a collection call `contribute(data, reducer, target)`;
+//! partial results flow up a PE spanning tree and the root delivers the
+//! final value to the target — an entry method of a chare, a broadcast to a
+//! whole collection, or a future. Reductions are asynchronous: nobody
+//! blocks, and multiple reductions (even on one collection) can be in
+//! flight, sequenced per member by contribution order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChareId, CollectionId, FutureId, Index};
+
+/// Data contributed to (and produced by) a reduction.
+///
+/// Built-in reducers understand the numeric variants; `Bytes` carries
+/// opaque user values for custom reducers and gathers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RedData {
+    /// No data: the empty reduction, used as a barrier (paper §II-F).
+    Unit,
+    /// A single signed integer.
+    I64(i64),
+    /// A single float.
+    F64(f64),
+    /// A single boolean (for `And`/`Or`).
+    Bool(bool),
+    /// An integer vector, reduced element-wise.
+    VecI64(Vec<i64>),
+    /// A float vector, reduced element-wise (the "NumPy array" case).
+    VecF64(Vec<f64>),
+    /// Opaque bytes for custom reducers.
+    Bytes(Vec<u8>),
+    /// Per-contributor values keyed by member index, kept sorted by index.
+    Gather(Vec<(Index, Vec<u8>)>),
+}
+
+impl RedData {
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RedData::Unit => "unit",
+            RedData::I64(_) => "i64",
+            RedData::F64(_) => "f64",
+            RedData::Bool(_) => "bool",
+            RedData::VecI64(_) => "vec<i64>",
+            RedData::VecF64(_) => "vec<f64>",
+            RedData::Bytes(_) => "bytes",
+            RedData::Gather(_) => "gather",
+        }
+    }
+
+    /// Extract an `i64`, panicking with a clear message otherwise.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            RedData::I64(v) => *v,
+            other => panic!("reduction produced {}, expected i64", other.kind()),
+        }
+    }
+
+    /// Extract an `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            RedData::F64(v) => *v,
+            other => panic!("reduction produced {}, expected f64", other.kind()),
+        }
+    }
+
+    /// Extract a float vector.
+    pub fn as_vec_f64(&self) -> &[f64] {
+        match self {
+            RedData::VecF64(v) => v,
+            other => panic!("reduction produced {}, expected vec<f64>", other.kind()),
+        }
+    }
+
+    /// Extract an integer vector.
+    pub fn as_vec_i64(&self) -> &[i64] {
+        match self {
+            RedData::VecI64(v) => v,
+            other => panic!("reduction produced {}, expected vec<i64>", other.kind()),
+        }
+    }
+
+    /// Approximate payload size in bytes, for network cost accounting.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            RedData::Unit => 1,
+            RedData::I64(_) | RedData::F64(_) => 9,
+            RedData::Bool(_) => 2,
+            RedData::VecI64(v) => 8 * v.len() + 9,
+            RedData::VecF64(v) => 8 * v.len() + 9,
+            RedData::Bytes(b) => b.len() + 9,
+            RedData::Gather(g) => g.iter().map(|(_, b)| b.len() + 32).sum::<usize>() + 9,
+        }
+    }
+}
+
+/// The reduction function applied to contributed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reducer {
+    /// Discard data; used for empty (barrier) reductions.
+    Nop,
+    /// Arithmetic sum (element-wise for vectors).
+    Sum,
+    /// Product (element-wise for vectors).
+    Product,
+    /// Maximum (element-wise for vectors).
+    Max,
+    /// Minimum (element-wise for vectors).
+    Min,
+    /// Logical AND over booleans.
+    And,
+    /// Logical OR over booleans.
+    Or,
+    /// Collect every contribution, sorted by member index.
+    Gather,
+    /// A user-registered reducer (paper §II-F1), by registration id.
+    Custom(u32),
+}
+
+/// Signature of a user-defined reducer: combines ≥1 contributions.
+pub type CustomReduceFn = dyn Fn(Vec<RedData>) -> RedData + Send + Sync;
+
+/// Registry of custom reducers. Registration must happen identically on the
+/// runtime builder before start, mirroring `Reducer.addReducer` in CharmPy.
+#[derive(Default, Clone)]
+pub struct CustomReducers {
+    fns: Vec<(String, Arc<CustomReduceFn>)>,
+}
+
+impl CustomReducers {
+    /// Register `f` under `name`; returns the `Reducer` handle to pass to
+    /// `contribute`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(Vec<RedData>) -> RedData + Send + Sync + 'static,
+    ) -> Reducer {
+        let id = self.fns.len() as u32;
+        self.fns.push((name.into(), Arc::new(f)));
+        Reducer::Custom(id)
+    }
+
+    /// Look up a reducer registered earlier by name.
+    pub fn by_name(&self, name: &str) -> Option<Reducer> {
+        self.fns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| Reducer::Custom(i as u32))
+    }
+
+    fn get(&self, id: u32) -> &CustomReduceFn {
+        &*self
+            .fns
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("custom reducer {id} not registered"))
+            .1
+    }
+}
+
+fn combine2(r: Reducer, a: RedData, b: RedData) -> RedData {
+    use RedData::*;
+    use Reducer::*;
+    match (r, a, b) {
+        (Nop, _, _) => Unit,
+        // Integer sum/product wrap (two's complement), the semantics of
+        // C++/NumPy reductions; panicking mid-reduction would be worse.
+        (Sum, I64(x), I64(y)) => I64(x.wrapping_add(y)),
+        (Sum, F64(x), F64(y)) => F64(x + y),
+        (Product, I64(x), I64(y)) => I64(x.wrapping_mul(y)),
+        (Product, F64(x), F64(y)) => F64(x * y),
+        (Max, I64(x), I64(y)) => I64(x.max(y)),
+        (Max, F64(x), F64(y)) => F64(x.max(y)),
+        (Min, I64(x), I64(y)) => I64(x.min(y)),
+        (Min, F64(x), F64(y)) => F64(x.min(y)),
+        (And, Bool(x), Bool(y)) => Bool(x && y),
+        (Or, Bool(x), Bool(y)) => Bool(x || y),
+        (op, VecI64(mut x), VecI64(y)) => {
+            assert_eq!(x.len(), y.len(), "vector reduction length mismatch");
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi = match op {
+                    Sum => xi.wrapping_add(*yi),
+                    Product => xi.wrapping_mul(*yi),
+                    Max => (*xi).max(*yi),
+                    Min => (*xi).min(*yi),
+                    _ => panic!("reducer {op:?} not applicable to vec<i64>"),
+                };
+            }
+            VecI64(x)
+        }
+        (op, VecF64(mut x), VecF64(y)) => {
+            assert_eq!(x.len(), y.len(), "vector reduction length mismatch");
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi = match op {
+                    Sum => *xi + yi,
+                    Product => *xi * yi,
+                    Max => xi.max(*yi),
+                    Min => xi.min(*yi),
+                    _ => panic!("reducer {op:?} not applicable to vec<f64>"),
+                };
+            }
+            VecF64(x)
+        }
+        (Reducer::Gather, RedData::Gather(mut x), RedData::Gather(y)) => {
+            x.extend(y);
+            x.sort_by_key(|a| a.0);
+            RedData::Gather(x)
+        }
+        (op, a, b) => panic!(
+            "reducer {op:?} cannot combine {} with {}",
+            a.kind(),
+            b.kind()
+        ),
+    }
+}
+
+/// Combine a batch of contributions under `reducer`.
+///
+/// # Panics
+/// Panics if contributions have mismatched variants for the reducer — that
+/// is an application bug, as in CharmPy.
+pub fn combine(reducer: Reducer, mut parts: Vec<RedData>, custom: &CustomReducers) -> RedData {
+    if let Reducer::Custom(id) = reducer {
+        return custom.get(id)(parts);
+    }
+    if reducer == Reducer::Nop {
+        return RedData::Unit;
+    }
+    let mut acc = match parts.is_empty() {
+        true => panic!("combine called with no contributions"),
+        false => parts.remove(0),
+    };
+    for p in parts {
+        acc = combine2(reducer, acc, p);
+    }
+    acc
+}
+
+/// Where the final reduced value is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RedTarget {
+    /// Complete a future with the value.
+    Future(FutureId),
+    /// Invoke `reduced(tag, data)` on one chare.
+    Element(ChareId, u32),
+    /// Invoke `reduced(tag, data)` on every member of a collection.
+    Broadcast(CollectionId, u32),
+}
+
+/// Per-PE state of one in-flight reduction `(collection, redno)`.
+#[derive(Default)]
+pub struct RedState {
+    /// Contributions from members local to this PE (pre-combined lazily).
+    pub parts: Vec<RedData>,
+    /// Members covered by `parts` (locals plus child-subtree counts).
+    pub count: u64,
+    /// Local members that have contributed so far.
+    pub local_got: usize,
+    /// The reducer, fixed by the first contribution seen.
+    pub reducer: Option<Reducer>,
+    /// The target, fixed by the first *member* contribution seen.
+    pub target: Option<RedTarget>,
+}
+
+
+/// Map of in-flight reductions on a PE.
+pub type RedTable = HashMap<(CollectionId, u64), RedState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reducers() {
+        let c = CustomReducers::default();
+        assert_eq!(
+            combine(Reducer::Sum, vec![RedData::I64(1), RedData::I64(2), RedData::I64(3)], &c),
+            RedData::I64(6)
+        );
+        assert_eq!(
+            combine(Reducer::Product, vec![RedData::F64(2.0), RedData::F64(4.0)], &c),
+            RedData::F64(8.0)
+        );
+        assert_eq!(
+            combine(Reducer::Max, vec![RedData::I64(-5), RedData::I64(3)], &c),
+            RedData::I64(3)
+        );
+        assert_eq!(
+            combine(Reducer::Min, vec![RedData::F64(1.5), RedData::F64(-2.5)], &c),
+            RedData::F64(-2.5)
+        );
+    }
+
+    #[test]
+    fn boolean_reducers() {
+        let c = CustomReducers::default();
+        assert_eq!(
+            combine(Reducer::And, vec![RedData::Bool(true), RedData::Bool(false)], &c),
+            RedData::Bool(false)
+        );
+        assert_eq!(
+            combine(Reducer::Or, vec![RedData::Bool(false), RedData::Bool(true)], &c),
+            RedData::Bool(true)
+        );
+    }
+
+    #[test]
+    fn vector_reducers_elementwise() {
+        let c = CustomReducers::default();
+        assert_eq!(
+            combine(
+                Reducer::Sum,
+                vec![
+                    RedData::VecF64(vec![1.0, 2.0]),
+                    RedData::VecF64(vec![10.0, 20.0])
+                ],
+                &c
+            ),
+            RedData::VecF64(vec![11.0, 22.0])
+        );
+        assert_eq!(
+            combine(
+                Reducer::Max,
+                vec![RedData::VecI64(vec![1, 9]), RedData::VecI64(vec![5, 2])],
+                &c
+            ),
+            RedData::VecI64(vec![5, 9])
+        );
+    }
+
+    #[test]
+    fn nop_yields_unit() {
+        let c = CustomReducers::default();
+        assert_eq!(
+            combine(Reducer::Nop, vec![RedData::Unit, RedData::Unit], &c),
+            RedData::Unit
+        );
+    }
+
+    #[test]
+    fn gather_sorts_by_index() {
+        let c = CustomReducers::default();
+        let a = RedData::Gather(vec![(Index::from(3), vec![3]), (Index::from(1), vec![1])]);
+        let b = RedData::Gather(vec![(Index::from(2), vec![2])]);
+        let out = combine(Reducer::Gather, vec![a, b], &c);
+        match out {
+            RedData::Gather(items) => {
+                let idx: Vec<i32> = items.iter().map(|(i, _)| i.first()).collect();
+                assert_eq!(idx, vec![1, 2, 3]);
+            }
+            other => panic!("expected gather, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_reducer_roundtrip() {
+        let mut c = CustomReducers::default();
+        let r = c.register("hypot", |parts| {
+            let s: f64 = parts.iter().map(|p| p.as_f64().powi(2)).sum();
+            RedData::F64(s.sqrt())
+        });
+        assert_eq!(c.by_name("hypot"), Some(r));
+        let out = combine(r, vec![RedData::F64(3.0), RedData::F64(4.0)], &c);
+        assert_eq!(out, RedData::F64(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot combine")]
+    fn mismatched_kinds_panic() {
+        let c = CustomReducers::default();
+        combine(Reducer::Sum, vec![RedData::I64(1), RedData::F64(1.0)], &c);
+    }
+
+    #[test]
+    fn combine_is_associative_sum() {
+        let c = CustomReducers::default();
+        // (a+b)+c == a+(b+c) — the property the tree reduction relies on.
+        let abc = combine(
+            Reducer::Sum,
+            vec![
+                combine(Reducer::Sum, vec![RedData::I64(1), RedData::I64(2)], &c),
+                RedData::I64(3),
+            ],
+            &c,
+        );
+        let abc2 = combine(
+            Reducer::Sum,
+            vec![
+                RedData::I64(1),
+                combine(Reducer::Sum, vec![RedData::I64(2), RedData::I64(3)], &c),
+            ],
+            &c,
+        );
+        assert_eq!(abc, abc2);
+    }
+}

@@ -1,0 +1,470 @@
+//! Runtime configuration, the two execution backends and the run report.
+//!
+//! `charm.start(main)` in CharmPy becomes:
+//!
+//! ```no_run
+//! use charm_core::prelude::*;
+//! let report = Runtime::new(4).run(|co| {
+//!     println!("hello from PE {}", co.ctx().my_pe());
+//!     co.ctx().exit();
+//! });
+//! # let _ = report;
+//! ```
+//!
+//! Two backends share every line of model semantics and differ only in how
+//! PEs are driven:
+//!
+//! * [`Backend::Threads`] — one OS thread per PE, crossbeam channels as the
+//!   interconnect. The "real" runtime for multicore hosts.
+//! * [`Backend::Sim`] — all PEs multiplexed on a deterministic virtual-time
+//!   event loop, with message delays from a [`MachineModel`]. This is the
+//!   substitution for the paper's Blue Waters/Cori testbeds: handler
+//!   execution is metered and charged to per-PE virtual clocks, so parallel
+//!   performance (the figures) is read off virtual time.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use charm_sim::{EventQueue, MachineModel, VTime};
+use charm_wire::Codec;
+
+use crate::chare::{Chare, MsgGuard, MsgGuards, Registry};
+use crate::collections::{Placement, Placements};
+use crate::coro::{install_quiet_shutdown_hook, run_coroutine, Co};
+use crate::ctx::Ctx;
+use crate::ids::Pe;
+use crate::lb::LbStrategy;
+use crate::msg::{EnvKind, Envelope};
+use crate::pe::{Counters, PeState, SchedCfg};
+use crate::reduction::{CustomReducers, RedData, Reducer};
+use crate::tree::TreeShape;
+
+/// How PEs execute.
+#[derive(Clone)]
+pub enum Backend {
+    /// One OS thread per PE (real parallel execution).
+    Threads,
+    /// Deterministic virtual-time simulation under the given machine model.
+    Sim(MachineModel),
+}
+
+/// How entry methods dispatch and serialize — the Charm++-vs-CharmPy axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Static dispatch, compact codec (the Charm++/C++ analog).
+    Native,
+    /// Self-describing pickle codec plus a modeled interpreter overhead
+    /// per delivery (the CharmPy/Python analog).
+    Dynamic,
+}
+
+/// The built-in chare hosting the `main` entry coroutine on PE 0.
+pub struct Main;
+
+impl Chare for Main {
+    type Msg = ();
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Main {
+        Main
+    }
+    fn receive(&mut self, _: (), _: &mut Ctx) {}
+}
+
+/// Aggregate results of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Host wall-clock duration of the run.
+    pub wall: Duration,
+    /// Application time: the virtual-time makespan (max PE clock) under the
+    /// sim backend, wall time under threads.
+    pub time: Duration,
+    /// Application + runtime messages handled.
+    pub msgs: u64,
+    /// Cross-PE payload bytes moved.
+    pub bytes: u64,
+    /// Entry methods (incl. reduction deliveries) executed.
+    pub entries: u64,
+    /// Chare migrations performed.
+    pub migrations: u64,
+    /// Load-balancing epochs completed.
+    pub lb_epochs: u64,
+    /// Whether the run ended via `exit()` (vs. running out of messages).
+    pub clean_exit: bool,
+}
+
+/// Builder/launcher for a charm-rs application.
+pub struct Runtime {
+    npes: usize,
+    backend: Backend,
+    dispatch: DispatchMode,
+    same_pe_byref: bool,
+    meter: bool,
+    compute_scale: f64,
+    tree: TreeShape,
+    lb: Option<Arc<dyn LbStrategy>>,
+    idle_timeout: Duration,
+    registry: Registry,
+    reducers: CustomReducers,
+    placements: Placements,
+    restore_dir: Option<std::path::PathBuf>,
+    msg_guards: MsgGuards,
+}
+
+impl Runtime {
+    /// A runtime with `npes` PEs on the threaded backend, native dispatch.
+    pub fn new(npes: usize) -> Runtime {
+        assert!(npes >= 1, "need at least one PE");
+        Runtime {
+            npes,
+            backend: Backend::Threads,
+            dispatch: DispatchMode::Native,
+            same_pe_byref: true,
+            meter: true,
+            compute_scale: 1.0,
+            tree: TreeShape::default(),
+            lb: None,
+            idle_timeout: Duration::from_secs(30),
+            registry: Registry::default(),
+            reducers: CustomReducers::default(),
+            placements: Placements::default(),
+            restore_dir: None,
+            msg_guards: MsgGuards::default(),
+        }
+    }
+
+    /// Number of PEs this runtime will drive.
+    pub fn npes(&self) -> usize {
+        self.npes
+    }
+
+    /// The configured dispatch mode (and therefore the active wire codec).
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    /// Select the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for the simulated backend.
+    pub fn simulated(self, model: MachineModel) -> Self {
+        self.backend(Backend::Sim(model))
+    }
+
+    /// Select the dispatch/serialization mode.
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        self.dispatch = mode;
+        self
+    }
+
+    /// Toggle the same-PE by-reference optimization (paper §II-D) — the
+    /// ablation switch; `true` by default.
+    pub fn same_pe_byref(mut self, on: bool) -> Self {
+        self.same_pe_byref = on;
+        self
+    }
+
+    /// Sim backend: whether measured handler time is charged to the virtual
+    /// clock (`true`, default) or only explicit `ctx.charge` calls count
+    /// (`false`, for deterministic tests).
+    pub fn meter_compute(mut self, on: bool) -> Self {
+        self.meter = on;
+        self
+    }
+
+    /// Sim backend: scale measured host time by this factor to model a
+    /// slower/faster target core.
+    pub fn compute_scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0);
+        self.compute_scale = scale;
+        self
+    }
+
+    /// Spanning-tree shape for broadcasts/reductions (§IV-D).
+    pub fn tree(mut self, tree: TreeShape) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Install a load-balancing strategy (enables at-sync LB).
+    pub fn lb_strategy(mut self, lb: Arc<dyn LbStrategy>) -> Self {
+        self.lb = Some(lb);
+        self
+    }
+
+    /// Threaded backend: how long a PE may sit idle before the run is
+    /// declared hung (test safety net).
+    pub fn idle_timeout(mut self, t: Duration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+
+    /// Register a chare type (every type used must be registered).
+    pub fn register<T: Chare>(mut self) -> Self {
+        self.registry.register::<T>();
+        self
+    }
+
+    /// Register a *migratable* chare type (state must be serde-able).
+    pub fn register_migratable<T: Chare + serde::Serialize + serde::de::DeserializeOwned>(
+        mut self,
+    ) -> Self {
+        self.registry.register_migratable::<T>();
+        self
+    }
+
+    /// Register a custom reducer (CharmPy's `Reducer.addReducer`).
+    pub fn add_reducer(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(Vec<RedData>) -> RedData + Send + Sync + 'static,
+    ) -> Reducer {
+        self.reducers.register(name, f)
+    }
+
+    /// Register a per-message when-condition for chare type `T` (the
+    /// sender-side conditions of paper §II-E): messages sent with
+    /// `Proxy::send_when(msg, guard)` are buffered at the receiver until
+    /// `pred(chare, msg)` holds.
+    pub fn add_msg_guard<T: Chare>(
+        &mut self,
+        pred: impl Fn(&T, &T::Msg) -> bool + Send + Sync + 'static,
+    ) -> MsgGuard {
+        self.msg_guards.register::<T>(pred)
+    }
+
+    /// Register a custom placement function (CharmPy's `ArrayMap`).
+    pub fn add_placement(
+        &mut self,
+        f: impl Fn(&crate::ids::Index, usize) -> Pe + Send + Sync + 'static,
+    ) -> Placement {
+        self.placements.register(f)
+    }
+
+    /// Start the runtime from a checkpoint written by `Ctx::checkpoint`:
+    /// collections and chares are restored (redistributed by placement if
+    /// the PE count changed) before `entry` runs; `entry` re-kicks the
+    /// application, e.g. by re-broadcasting its start message.
+    pub fn run_restored(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        entry: impl FnOnce(&mut Co<Main>) + Send + 'static,
+    ) -> RunReport {
+        self.restore_dir = Some(dir.into());
+        self.run(entry)
+    }
+
+    /// Start the runtime: `entry` runs as an automatically-threaded main
+    /// coroutine on PE 0 (paper §II-B). Returns when `exit()` is called (or,
+    /// under sim, when no messages remain).
+    pub fn run(mut self, entry: impl FnOnce(&mut Co<Main>) + Send + 'static) -> RunReport {
+        install_quiet_shutdown_hook();
+        self.registry.register::<Main>();
+        let codec = match self.dispatch {
+            DispatchMode::Native => Codec::Fast,
+            DispatchMode::Dynamic => Codec::Pickle,
+        };
+        let (is_sim, sim_model) = match &self.backend {
+            Backend::Threads => (false, None),
+            Backend::Sim(m) => (true, Some(m.clone())),
+        };
+        let restore_dir = self.restore_dir.take();
+        let cfg = Arc::new(SchedCfg {
+            codec,
+            dynamic: self.dispatch == DispatchMode::Dynamic,
+            same_pe_byref: self.same_pe_byref,
+            tree: self.tree,
+            lb: self.lb.clone(),
+            meter: self.meter,
+            compute_scale: self.compute_scale,
+            sim_model: sim_model.clone(),
+            is_sim,
+            restore_dir,
+            msg_guards: Arc::new(self.msg_guards.clone()),
+        });
+        let registry = Arc::new(std::mem::take(&mut self.registry));
+        let placements = Arc::new(self.placements.clone());
+        let reducers = Arc::new(self.reducers.clone());
+        let entry_fn: crate::pe::CoroLauncher =
+            Box::new(move |side| run_coroutine::<Main>(side, entry));
+
+        let start = Instant::now();
+        let mk_pe = |pe: Pe, entry: Option<crate::pe::CoroLauncher>| {
+            PeState::new(
+                pe,
+                self.npes,
+                Arc::clone(&cfg),
+                Arc::clone(&registry),
+                Arc::clone(&placements),
+                Arc::clone(&reducers),
+                start,
+                entry,
+            )
+        };
+
+        match self.backend {
+            Backend::Threads => run_threads(self.npes, self.idle_timeout, mk_pe, entry_fn, start),
+            Backend::Sim(model) => run_sim(self.npes, model, mk_pe, entry_fn, start),
+        }
+    }
+}
+
+fn run_threads(
+    npes: usize,
+    idle_timeout: Duration,
+    mk_pe: impl Fn(Pe, Option<crate::pe::CoroLauncher>) -> PeState,
+    entry_fn: crate::pe::CoroLauncher,
+    start: Instant,
+) -> RunReport {
+    use crossbeam::channel;
+
+    let mut senders = Vec::with_capacity(npes);
+    let mut receivers = Vec::with_capacity(npes);
+    for _ in 0..npes {
+        let (tx, rx) = channel::unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    senders[0]
+        .send(Envelope {
+            src: 0,
+            kind: EnvKind::Bootstrap,
+        })
+        .expect("bootstrap send failed");
+
+    let mut entry_slot = Some(entry_fn);
+    let handles: Vec<_> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(pe, rx)| {
+            let mut state = mk_pe(pe, if pe == 0 { entry_slot.take() } else { None });
+            let senders = senders.clone();
+            std::thread::Builder::new()
+                .name(format!("pe-{pe}"))
+                .spawn(move || {
+                    loop {
+                        let env = match rx.recv_timeout(idle_timeout) {
+                            Ok(env) => env,
+                            Err(channel::RecvTimeoutError::Timeout) => {
+                                panic!(
+                                    "PE {pe} idle for {idle_timeout:?} — application hang?"
+                                );
+                            }
+                            Err(channel::RecvTimeoutError::Disconnected) => break,
+                        };
+                        state.handle(env);
+                        for (dst, env) in state.outbox.drain(..) {
+                            // A send failing means the destination already
+                            // exited — the message is moot.
+                            let _ = senders[dst].send(env);
+                        }
+                        if state.exited {
+                            break;
+                        }
+                    }
+                    (state.counters, state.lb_epochs())
+                })
+                .expect("failed to spawn PE thread")
+        })
+        .collect();
+
+    let mut counters = Counters::default();
+    let mut lb_epochs = 0;
+    let clean = true;
+    for h in handles {
+        match h.join() {
+            Ok((c, lb)) => {
+                counters.sent += c.sent;
+                counters.processed += c.processed;
+                counters.bytes += c.bytes;
+                counters.entries += c.entries;
+                counters.migrations += c.migrations;
+                lb_epochs += lb;
+            }
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    let wall = start.elapsed();
+    RunReport {
+        wall,
+        time: wall,
+        msgs: counters.processed,
+        bytes: counters.bytes,
+        entries: counters.entries,
+        migrations: counters.migrations,
+        lb_epochs,
+        clean_exit: clean,
+    }
+}
+
+fn run_sim(
+    npes: usize,
+    model: MachineModel,
+    mk_pe: impl Fn(Pe, Option<crate::pe::CoroLauncher>) -> PeState,
+    entry_fn: crate::pe::CoroLauncher,
+    start: Instant,
+) -> RunReport {
+    let mut entry_slot = Some(entry_fn);
+    let mut pes: Vec<PeState> = (0..npes)
+        .map(|pe| mk_pe(pe, if pe == 0 { entry_slot.take() } else { None }))
+        .collect();
+    let mut events: EventQueue<(Pe, Envelope)> = EventQueue::new();
+    events.push(
+        VTime::ZERO,
+        (
+            0,
+            Envelope {
+                src: 0,
+                kind: EnvKind::Bootstrap,
+            },
+        ),
+    );
+
+    let mut clean_exit = false;
+    while let Some((t, (pe, env))) = events.pop() {
+        let state = &mut pes[pe];
+        state.clock_ns = state.clock_ns.max(t.as_nanos());
+        state.handle(env);
+        state.clock_ns += std::mem::take(&mut state.event_work_ns);
+        let now = state.clock_ns;
+        let outbox: Vec<(Pe, Envelope)> = state.outbox.drain(..).collect();
+        let exited = state.exited;
+        for (dst, env) in outbox {
+            let delay = model.msg_delay(pe, dst, env.kind.size_hint());
+            events.push(VTime::from_nanos(now) + delay, (dst, env));
+        }
+        if exited {
+            clean_exit = true;
+            break;
+        }
+    }
+
+    if !clean_exit {
+        eprintln!("charm-rs sim: event queue drained without exit() — stalled state:");
+        for p in &pes {
+            p.debug_dump();
+        }
+    }
+    let makespan = pes.iter().map(|p| p.clock_ns).max().unwrap_or(0);
+    let mut counters = Counters::default();
+    for p in &pes {
+        counters.sent += p.counters.sent;
+        counters.processed += p.counters.processed;
+        counters.bytes += p.counters.bytes;
+        counters.entries += p.counters.entries;
+        counters.migrations += p.counters.migrations;
+    }
+    let lb_epochs = pes[0].lb_epochs();
+    RunReport {
+        wall: start.elapsed(),
+        time: Duration::from_nanos(makespan),
+        msgs: counters.processed,
+        bytes: counters.bytes,
+        entries: counters.entries,
+        migrations: counters.migrations,
+        lb_epochs,
+        clean_exit,
+    }
+}

@@ -1,0 +1,216 @@
+//! PE spanning trees for broadcasts and reductions.
+//!
+//! Charm++ performs collective operations over topology-aware spanning
+//! trees (paper §IV-D). Two shapes are provided: a plain k-ary tree over PE
+//! numbers, and a node-aware two-level tree in which PEs sharing a node
+//! first reduce to a node leader and leaders form a k-ary tree — cutting
+//! off-node traffic roughly by the node width. The benches compare both.
+
+use crate::ids::Pe;
+
+/// Shape of the collective spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Branching factor of the (leader) tree. Must be ≥ 1.
+    pub arity: usize,
+    /// `Some(cpn)` builds the node-aware two-level tree with `cpn` PEs per
+    /// node; `None` builds a flat k-ary tree over all PEs.
+    pub cores_per_node: Option<usize>,
+}
+
+impl Default for TreeShape {
+    fn default() -> Self {
+        TreeShape {
+            arity: 4,
+            cores_per_node: None,
+        }
+    }
+}
+
+impl TreeShape {
+    /// Relabel `pe` so the tree is rooted at `root`.
+    #[inline]
+    fn rel(pe: Pe, root: Pe, npes: usize) -> usize {
+        (pe + npes - root) % npes
+    }
+    #[inline]
+    fn unrel(r: usize, root: Pe, npes: usize) -> Pe {
+        (r + root) % npes
+    }
+
+    /// Parent of `pe` in the tree rooted at `root`, or `None` for the root.
+    pub fn parent(&self, pe: Pe, root: Pe, npes: usize) -> Option<Pe> {
+        assert!(pe < npes && root < npes);
+        if pe == root {
+            return None;
+        }
+        match self.cores_per_node {
+            None => {
+                let r = Self::rel(pe, root, npes);
+                Some(Self::unrel((r - 1) / self.arity.max(1), root, npes))
+            }
+            Some(cpn) => {
+                let cpn = cpn.max(1);
+                let r = Self::rel(pe, root, npes);
+                let (node, lane) = (r / cpn, r % cpn);
+                if lane != 0 {
+                    // Non-leader: parent is this node's leader.
+                    Some(Self::unrel(node * cpn, root, npes))
+                } else {
+                    // Node leader: parent is the previous node's leader.
+                    let pnode = (node - 1) / self.arity.max(1);
+                    Some(Self::unrel(pnode * cpn, root, npes))
+                }
+            }
+        }
+    }
+
+    /// Children of `pe` in the tree rooted at `root`.
+    pub fn children(&self, pe: Pe, root: Pe, npes: usize) -> Vec<Pe> {
+        assert!(pe < npes && root < npes);
+        let r = Self::rel(pe, root, npes);
+        let mut out = Vec::new();
+        match self.cores_per_node {
+            None => {
+                let k = self.arity.max(1);
+                for c in (k * r + 1)..=(k * r + k) {
+                    if c < npes {
+                        out.push(Self::unrel(c, root, npes));
+                    }
+                }
+            }
+            Some(cpn) => {
+                let cpn = cpn.max(1);
+                let k = self.arity.max(1);
+                let (node, lane) = (r / cpn, r % cpn);
+                if lane == 0 {
+                    // Leader: local lanes plus child-node leaders.
+                    for l in 1..cpn {
+                        let c = node * cpn + l;
+                        if c < npes {
+                            out.push(Self::unrel(c, root, npes));
+                        }
+                    }
+                    let nnodes = npes.div_ceil(cpn);
+                    for cn in (k * node + 1)..=(k * node + k) {
+                        if cn < nnodes {
+                            let c = cn * cpn;
+                            if c < npes {
+                                out.push(Self::unrel(c, root, npes));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of PEs in the subtree rooted at `pe` (including itself).
+    pub fn subtree_size(&self, pe: Pe, root: Pe, npes: usize) -> usize {
+        1 + self
+            .children(pe, root, npes)
+            .iter()
+            .map(|&c| self.subtree_size(c, root, npes))
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tree(shape: TreeShape, root: Pe, npes: usize) {
+        // Every non-root PE has exactly one parent, parent/children agree,
+        // and the tree spans all PEs.
+        for pe in 0..npes {
+            let parent = shape.parent(pe, root, npes);
+            if pe == root {
+                assert_eq!(parent, None);
+            } else {
+                let p = parent.expect("non-root must have a parent");
+                assert!(
+                    shape.children(p, root, npes).contains(&pe),
+                    "pe {pe} not among children of its parent {p}"
+                );
+            }
+            for c in shape.children(pe, root, npes) {
+                assert_eq!(shape.parent(c, root, npes), Some(pe));
+            }
+        }
+        assert_eq!(shape.subtree_size(root, root, npes), npes);
+    }
+
+    #[test]
+    fn kary_trees_span() {
+        for arity in [1, 2, 3, 4, 8] {
+            for npes in [1, 2, 5, 16, 33] {
+                for root in [0, npes / 2, npes - 1] {
+                    check_tree(
+                        TreeShape {
+                            arity,
+                            cores_per_node: None,
+                        },
+                        root,
+                        npes,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_aware_trees_span() {
+        for cpn in [1, 2, 4, 8] {
+            for npes in [1, 3, 8, 17, 64] {
+                for root in [0, npes - 1] {
+                    check_tree(
+                        TreeShape {
+                            arity: 2,
+                            cores_per_node: Some(cpn),
+                        },
+                        root,
+                        npes,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let t = TreeShape {
+            arity: 2,
+            cores_per_node: None,
+        };
+        assert_eq!(t.children(0, 0, 7), vec![1, 2]);
+        assert_eq!(t.children(1, 0, 7), vec![3, 4]);
+        assert_eq!(t.children(2, 0, 7), vec![5, 6]);
+        assert_eq!(t.parent(6, 0, 7), Some(2));
+    }
+
+    #[test]
+    fn node_aware_keeps_lanes_under_leader() {
+        let t = TreeShape {
+            arity: 2,
+            cores_per_node: Some(4),
+        };
+        // Rooted at 0: PEs 1,2,3 hang off leader 0; leaders 4 and 8 are
+        // child-node leaders of node 0.
+        let kids = t.children(0, 0, 16);
+        assert!(kids.contains(&1) && kids.contains(&2) && kids.contains(&3));
+        assert!(kids.contains(&4) && kids.contains(&8));
+        assert_eq!(t.parent(5, 0, 16), Some(4));
+    }
+
+    #[test]
+    fn rooted_relabeling() {
+        let t = TreeShape {
+            arity: 4,
+            cores_per_node: None,
+        };
+        // Rooted at 3 in 5 PEs: relabeled children of root are 1..4 → PEs 4,0,1,2.
+        assert_eq!(t.parent(3, 3, 5), None);
+        assert_eq!(t.children(3, 3, 5), vec![4, 0, 1, 2]);
+    }
+}

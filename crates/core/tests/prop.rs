@@ -1,0 +1,220 @@
+//! Property-based tests of core invariants: spanning trees, placement,
+//! reduction algebra, index encoding, and simulated-backend determinism.
+
+use charm_core::prelude::*;
+use charm_core::reduction::{combine, CustomReducers};
+use charm_core::Index;
+use charm_sim::MachineModel;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Spanning trees
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trees_span_and_agree(
+        arity in 1usize..9,
+        npes in 1usize..70,
+        root_k in 0usize..1000,
+        cpn in prop::option::of(1usize..9),
+    ) {
+        let root = root_k % npes;
+        let shape = TreeShape { arity, cores_per_node: cpn };
+        // Every non-root has a parent that lists it as a child; sizes add up.
+        let mut visited = 0usize;
+        let mut stack = vec![root];
+        while let Some(pe) = stack.pop() {
+            visited += 1;
+            for c in shape.children(pe, root, npes) {
+                prop_assert_eq!(shape.parent(c, root, npes), Some(pe));
+                stack.push(c);
+            }
+        }
+        prop_assert_eq!(visited, npes, "tree must span all PEs exactly once");
+        prop_assert_eq!(shape.parent(root, root, npes), None);
+    }
+
+    // -----------------------------------------------------------------------
+    // Reduction algebra: tree combining in any grouping equals a flat fold.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn reduction_grouping_invariance(
+        values in prop::collection::vec(-1000i64..1000, 1..24),
+        split in 1usize..23,
+        op_pick in 0usize..4,
+    ) {
+        let ops = [Reducer::Sum, Reducer::Max, Reducer::Min, Reducer::Product];
+        let op = ops[op_pick];
+        let c = CustomReducers::default();
+        let flat = combine(
+            op,
+            values.iter().map(|&v| RedData::I64(v)).collect(),
+            &c,
+        );
+        // Split into two subtrees combined separately, then merged — the
+        // shape the PE tree produces.
+        let k = split.min(values.len() - 1).max(1);
+        let (a, b) = values.split_at(k.min(values.len()-1).max(1));
+        if a.is_empty() || b.is_empty() {
+            return Ok(());
+        }
+        let pa = combine(op, a.iter().map(|&v| RedData::I64(v)).collect(), &c);
+        let pb = combine(op, b.iter().map(|&v| RedData::I64(v)).collect(), &c);
+        let tree = combine(op, vec![pa, pb], &c);
+        prop_assert_eq!(flat, tree);
+    }
+
+    // -----------------------------------------------------------------------
+    // Index
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn index_roundtrips_and_orders(coords in prop::collection::vec(-1000i32..1000, 0..7)) {
+        let ix = Index::new(&coords);
+        prop_assert_eq!(ix.coords(), &coords[..]);
+        prop_assert_eq!(ix.dims(), coords.len());
+        // Serde roundtrip under both codecs.
+        for codec in [charm_wire::Codec::Fast, charm_wire::Codec::Pickle] {
+            let bytes = codec.encode(&ix).unwrap();
+            let back: Index = codec.decode(&bytes).unwrap();
+            prop_assert_eq!(back, ix);
+        }
+        // Hash is deterministic.
+        prop_assert_eq!(ix.stable_hash(), Index::new(&coords).stable_hash());
+    }
+
+    #[test]
+    fn index_ordering_is_lexicographic_on_equal_dims(
+        a in prop::collection::vec(-50i32..50, 3),
+        b in prop::collection::vec(-50i32..50, 3),
+    ) {
+        let (ia, ib) = (Index::new(&a), Index::new(&b));
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated backend determinism under a randomized (but seeded) workload
+// ---------------------------------------------------------------------------
+
+struct Chaos {
+    acc: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum ChaosMsg {
+    Kick { hops: u32, seed: u64 },
+    Tally { done: Future<RedData> },
+}
+
+impl Chare for Chaos {
+    type Msg = ChaosMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Chaos { acc: 0 }
+    }
+    fn receive(&mut self, msg: ChaosMsg, ctx: &mut Ctx) {
+        match msg {
+            ChaosMsg::Kick { hops, seed } => {
+                self.acc = self.acc.wrapping_add(seed);
+                if hops > 0 {
+                    // Pseudo-random fan-out derived from the seed only.
+                    let n = ctx.num_pes() as u64 * 4;
+                    let next = (seed.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                    let fan = 1 + (seed % 2) as u32;
+                    let me = ctx.this_proxy::<Chaos>();
+                    for k in 0..fan {
+                        me.elem((next as i32 + k as i32) % n as i32).send(
+                            ctx,
+                            ChaosMsg::Kick {
+                                hops: hops - 1,
+                                seed: seed.wrapping_add(k as u64 + 1).wrapping_mul(2654435761),
+                            },
+                        );
+                    }
+                }
+            }
+            ChaosMsg::Tally { done } => ctx.contribute(
+                RedData::I64(self.acc as i64),
+                Reducer::Sum,
+                RedTarget::Future(done.id()),
+            ),
+        }
+    }
+}
+
+fn chaos_run(seed: u64) -> (i64, u64, u64) {
+    let out = std::sync::Arc::new(std::sync::Mutex::new(0i64));
+    let out2 = std::sync::Arc::clone(&out);
+    let report = Runtime::new(4)
+        .backend(Backend::Sim(MachineModel::local(4)))
+        .meter_compute(false)
+        .register::<Chaos>()
+        .run(move |co| {
+            let arr = co.ctx().create_array::<Chaos>(&[16], ());
+            for k in 0..6 {
+                arr.elem(k).send(
+                    co.ctx(),
+                    ChaosMsg::Kick {
+                        hops: 12,
+                        seed: seed.wrapping_add(k as u64),
+                    },
+                );
+            }
+            let q = co.ctx().create_future::<()>();
+            co.ctx().start_quiescence(&q);
+            co.get(&q);
+            let done = co.ctx().create_future::<RedData>();
+            arr.send(co.ctx(), ChaosMsg::Tally { done });
+            *out2.lock().unwrap() = co.get(&done).as_i64();
+            co.ctx().exit();
+        });
+    let tally = *out.lock().unwrap();
+    (tally, report.msgs, report.bytes)
+}
+
+#[test]
+fn sim_chaos_is_bitwise_deterministic() {
+    for seed in [1u64, 0xDEADBEEF, 42] {
+        let a = chaos_run(seed);
+        let b = chaos_run(seed);
+        assert_eq!(a, b, "seed {seed}: identical runs must match exactly");
+    }
+    // Different seeds take different paths.
+    assert_ne!(chaos_run(1).0, chaos_run(2).0);
+}
+
+#[test]
+fn chaos_also_completes_on_threads_backend() {
+    // Same workload, real threads: the tally is order-independent
+    // (wrapping adds commute), so it must equal the sim result.
+    let sim_tally = chaos_run(7).0;
+    let out = std::sync::Arc::new(std::sync::Mutex::new(0i64));
+    let out2 = std::sync::Arc::clone(&out);
+    Runtime::new(4).register::<Chaos>().run(move |co| {
+        let arr = co.ctx().create_array::<Chaos>(&[16], ());
+        for k in 0..6 {
+            arr.elem(k).send(
+                co.ctx(),
+                ChaosMsg::Kick {
+                    hops: 12,
+                    seed: 7u64.wrapping_add(k as u64),
+                },
+            );
+        }
+        let q = co.ctx().create_future::<()>();
+        co.ctx().start_quiescence(&q);
+        co.get(&q);
+        let done = co.ctx().create_future::<RedData>();
+        arr.send(co.ctx(), ChaosMsg::Tally { done });
+        *out2.lock().unwrap() = co.get(&done).as_i64();
+        co.ctx().exit();
+    });
+    let thr = *out.lock().unwrap();
+    assert_eq!(thr, sim_tally, "backends must agree on the final state");
+}

@@ -1,0 +1,121 @@
+//! Property tests of the LB strategies: validity invariants and
+//! improvement guarantees over arbitrary load distributions.
+
+use charm_core::{ChareId, CollectionId, Index, LbChareStat, LbStats, LbStrategy, Pe};
+use charm_lb::{loads_after, GreedyLb, RandLb, RefineLb, RotateLb};
+use proptest::prelude::*;
+
+fn stats_from(npes: usize, chares: Vec<(Pe, u64, bool)>) -> LbStats {
+    LbStats {
+        npes,
+        chares: chares
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pe, load_us, migratable))| LbChareStat {
+                id: ChareId {
+                    coll: CollectionId { creator: 0, seq: 0 },
+                    index: Index::from(i as i32),
+                },
+                pe: pe % npes,
+                load_ns: load_us * 1_000,
+                migratable,
+            })
+            .collect(),
+    }
+}
+
+fn check_valid(stats: &LbStats, moves: &[(ChareId, Pe)]) -> Result<(), TestCaseError> {
+    let mut seen = std::collections::HashSet::new();
+    for (id, pe) in moves {
+        prop_assert!(*pe < stats.npes, "destination out of range");
+        let c = stats.chares.iter().find(|c| c.id == *id);
+        prop_assert!(c.is_some(), "moved unknown chare");
+        prop_assert!(c.unwrap().migratable, "moved pinned chare");
+        prop_assert!(seen.insert(*id), "chare moved twice");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_strategies_produce_valid_moves(
+        npes in 1usize..9,
+        chares in prop::collection::vec((0usize..8, 0u64..10_000, any::<bool>()), 0..40),
+    ) {
+        let stats = stats_from(npes, chares);
+        for strategy in [
+            &GreedyLb as &dyn LbStrategy,
+            &RefineLb::default(),
+            &RotateLb,
+            &RandLb::default(),
+        ] {
+            let moves = strategy.assign(&stats);
+            check_valid(&stats, &moves)?;
+        }
+    }
+
+    #[test]
+    fn greedy_meets_the_lpt_guarantee_with_pinned_loads(
+        npes in 2usize..9,
+        chares in prop::collection::vec((0usize..8, 1u64..10_000, any::<bool>()), 1..40),
+    ) {
+        // LPT (greedy) is a 4/3-approximation, so it may be *slightly*
+        // worse than a lucky status quo; its true guarantee is
+        //   max_after <= max(pinned_max, avg + biggest_movable).
+        let stats = stats_from(npes, chares);
+        let moves = GreedyLb.assign(&stats);
+        check_valid(&stats, &moves)?;
+        let after = loads_after(&stats, &moves);
+        let max_after = after.iter().cloned().fold(0.0f64, f64::max);
+        let total: f64 = after.iter().sum();
+        let avg = total / npes as f64;
+        let mut pinned = vec![0.0f64; npes];
+        let mut biggest_movable = 0.0f64;
+        for c in &stats.chares {
+            let l = c.load_ns as f64 / 1e9;
+            if c.migratable {
+                biggest_movable = biggest_movable.max(l);
+            } else {
+                pinned[c.pe] += l;
+            }
+        }
+        let pinned_max = pinned.iter().cloned().fold(0.0f64, f64::max);
+        let bound = (avg + biggest_movable).max(pinned_max + biggest_movable);
+        prop_assert!(max_after <= bound + 1e-9, "max {max_after} > bound {bound}");
+    }
+
+    #[test]
+    fn refine_reduces_or_keeps_max_load(
+        npes in 2usize..9,
+        chares in prop::collection::vec((0usize..8, 1u64..10_000, prop::bool::weighted(0.8)), 1..40),
+    ) {
+        let stats = stats_from(npes, chares);
+        let moves = RefineLb::default().assign(&stats);
+        check_valid(&stats, &moves)?;
+        let max_before = stats.pe_loads().iter().cloned().fold(0.0f64, f64::max);
+        let max_after = loads_after(&stats, &moves)
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        prop_assert!(max_after <= max_before + 1e-9, "{max_before} -> {max_after}");
+    }
+
+    #[test]
+    fn greedy_with_all_migratable_achieves_lpt_bound(
+        npes in 2usize..7,
+        loads in prop::collection::vec(1u64..10_000, 2..30),
+    ) {
+        // Classic LPT guarantee: max <= avg * (4/3 - 1/(3m)) ... we assert
+        // the weaker, always-true bound max <= avg + largest_job.
+        let stats = stats_from(npes, loads.iter().map(|&l| (0, l, true)).collect());
+        let moves = GreedyLb.assign(&stats);
+        let after = loads_after(&stats, &moves);
+        let total: f64 = after.iter().sum();
+        let avg = total / npes as f64;
+        let biggest = *loads.iter().max().unwrap() as f64 * 1e-6;
+        let max = after.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(max <= avg + biggest + 1e-9, "max {max}, avg {avg}, big {biggest}");
+    }
+}

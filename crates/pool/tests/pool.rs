@@ -1,0 +1,144 @@
+//! Pool semantics: ordered results, concurrent jobs, dynamic balancing of
+//! disparate task costs, job queueing when PEs are busy.
+
+use std::time::Duration;
+
+use charm_core::{Backend, Runtime};
+use charm_pool::{register_pool, register_task, PoolHandle};
+use charm_sim::MachineModel;
+
+fn rt(npes: usize, sim: bool) -> Runtime {
+    let rt = Runtime::new(npes);
+    if sim {
+        rt.backend(Backend::Sim(MachineModel::local(npes)))
+    } else {
+        rt
+    }
+}
+
+#[test]
+fn map_returns_results_in_input_order() {
+    for sim in [false, true] {
+        let square = register_task(|x: f64| x * x);
+        register_pool(rt(4, sim)).run(move |co| {
+            let pool = PoolHandle::create(co.ctx());
+            let tasks: Vec<f64> = (0..20).map(|i| i as f64).collect();
+            let job = pool.map_async(co.ctx(), square, 3, &tasks);
+            let out = job.get(co);
+            let expect: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+            assert_eq!(out, expect);
+            co.ctx().exit();
+        });
+    }
+}
+
+#[test]
+fn concurrent_jobs_like_the_paper_main() {
+    // The paper's main: two jobs launched together, both futures collected.
+    for sim in [false, true] {
+        let square = register_task(|x: i64| x * x);
+        let neg = register_task(|x: i64| -x);
+        register_pool(rt(5, sim)).run(move |co| {
+            let pool = PoolHandle::create(co.ctx());
+            let j1 = pool.map_async(co.ctx(), square, 2, &[1, 2, 3, 4, 5]);
+            let j2 = pool.map_async(co.ctx(), neg, 2, &[1, 3, 5, 7, 9]);
+            assert_eq!(j1.get(co), vec![1, 4, 9, 16, 25]);
+            assert_eq!(j2.get(co), vec![-1, -3, -5, -7, -9]);
+            co.ctx().exit();
+        });
+    }
+}
+
+#[test]
+fn string_tasks_roundtrip() {
+    let shout = register_task(|s: String| s.to_uppercase());
+    register_pool(rt(2, true)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        let job = pool.map_async(
+            co.ctx(),
+            shout,
+            1,
+            &["chare".to_string(), "proxy".to_string()],
+        );
+        assert_eq!(job.get(co), vec!["CHARE".to_string(), "PROXY".to_string()]);
+        co.ctx().exit();
+    });
+}
+
+#[test]
+fn more_tasks_than_workers_dynamic_handout() {
+    let inc = register_task(|x: u64| x + 1);
+    register_pool(rt(3, false)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        // 50 tasks on 2 worker PEs: each worker must serve many tasks.
+        let tasks: Vec<u64> = (0..50).collect();
+        let job = pool.map_async(co.ctx(), inc, 2, &tasks);
+        assert_eq!(job.get(co), (1..=50).collect::<Vec<u64>>());
+        co.ctx().exit();
+    });
+}
+
+#[test]
+fn queued_job_runs_after_first_finishes() {
+    // 2 PEs → one worker PE. The second job must wait for the first.
+    let ident = register_task(|x: u32| x);
+    register_pool(rt(2, false)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        let j1 = pool.map_async(co.ctx(), ident, 1, &[1, 2, 3]);
+        let j2 = pool.map_async(co.ctx(), ident, 1, &[4, 5]);
+        assert_eq!(j1.get(co), vec![1, 2, 3]);
+        assert_eq!(j2.get(co), vec![4, 5]);
+        co.ctx().exit();
+    });
+}
+
+#[test]
+fn single_pe_pool_still_works() {
+    let dbl = register_task(|x: i32| 2 * x);
+    register_pool(rt(1, false)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        let job = pool.map_async(co.ctx(), dbl, 1, &[7, 8]);
+        assert_eq!(job.get(co), vec![14, 16]);
+        co.ctx().exit();
+    });
+}
+
+#[test]
+fn disparate_task_costs_balance_across_workers() {
+    // Tasks sleep unevenly; with dynamic handout the wall time is near the
+    // critical path, not the sum. (Threads backend so sleeps overlap.)
+    let slow = register_task(|ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        ms
+    });
+    register_pool(rt(5, false)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        // One 80ms task and twelve 10ms tasks over 4 workers: ideal ≈ 80ms;
+        // a static split could hit 80+30 = 110ms+.
+        let mut tasks = vec![80u64];
+        tasks.extend(std::iter::repeat_n(10, 12));
+        let t0 = std::time::Instant::now();
+        let job = pool.map_async(co.ctx(), slow, 4, &tasks);
+        let out = job.get(co);
+        let elapsed = t0.elapsed();
+        assert_eq!(out.len(), 13);
+        assert!(
+            elapsed < Duration::from_millis(220),
+            "dynamic handout should be near the 80ms critical path, took {elapsed:?}"
+        );
+        co.ctx().exit();
+    });
+}
+
+#[test]
+fn submit_single_task() {
+    let cube = register_task(|x: i64| x * x * x);
+    register_pool(rt(3, true)).run(move |co| {
+        let pool = PoolHandle::create(co.ctx());
+        let a = pool.submit(co.ctx(), cube, 3);
+        let b = pool.submit(co.ctx(), cube, 4);
+        assert_eq!(a.get(co), vec![27]);
+        assert_eq!(b.get(co), vec![64]);
+        co.ctx().exit();
+    });
+}

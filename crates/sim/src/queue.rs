@@ -1,0 +1,156 @@
+//! Deterministic discrete-event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`. The sequence number breaks
+//! ties in insertion order, which makes simulation runs bit-for-bit
+//! reproducible regardless of heap internals — a property the test suites
+//! of the runtime and the mini-apps rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::VTime;
+
+struct Entry<E> {
+    time: VTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event queue with deterministic FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `t`.
+    pub fn push(&mut self, t: VTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: t, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(VTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(VTime(30), "c");
+        q.push(VTime(10), "a");
+        q.push(VTime(20), "b");
+        assert_eq!(q.pop(), Some((VTime(10), "a")));
+        assert_eq!(q.pop(), Some((VTime(20), "b")));
+        assert_eq!(q.pop(), Some((VTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(VTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((VTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(VTime(10), 1);
+        q.push(VTime(5), 0);
+        assert_eq!(q.pop(), Some((VTime(5), 0)));
+        q.push(VTime(7), 2);
+        q.push(VTime(7), 3);
+        assert_eq!(q.pop(), Some((VTime(7), 2)));
+        assert_eq!(q.pop(), Some((VTime(7), 3)));
+        assert_eq!(q.pop(), Some((VTime(10), 1)));
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(VTime(42), ());
+        q.push(VTime(13), ());
+        assert_eq!(q.peek_time(), Some(VTime(13)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(VTime(42)));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(VTime(1), ());
+        q.push(VTime(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

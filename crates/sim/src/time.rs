@@ -1,0 +1,159 @@
+//! Virtual time.
+//!
+//! The simulated backend of the runtime advances a per-PE virtual clock.
+//! `VTime` is an absolute instant in nanoseconds since simulation start;
+//! arithmetic saturates rather than wrapping so a runaway charge cannot make
+//! time go backwards.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute virtual-time instant, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    /// Simulation start.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Self {
+        VTime(us.saturating_mul(1_000))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Self {
+        VTime(ms.saturating_mul(1_000_000))
+    }
+
+    /// Construct from (possibly fractional) seconds.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        VTime((s.max(0.0) * 1e9) as u64)
+    }
+
+    /// This instant expressed in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant expressed in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> VTime {
+        VTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl Add<u64> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: u64) -> VTime {
+        VTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl AddAssign<Duration> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.as_nanos() as u64);
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: VTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(VTime::from_micros(1), VTime::from_nanos(1_000));
+        assert_eq!(VTime::from_millis(1), VTime::from_micros(1_000));
+        assert_eq!(VTime::from_secs_f64(1.0), VTime::from_millis(1_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VTime::from_micros(5) + Duration::from_micros(3);
+        assert_eq!(t.as_nanos(), 8_000);
+        assert_eq!(t - VTime::from_micros(5), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn saturating_behavior() {
+        let t = VTime(u64::MAX) + 10u64;
+        assert_eq!(t.0, u64::MAX);
+        // Subtraction below zero yields a zero duration, never a panic.
+        assert_eq!(VTime(5) - VTime(10), Duration::ZERO);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(VTime::from_secs_f64(-1.0), VTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", VTime(12)), "12ns");
+        assert_eq!(format!("{}", VTime(12_000)), "12.000us");
+        assert_eq!(format!("{}", VTime(12_000_000)), "12.000ms");
+        assert_eq!(format!("{}", VTime(1_500_000_000)), "1.500000s");
+    }
+}

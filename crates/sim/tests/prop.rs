@@ -1,0 +1,80 @@
+//! Property tests of the simulation substrate: event-queue ordering and
+//! topology metric laws.
+
+use charm_sim::{EventQueue, MachineModel, Topology, VTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn queue_pops_sorted_stable(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(VTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Sorted by time, FIFO within equal times.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "ties must pop in insertion order");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_hops_is_a_metric(
+        dims in (1usize..6, 1usize..6, 1usize..6),
+        a in 0usize..200,
+        b in 0usize..200,
+        c in 0usize..200,
+    ) {
+        let t = Topology::Torus3D { dims: [dims.0, dims.1, dims.2] };
+        let n = dims.0 * dims.1 * dims.2;
+        let (a, b, c) = (a % n, b % n, c % n);
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(t.hops(a, a), 0);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        if a != b {
+            prop_assert!(t.hops(a, b) >= 1);
+        }
+    }
+
+    #[test]
+    fn dragonfly_hops_is_a_metric(
+        group in 1usize..12,
+        a in 0usize..500,
+        b in 0usize..500,
+        c in 0usize..500,
+    ) {
+        let t = Topology::Dragonfly { group_size: group };
+        prop_assert_eq!(t.hops(a, a), 0);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    #[test]
+    fn msg_delay_monotone_in_size(
+        src in 0usize..64,
+        dst in 0usize..64,
+        s1 in 0usize..100_000,
+        s2 in 0usize..100_000,
+    ) {
+        let m = MachineModel::bluewaters(8);
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        prop_assert!(m.msg_delay(src, dst, lo) <= m.msg_delay(src, dst, hi));
+    }
+
+    #[test]
+    fn dynamic_overhead_monotone(bytes1 in 0usize..1_000_000, bytes2 in 0usize..1_000_000) {
+        let m = MachineModel::cori_knl();
+        let (lo, hi) = (bytes1.min(bytes2), bytes1.max(bytes2));
+        prop_assert!(m.dynamic_overhead(lo) <= m.dynamic_overhead(hi));
+    }
+}

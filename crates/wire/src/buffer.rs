@@ -1,0 +1,197 @@
+//! Zero-copy contiguous numeric buffers — the NumPy-array fast path.
+//!
+//! CharmPy bypasses pickle for NumPy arrays: their contiguous memory is
+//! copied directly into the message and rebuilt from metadata at the
+//! destination (paper §IV-B). [`Buf<T>`] is the equivalent here: a typed
+//! contiguous array that serializes as one raw byte block in *both* codecs,
+//! so even the pickle (dynamic-dispatch) path moves bulk data at memcpy
+//! speed. Application critical paths should carry their grids/particles in
+//! `Buf<T>`, exactly as the paper recommends NumPy arrays.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use serde::de::{self, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain-old-data scalars that may be reinterpreted as raw bytes.
+///
+/// Sealed: implemented only for primitive numeric types with no padding and
+/// no invalid bit patterns. The wire format is the machine representation of
+/// the elements (little-endian on all supported targets).
+pub trait Scalar: sealed::Sealed + Copy + Default + Send + Sync + 'static {}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {
+        $(impl sealed::Sealed for $t {}
+          impl Scalar for $t {})*
+    };
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+// The raw-bytes representation assumes little-endian layout; all tier-1 Rust
+// targets and every machine in the paper's evaluation are little-endian.
+#[cfg(target_endian = "big")]
+compile_error!("charm-wire Buf<T> requires a little-endian target");
+
+/// A contiguous typed buffer with a zero-copy wire representation.
+///
+/// Dereferences to `[T]`, so it can be used like a `Vec<T>` for computation.
+#[derive(Clone, PartialEq, Default)]
+pub struct Buf<T: Scalar> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Buf<T> {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Buf { data: Vec::new() }
+    }
+
+    /// Create a zero-filled buffer of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        Buf {
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Wrap an existing vector without copying.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Buf { data }
+    }
+
+    /// Consume the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// View the elements as raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        let ptr = self.data.as_ptr() as *const u8;
+        let len = self.data.len() * std::mem::size_of::<T>();
+        // SAFETY: `T: Scalar` is sealed to padding-free POD primitives, so
+        // every byte of the element storage is initialized, and the
+        // reinterpreted length covers exactly the initialized prefix.
+        unsafe { std::slice::from_raw_parts(ptr, len) }
+    }
+
+    /// Rebuild a buffer from raw bytes produced by [`Buf::as_bytes`].
+    ///
+    /// Returns `None` if `bytes` is not a whole number of elements.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let esz = std::mem::size_of::<T>();
+        if !bytes.len().is_multiple_of(esz) {
+            return None;
+        }
+        let len = bytes.len() / esz;
+        let mut data: Vec<T> = Vec::with_capacity(len);
+        // SAFETY: the destination has capacity for `len` elements; the source
+        // holds `len * size_of::<T>()` bytes; `T` is POD so any bit pattern
+        // is a valid value; regions cannot overlap (fresh allocation).
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), data.as_mut_ptr() as *mut u8, bytes.len());
+            data.set_len(len);
+        }
+        Some(Buf { data })
+    }
+}
+
+impl<T: Scalar> From<Vec<T>> for Buf<T> {
+    fn from(data: Vec<T>) -> Self {
+        Buf { data }
+    }
+}
+
+impl<T: Scalar> Deref for Buf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Scalar> DerefMut for Buf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Scalar + fmt::Debug> fmt::Debug for Buf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buf(len={})", self.data.len())?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", &self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> Serialize for Buf<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self.as_bytes())
+    }
+}
+
+struct BufVisitor<T: Scalar>(std::marker::PhantomData<T>);
+
+impl<'de, T: Scalar> Visitor<'de> for BufVisitor<T> {
+    type Value = Buf<T>;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a raw byte block holding Buf elements")
+    }
+    fn visit_bytes<E: de::Error>(self, v: &[u8]) -> Result<Buf<T>, E> {
+        Buf::from_bytes(v)
+            .ok_or_else(|| E::custom(format!("byte block of {} not element-aligned", v.len())))
+    }
+    fn visit_borrowed_bytes<E: de::Error>(self, v: &'de [u8]) -> Result<Buf<T>, E> {
+        self.visit_bytes(v)
+    }
+    fn visit_byte_buf<E: de::Error>(self, v: Vec<u8>) -> Result<Buf<T>, E> {
+        self.visit_bytes(&v)
+    }
+}
+
+impl<'de, T: Scalar> Deserialize<'de> for Buf<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bytes(BufVisitor(std::marker::PhantomData))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_f64() {
+        let b = Buf::from_vec(vec![1.5f64, -2.25, 0.0, f64::MAX]);
+        let raw = b.as_bytes().to_vec();
+        assert_eq!(raw.len(), 32);
+        let back: Buf<f64> = Buf::from_bytes(&raw).unwrap();
+        assert_eq!(&*back, &*b);
+    }
+
+    #[test]
+    fn misaligned_length_rejected() {
+        assert!(Buf::<f64>::from_bytes(&[0u8; 9]).is_none());
+        assert!(Buf::<u32>::from_bytes(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b: Buf<f32> = Buf::new();
+        assert_eq!(b.as_bytes().len(), 0);
+        let back: Buf<f32> = Buf::from_bytes(&[]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn deref_mutation() {
+        let mut b = Buf::<i32>::zeros(4);
+        b[2] = 7;
+        assert_eq!(b.into_vec(), vec![0, 0, 7, 0]);
+    }
+}

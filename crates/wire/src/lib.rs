@@ -1,0 +1,64 @@
+//! # charm-wire — serialization substrate for charm-rs
+//!
+//! Two complete serde binary codecs model the two serialization regimes of
+//! the CharmPy paper (§IV-B):
+//!
+//! * [`fast`] — compact, schema-static. The analog of Charm++'s native
+//!   message packing: no field names, no tags, enum variants by index.
+//! * [`pickle`] — self-describing and name-carrying. The analog of Python
+//!   pickle, used by the runtime's dynamic-dispatch (CharmPy-like) mode.
+//!
+//! [`Buf<T>`](buffer::Buf) provides the NumPy-array fast path: a contiguous
+//! numeric buffer that serializes as a single raw byte block under *both*
+//! codecs, bypassing per-element work entirely.
+
+pub mod buffer;
+pub mod error;
+pub mod fast;
+pub mod pickle;
+pub mod varint;
+
+pub use buffer::{Buf, Scalar};
+pub use error::{Result, WireError};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Which wire format to use for a message.
+///
+/// The runtime selects this from its dispatch mode: `Native` dispatch uses
+/// `Fast`, `Dynamic` (CharmPy-like) dispatch uses `Pickle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Codec {
+    /// Compact schema-static format (Charm++-analog).
+    #[default]
+    Fast,
+    /// Self-describing tagged format (pickle-analog).
+    Pickle,
+}
+
+impl Codec {
+    /// Encode `value` under this codec.
+    pub fn encode<T: Serialize + ?Sized>(self, value: &T) -> Result<Vec<u8>> {
+        match self {
+            Codec::Fast => fast::to_bytes(value),
+            Codec::Pickle => pickle::to_bytes(value),
+        }
+    }
+
+    /// Encode `value` under this codec, appending to `out`.
+    pub fn encode_into<T: Serialize + ?Sized>(self, out: &mut Vec<u8>, value: &T) -> Result<()> {
+        match self {
+            Codec::Fast => fast::to_writer(out, value),
+            Codec::Pickle => pickle::to_writer(out, value),
+        }
+    }
+
+    /// Decode a `T` from `bytes` under this codec, consuming all input.
+    pub fn decode<T: DeserializeOwned>(self, bytes: &[u8]) -> Result<T> {
+        match self {
+            Codec::Fast => fast::from_bytes(bytes),
+            Codec::Pickle => pickle::from_bytes(bytes),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Both codecs store lengths and most integers as varints: small values
+//! dominate message headers, so this keeps the common envelope a handful of
+//! bytes, matching Charm++'s compact headers.
+
+use crate::error::{Result, WireError};
+
+/// Maximum encoded size of a `u64` varint (10 bytes of 7 payload bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `v` to `out` in LEB128 form.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 `u64` from the front of `buf`, returning the value and
+/// the number of bytes consumed.
+#[inline]
+pub fn read_u64(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(WireError::VarintOverflow);
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute one bit.
+        if shift == 63 && payload > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(WireError::Eof)
+}
+
+/// Map a signed integer onto an unsigned one so small magnitudes encode small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_values() {
+        for &v in &[
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (got, used) = read_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        for v in 0..=127u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v} should fit one byte");
+        }
+    }
+
+    #[test]
+    fn max_value_is_ten_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn eof_on_truncated_input() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1u64 << 40);
+        buf.pop();
+        assert_eq!(read_u64(&buf), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn overflow_on_eleven_continuations() {
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn overflow_on_tenth_byte_too_large() {
+        // Nine continuation bytes then a final byte with more than 1 bit set.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert_eq!(read_u64(&buf), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for &v in &[0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123456789, 987654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_encode_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(2), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests: arbitrary values roundtrip through both codecs,
+//! and arbitrary byte soup never panics the decoders.
+
+use charm_wire::{Buf, Codec};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum ArbMsg {
+    Unit,
+    Num(i64),
+    Float(f64),
+    Text(String),
+    List(Vec<ArbMsg>),
+    Record { id: u32, payload: Vec<u8>, flag: bool },
+    Table(BTreeMap<String, i32>),
+    Opt(Option<Box<ArbMsg>>),
+}
+
+fn arb_msg() -> impl Strategy<Value = ArbMsg> {
+    let leaf = prop_oneof![
+        Just(ArbMsg::Unit),
+        any::<i64>().prop_map(ArbMsg::Num),
+        // Avoid NaN: PartialEq comparison would fail spuriously.
+        prop::num::f64::NORMAL.prop_map(ArbMsg::Float),
+        ".{0,24}".prop_map(ArbMsg::Text),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..32), any::<bool>())
+            .prop_map(|(id, payload, flag)| ArbMsg::Record { id, payload, flag }),
+        prop::collection::btree_map("[a-z]{0,6}", any::<i32>(), 0..6).prop_map(ArbMsg::Table),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(ArbMsg::List),
+            prop::option::of(inner.prop_map(Box::new)).prop_map(ArbMsg::Opt),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_fast(msg in arb_msg()) {
+        let bytes = Codec::Fast.encode(&msg).unwrap();
+        let back: ArbMsg = Codec::Fast.decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn roundtrip_pickle(msg in arb_msg()) {
+        let bytes = Codec::Pickle.encode(&msg).unwrap();
+        let back: ArbMsg = Codec::Pickle.decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn fast_never_larger_than_pickle(msg in arb_msg()) {
+        let f = Codec::Fast.encode(&msg).unwrap();
+        let p = Codec::Pickle.encode(&msg).unwrap();
+        prop_assert!(f.len() <= p.len(),
+            "fast {} > pickle {} for {:?}", f.len(), p.len(), msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage_fast(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Codec::Fast.decode::<ArbMsg>(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage_pickle(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Codec::Pickle.decode::<ArbMsg>(&bytes);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        charm_wire::varint::write_u64(&mut buf, v);
+        let (got, used) = charm_wire::varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(charm_wire::varint::unzigzag(charm_wire::varint::zigzag(v)), v);
+    }
+
+    #[test]
+    fn buf_roundtrip(v in prop::collection::vec(prop::num::f64::NORMAL, 0..128)) {
+        let b = Buf::from_vec(v.clone());
+        for codec in [Codec::Fast, Codec::Pickle] {
+            let bytes = codec.encode(&b).unwrap();
+            let back: Buf<f64> = codec.decode(&bytes).unwrap();
+            prop_assert_eq!(&*back, &v[..]);
+        }
+    }
+}
