@@ -599,34 +599,49 @@ impl PeState {
     fn decode_payload(&mut self, id: &ChareId, payload: Payload) -> BoxMsg {
         match payload {
             Payload::Local(b) => b,
-            Payload::Wire(bytes) => {
-                let decode_msg = {
-                    let cs = self
-                        .colls
-                        .get(&id.coll)
-                        .expect("decode for unknown collection");
-                    self.registry.vtable(cs.spec.ctype).decode_msg
-                };
-                // Dynamic dispatch (CharmPy mode): the measured Rust cost of
-                // the pickle codec runs for real; the interpreter premium is
-                // charged from the machine model (sim backend only).
-                if self.cfg.dynamic {
-                    if let Some(model) = self.cfg.sim_model.clone() {
-                        let ns = model.dynamic_overhead(bytes.len()).as_nanos() as u64;
-                        self.charge_work(ns, Some(id));
-                    }
-                }
-                let codec = self.cfg.codec;
-                self.metered(Some(*id), move || {
-                    decode_msg(codec, &bytes)
-                        .unwrap_or_else(|e| panic!("entry message decode failed: {e}"))
-                })
-            }
+            Payload::Wire(bytes) => self.decode_wire(id, &bytes),
         }
     }
 
+    /// Decode a serialized entry message for `id` straight from a borrowed
+    /// buffer. Taking `&[u8]` (not an owned buffer) is the point: fan-out
+    /// payloads are owned once by the sender's shared buffer and every
+    /// local member decodes from that borrow.
+    fn decode_wire(&mut self, id: &ChareId, bytes: &[u8]) -> BoxMsg {
+        let decode_msg = {
+            let cs = self
+                .colls
+                .get(&id.coll)
+                .expect("decode for unknown collection");
+            self.registry.vtable(cs.spec.ctype).decode_msg
+        };
+        // Dynamic dispatch (CharmPy mode): the measured Rust cost of
+        // the pickle codec runs for real; the interpreter premium is
+        // charged from the machine model (sim backend only).
+        if self.cfg.dynamic {
+            if let Some(model) = self.cfg.sim_model.clone() {
+                let ns = model.dynamic_overhead(bytes.len()).as_nanos() as u64;
+                self.charge_work(ns, Some(id));
+            }
+        }
+        let codec = self.cfg.codec;
+        self.metered(Some(*id), move || {
+            decode_msg(codec, bytes)
+                .unwrap_or_else(|e| panic!("entry message decode failed: {e}"))
+        })
+    }
+
+    /// Same-PE delivery of a shared broadcast/multicast payload.
+    ///
+    /// Ownership flow: the encoded bytes are owned by the caller's
+    /// refcounted buffer for the whole fan-out; each local member only
+    /// *reads* them to decode its own `BoxMsg`. Wrapping the bytes in an
+    /// owned `Payload::Wire` here (as this used to do) deep-copied the
+    /// entire buffer per member just so `decode_payload` could consume it —
+    /// O(members × size) copies that the decoder never needed.
     fn deliver_wire_entry(&mut self, id: ChareId, bytes: &Arc<Vec<u8>>, reply: Option<FutureId>) {
-        self.deliver_entry(id, Payload::Wire(bytes.as_ref().clone()), reply, None);
+        let msg = self.decode_wire(&id, bytes);
+        self.deliver_msg(id, msg, reply, None);
     }
 
     /// Both the type's receiver-side guard and the optional per-message
@@ -651,6 +666,16 @@ impl PeState {
         guard: Option<u32>,
     ) {
         let msg = self.decode_payload(&id, payload);
+        self.deliver_msg(id, msg, reply, guard);
+    }
+
+    fn deliver_msg(
+        &mut self,
+        id: ChareId,
+        msg: BoxMsg,
+        reply: Option<FutureId>,
+        guard: Option<u32>,
+    ) {
         let guard_ok = self.guards_pass(&id, &msg, guard);
         let at_sync = self.chares.get(&id).unwrap().at_sync;
         if !guard_ok || at_sync {
