@@ -362,20 +362,40 @@ impl PeState {
                     );
                     return;
                 }
-                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                let children = self.cfg.tree.children(self.pe, root, self.npes);
+                let members = self.local_members(coll);
+                // Hand the reduced value out without a gratuitous per-hop
+                // deep copy: every consumer but the last clones, and the
+                // final one (last local member, or last child when this PE
+                // hosts none) takes the value by move.
+                let uses = children.len() + members.len();
+                let mut data = Some(data);
+                let mut used = 0;
+                for child in children {
+                    used += 1;
+                    let d = if used == uses {
+                        data.take().unwrap()
+                    } else {
+                        data.as_ref().unwrap().clone()
+                    };
                     self.emit(
                         child,
                         EnvKind::RedBroadcast {
                             coll,
                             tag,
-                            data: data.clone(),
+                            data: d,
                             root,
                         },
                     );
                 }
-                let members = self.local_members(coll);
                 for id in members {
-                    self.invoke(id, Invoke::Reduced(tag, data.clone()));
+                    used += 1;
+                    let d = if used == uses {
+                        data.take().unwrap()
+                    } else {
+                        data.as_ref().unwrap().clone()
+                    };
+                    self.invoke(id, Invoke::Reduced(tag, d));
                 }
             }
             EnvKind::MigrateChare {
