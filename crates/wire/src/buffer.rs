@@ -1,4 +1,6 @@
-//! Zero-copy contiguous numeric buffers — the NumPy-array fast path.
+//! Zero-copy contiguous numeric buffers — the NumPy-array fast path —
+//! plus [`WireBytes`], the shared refcounted payload every encoded message
+//! travels in.
 //!
 //! CharmPy bypasses pickle for NumPy arrays: their contiguous memory is
 //! copied directly into the message and rebuilt from metadata at the
@@ -10,6 +12,7 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 use serde::de::{self, Visitor};
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -161,6 +164,121 @@ impl<'de, T: Scalar> Deserialize<'de> for Buf<T> {
     }
 }
 
+/// An immutable, reference-counted encoded payload.
+///
+/// Fan-out (broadcasts, section multicasts, collection creation) hands the
+/// same encoded bytes to every destination. `WireBytes` makes that sharing
+/// explicit and cheap: a clone bumps a refcount, never copies the bytes.
+/// The buffer is immutable once built, so shares are safe across the
+/// threaded backend's PE threads (`Arc<[u8]>` is `Send + Sync`).
+///
+/// Whether two handles share one allocation is observable via
+/// [`WireBytes::ptr_eq`] — the zero-copy tests assert it.
+#[derive(Clone)]
+pub struct WireBytes {
+    data: Arc<[u8]>,
+}
+
+impl Default for WireBytes {
+    fn default() -> WireBytes {
+        WireBytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+}
+
+impl WireBytes {
+    /// An empty payload.
+    pub fn new() -> WireBytes {
+        WireBytes::default()
+    }
+
+    /// Take ownership of an encoded buffer. One exact-size shared
+    /// allocation; the vector's storage is released.
+    pub fn from_vec(v: Vec<u8>) -> WireBytes {
+        WireBytes { data: Arc::from(v) }
+    }
+
+    /// Copy `bytes` into a new exact-size shared allocation. This is the
+    /// encode-pool path: the scratch buffer stays with the pool and only
+    /// the final bytes are published.
+    pub fn copy_from_slice(bytes: &[u8]) -> WireBytes {
+        WireBytes {
+            data: Arc::from(bytes),
+        }
+    }
+
+    /// Length of the encoded payload.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Whether `a` and `b` share one allocation (no copy ever happened
+    /// between them).
+    pub fn ptr_eq(a: &WireBytes, b: &WireBytes) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+
+    /// Number of live handles to this allocation (diagnostics/tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl Deref for WireBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for WireBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for WireBytes {
+    fn from(v: Vec<u8>) -> WireBytes {
+        WireBytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for WireBytes {
+    fn from(bytes: &[u8]) -> WireBytes {
+        WireBytes::copy_from_slice(bytes)
+    }
+}
+
+impl PartialEq for WireBytes {
+    fn eq(&self, other: &WireBytes) -> bool {
+        WireBytes::ptr_eq(self, other) || self.data == other.data
+    }
+}
+
+impl Eq for WireBytes {}
+
+impl fmt::Debug for WireBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WireBytes({}B, {} refs)",
+            self.data.len(),
+            self.ref_count()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +311,26 @@ mod tests {
         let mut b = Buf::<i32>::zeros(4);
         b[2] = 7;
         assert_eq!(b.into_vec(), vec![0, 0, 7, 0]);
+    }
+
+    #[test]
+    fn wirebytes_clone_shares_allocation() {
+        let wb = WireBytes::from_vec(vec![1, 2, 3, 4]);
+        let c = wb.clone();
+        assert!(WireBytes::ptr_eq(&wb, &c));
+        assert_eq!(&c[..], &[1, 2, 3, 4]);
+        assert_eq!(wb.ref_count(), 2);
+    }
+
+    #[test]
+    fn wirebytes_empty_and_eq() {
+        let e = WireBytes::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        // Value equality holds across distinct allocations too.
+        let a = WireBytes::copy_from_slice(b"abc");
+        let b = WireBytes::from_vec(b"abc".to_vec());
+        assert!(!WireBytes::ptr_eq(&a, &b));
+        assert_eq!(a, b);
     }
 }

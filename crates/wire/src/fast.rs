@@ -11,7 +11,9 @@
 use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
 use serde::ser::{self, Serialize};
 
+use crate::buffer::WireBytes;
 use crate::error::{Result, WireError};
+use crate::pool::EncodePool;
 use crate::varint;
 
 /// Encode `value` with the fast codec.
@@ -19,6 +21,17 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(64);
     to_writer(&mut out, value)?;
     Ok(out)
+}
+
+/// Encode `value` with the fast codec into a shared, refcounted payload.
+/// The transient encode goes through `pool`'s scratch buffer (reused across
+/// calls, so steady state pays no growth reallocation); the result is one
+/// exact-size shared allocation.
+pub fn to_shared<T: Serialize + ?Sized>(pool: &mut EncodePool, value: &T) -> Result<WireBytes> {
+    let mut scratch = pool.take();
+    let encoded = to_writer(&mut scratch, value).map(|()| WireBytes::copy_from_slice(&scratch));
+    pool.put(scratch);
+    encoded
 }
 
 /// Encode `value` with the fast codec, appending to `out`.

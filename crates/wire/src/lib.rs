@@ -16,10 +16,12 @@ pub mod buffer;
 pub mod error;
 pub mod fast;
 pub mod pickle;
+pub mod pool;
 pub mod varint;
 
-pub use buffer::{Buf, Scalar};
+pub use buffer::{Buf, Scalar, WireBytes};
 pub use error::{Result, WireError};
+pub use pool::EncodePool;
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -51,6 +53,25 @@ impl Codec {
         match self {
             Codec::Fast => fast::to_writer(out, value),
             Codec::Pickle => pickle::to_writer(out, value),
+        }
+    }
+
+    /// Encode `value` into a shared, refcounted [`WireBytes`] payload,
+    /// using the calling thread's scratch pool for the transient encode.
+    pub fn encode_shared<T: Serialize + ?Sized>(self, value: &T) -> Result<WireBytes> {
+        pool::with_pool(|p| self.encode_shared_with(p, value))
+    }
+
+    /// Encode `value` into a shared payload using an explicit scratch pool
+    /// (the per-PE pool on the runtime's send path).
+    pub fn encode_shared_with<T: Serialize + ?Sized>(
+        self,
+        pool: &mut EncodePool,
+        value: &T,
+    ) -> Result<WireBytes> {
+        match self {
+            Codec::Fast => fast::to_shared(pool, value),
+            Codec::Pickle => pickle::to_shared(pool, value),
         }
     }
 

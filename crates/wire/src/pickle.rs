@@ -11,7 +11,9 @@
 use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
 use serde::ser::{self, Serialize};
 
+use crate::buffer::WireBytes;
 use crate::error::{Result, WireError};
+use crate::pool::EncodePool;
 use crate::varint;
 
 // Type tags. Every serialized value begins with one of these.
@@ -45,6 +47,15 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
     let mut ser = PickleSerializer { out };
     value.serialize(&mut ser)
+}
+
+/// Encode `value` with the pickle codec into a shared, refcounted payload,
+/// serializing through `pool`'s reusable scratch buffer.
+pub fn to_shared<T: Serialize + ?Sized>(pool: &mut EncodePool, value: &T) -> Result<WireBytes> {
+    let mut scratch = pool.take();
+    let encoded = to_writer(&mut scratch, value).map(|()| WireBytes::copy_from_slice(&scratch));
+    pool.put(scratch);
+    encoded
 }
 
 /// Decode a value of type `T` from `bytes`, requiring all input be consumed.

@@ -1,0 +1,162 @@
+//! Encode-buffer pooling: a freelist of `Vec<u8>` scratch buffers reused
+//! across encodes.
+//!
+//! Every message encode needs somewhere to serialize into before the bytes
+//! are published as an immutable [`WireBytes`](crate::WireBytes). Without
+//! pooling that is a fresh `Vec` per message — plus its growth
+//! reallocations — on the runtime's hottest path. [`EncodePool`] keeps the
+//! retired scratch buffers instead: a buffer is taken for the encode,
+//! drained into one exact-size shared allocation, and returned, so at
+//! steady state the scratch stays at its high-water capacity and each
+//! message costs exactly one allocation (the published bytes).
+//!
+//! The runtime owns one pool per PE (the scheduler is single-threaded per
+//! PE, so no locking). Call sites without a PE at hand — proxy broadcast
+//! encodes inside handlers, coroutine threads, checkpoint writes — use the
+//! calling thread's pool via [`with_pool`], which is per-PE under the
+//! threaded backend (one thread per PE) and process-wide under the
+//! single-threaded simulator.
+
+use std::cell::RefCell;
+
+/// Most scratch buffers retained per pool; excess buffers are dropped.
+pub const MAX_POOLED_BUFS: usize = 32;
+
+/// Largest buffer capacity worth retaining; bigger ones are dropped so one
+/// huge message cannot pin its allocation forever.
+pub const MAX_POOLED_CAP: usize = 4 << 20;
+
+/// A freelist of encode scratch buffers with hit/miss accounting.
+pub struct EncodePool {
+    free: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EncodePool {
+    /// An empty pool.
+    pub const fn new() -> EncodePool {
+        EncodePool {
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Take a cleared scratch buffer, reusing a pooled one when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(256)
+            }
+        }
+    }
+
+    /// Return a scratch buffer for reuse. Oversized buffers and buffers
+    /// beyond the retention cap are dropped.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < MAX_POOLED_BUFS && buf.capacity() <= MAX_POOLED_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes satisfied from the freelist.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of takes satisfied without allocating (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for EncodePool {
+    fn default() -> EncodePool {
+        EncodePool::new()
+    }
+}
+
+thread_local! {
+    static TLS_POOL: RefCell<EncodePool> = const { RefCell::new(EncodePool::new()) };
+}
+
+/// Run `f` with the calling thread's encode pool.
+pub fn with_pool<R>(f: impl FnOnce(&mut EncodePool) -> R) -> R {
+    TLS_POOL.with(|p| f(&mut p.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_take_misses_then_hits() {
+        let mut pool = EncodePool::new();
+        let mut buf = pool.take();
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        pool.put(buf);
+        let buf = pool.take();
+        assert_eq!((pool.hits(), pool.misses()), (1, 1));
+        assert!(buf.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(buf.capacity(), cap, "capacity is retained across reuse");
+        assert!(pool.hit_rate() > 0.49 && pool.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped() {
+        let mut pool = EncodePool::new();
+        pool.put(Vec::with_capacity(MAX_POOLED_CAP + 1));
+        assert_eq!(pool.pooled(), 0);
+        pool.put(Vec::with_capacity(16));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool = EncodePool::new();
+        for _ in 0..MAX_POOLED_BUFS + 10 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED_BUFS);
+    }
+
+    #[test]
+    fn thread_local_pool_is_reusable() {
+        let first = with_pool(|p| {
+            let b = p.take();
+            p.put(b);
+            p.misses()
+        });
+        let hits = with_pool(|p| {
+            let b = p.take();
+            p.put(b);
+            p.hits()
+        });
+        assert!(first >= 1);
+        assert!(hits >= 1);
+    }
+}

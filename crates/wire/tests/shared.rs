@@ -1,0 +1,64 @@
+//! Shared-payload (`WireBytes`) behavior: fan-out shares one allocation,
+//! pooled encodes round-trip under both codecs.
+
+use charm_wire::{Codec, EncodePool, WireBytes};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Payload {
+    a: u64,
+    b: Vec<i32>,
+    s: String,
+}
+
+fn sample() -> Payload {
+    Payload {
+        a: 0xDEAD_BEEF,
+        b: (0..64).collect(),
+        s: "shared payload".into(),
+    }
+}
+
+/// Model of a same-PE multicast fan-out: the runtime encodes once and
+/// clones the handle per member. Every member must see the *same*
+/// allocation — a clone that deep-copied would break pointer equality.
+#[test]
+fn multicast_fanout_shares_one_allocation() {
+    let bytes = Codec::Fast.encode_shared(&sample()).unwrap();
+    let members: Vec<WireBytes> = (0..16).map(|_| bytes.clone()).collect();
+    assert_eq!(bytes.ref_count(), 17);
+    for m in &members {
+        assert!(
+            WireBytes::ptr_eq(&bytes, m),
+            "fan-out member does not share the sender's allocation"
+        );
+        let decoded: Payload = Codec::Fast.decode(m).unwrap();
+        assert_eq!(decoded, sample());
+    }
+    drop(members);
+    assert_eq!(bytes.ref_count(), 1);
+}
+
+#[test]
+fn encode_shared_matches_plain_encode() {
+    for codec in [Codec::Fast, Codec::Pickle] {
+        let shared = codec.encode_shared(&sample()).unwrap();
+        let plain = codec.encode(&sample()).unwrap();
+        assert_eq!(&shared[..], &plain[..]);
+        let decoded: Payload = codec.decode(&shared).unwrap();
+        assert_eq!(decoded, sample());
+    }
+}
+
+#[test]
+fn explicit_pool_is_reused_across_encodes() {
+    let mut pool = EncodePool::new();
+    for _ in 0..8 {
+        let b = Codec::Fast.encode_shared_with(&mut pool, &sample()).unwrap();
+        let decoded: Payload = Codec::Fast.decode(&b).unwrap();
+        assert_eq!(decoded.a, 0xDEAD_BEEF);
+    }
+    assert_eq!(pool.misses(), 1, "only the first encode should allocate scratch");
+    assert_eq!(pool.hits(), 7);
+    assert_eq!(pool.pooled(), 1);
+}
