@@ -61,13 +61,20 @@ pub fn pe_file(dir: &Path, pe: usize) -> std::path::PathBuf {
     dir.join(format!("pe{pe}.ckpt"))
 }
 
-/// Write one PE's checkpoint.
+/// Write one PE's checkpoint. The serialized image goes through the
+/// thread's pooled scratch buffer, so repeated checkpoints reuse one
+/// high-water allocation instead of growing a fresh `Vec` each time.
 pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let bytes = charm_wire::Codec::Fast
-        .encode(file)
-        .map_err(|e| std::io::Error::other(format!("checkpoint encode: {e}")))?;
-    std::fs::write(pe_file(dir, pe), bytes)
+    charm_wire::pool::with_pool(|pool| {
+        let mut buf = pool.take();
+        let encoded = charm_wire::Codec::Fast
+            .encode_into(&mut buf, file)
+            .map_err(|e| std::io::Error::other(format!("checkpoint encode: {e}")));
+        let result = encoded.and_then(|()| std::fs::write(pe_file(dir, pe), &buf));
+        pool.put(buf);
+        result
+    })
 }
 
 /// Read every PE checkpoint file in `dir` (pe0..peN until a gap).

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use charm_wire::Codec;
+use charm_wire::{Codec, WireBytes};
 
 use crate::chare::Chare;
 use crate::collections::{CollKind, CollSpec, Placement};
@@ -64,16 +64,16 @@ pub(crate) enum Op {
     },
     Broadcast {
         coll: CollectionId,
-        bytes: Vec<u8>,
+        bytes: WireBytes,
     },
     Multicast {
         coll: CollectionId,
         members: Vec<Index>,
-        bytes: Vec<u8>,
+        bytes: WireBytes,
     },
     CreateCollection {
         spec: CollSpec,
-        init_bytes: Vec<u8>,
+        init_bytes: WireBytes,
     },
     InsertElem {
         coll: CollectionId,
@@ -313,7 +313,7 @@ impl Ctx {
         };
         // Sparse arrays have no members at creation; the init payload is
         // unused but the spec still replicates to every PE.
-        self.push_create_raw::<T>(spec, Vec::new());
+        self.push_create_raw::<T>(spec, WireBytes::new());
         Proxy::collection(id)
     }
 
@@ -321,12 +321,12 @@ impl Ctx {
         let bytes = self
             .seed
             .codec
-            .encode(&init)
+            .encode_shared(&init)
             .expect("constructor argument failed to encode");
         self.push_create_raw::<T>(spec, bytes);
     }
 
-    fn push_create_raw<T: Chare>(&mut self, mut spec: CollSpec, init_bytes: Vec<u8>) {
+    fn push_create_raw<T: Chare>(&mut self, mut spec: CollSpec, init_bytes: WireBytes) {
         spec.ctype = self.seed.registry.type_of::<T>();
         self.ops.push(Op::CreateCollection { spec, init_bytes });
     }

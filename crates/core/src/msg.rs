@@ -4,12 +4,13 @@
 //! boxed value and move it by reference into the callee (the paper's §II-D
 //! optimization — ownership transfer in Rust enforces the "caller must give
 //! up ownership" rule at compile time), while cross-PE sends serialize with
-//! the active codec.
+//! the active codec into a shared, refcounted [`WireBytes`] buffer. Fan-out
+//! (broadcast, multicast, collection creation) clones the handle, never the
+//! bytes, so N destinations share one allocation.
 
 use std::any::Any;
-use std::sync::Arc;
 
-use charm_wire::Codec;
+use charm_wire::{Codec, EncodePool, WireBytes};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -30,8 +31,9 @@ pub type BoxMsg = Box<dyn Any + Send>;
 pub enum Payload {
     /// Same-process payload, passed by move (never serialized).
     Local(BoxMsg),
-    /// Serialized payload (cross-PE).
-    Wire(Vec<u8>),
+    /// Serialized payload (cross-PE): a refcounted handle onto one shared
+    /// allocation, so fan-out clones the handle, not the bytes.
+    Wire(WireBytes),
 }
 
 impl Payload {
@@ -70,7 +72,7 @@ impl std::fmt::Debug for Payload {
 /// destination turns out to be remote — without any type registry lookup.
 pub struct OutPayload {
     pub(crate) any: BoxMsg,
-    pub(crate) encode: fn(&dyn Any, Codec) -> charm_wire::Result<Vec<u8>>,
+    pub(crate) encode: fn(&dyn Any, Codec, &mut EncodePool) -> charm_wire::Result<WireBytes>,
 }
 
 impl OutPayload {
@@ -78,28 +80,30 @@ impl OutPayload {
     pub fn new<M: Message>(m: M) -> OutPayload {
         OutPayload {
             any: Box::new(m),
-            encode: |any, codec| {
+            encode: |any, codec, pool| {
                 let m = any
                     .downcast_ref::<M>()
                     .expect("OutPayload encoder type invariant");
-                codec.encode(m)
+                codec.encode_shared_with(pool, m)
             },
         }
     }
 
     /// Turn into a transit payload for `dst`: local stays boxed, remote is
-    /// serialized. `same_pe_byref=false` (ablation switch) forces
-    /// serialization even locally.
+    /// serialized into a pooled scratch buffer and published as shared
+    /// bytes. `same_pe_byref=false` (ablation switch) forces serialization
+    /// even locally.
     pub fn into_payload(
         self,
         local: bool,
         same_pe_byref: bool,
         codec: Codec,
+        pool: &mut EncodePool,
     ) -> charm_wire::Result<Payload> {
         if local && same_pe_byref {
             Ok(Payload::Local(self.any))
         } else {
-            Ok(Payload::Wire((self.encode)(&*self.any, codec)?))
+            Ok(Payload::Wire((self.encode)(&*self.any, codec, pool)?))
         }
     }
 }
@@ -139,8 +143,9 @@ pub enum EnvKind {
     BroadcastEntry {
         /// Target collection.
         coll: CollectionId,
-        /// Pre-encoded arguments (decoded once per member).
-        bytes: Arc<Vec<u8>>,
+        /// Pre-encoded arguments, shared across hops and members (decoded
+        /// once per member, never re-copied).
+        bytes: WireBytes,
         /// Tree root (the broadcasting PE).
         root: Pe,
     },
@@ -150,7 +155,7 @@ pub enum EnvKind {
         /// The collection being created.
         spec: CollSpec,
         /// Pre-encoded constructor argument, shared by all members.
-        init: Arc<Vec<u8>>,
+        init: WireBytes,
         /// Tree root (the creating PE).
         root: Pe,
     },

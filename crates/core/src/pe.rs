@@ -7,14 +7,14 @@
 //! driver (threaded channels or the virtual-time event loop in
 //! `runtime.rs`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use charm_sim::MachineModel;
-use charm_wire::Codec;
+use charm_wire::{Codec, EncodePool, WireBytes};
 
 use crate::chare::{MsgGuards, Registry};
 use crate::checkpoint::{self, CkptChare, CkptFile};
@@ -65,7 +65,11 @@ struct Buffered {
 /// One local chare.
 struct Slot {
     boxed: Option<Box<dyn crate::chare::ChareBox>>,
-    buffered: Vec<Buffered>,
+    /// When-guard-deferred messages in arrival order. A deque so the drain
+    /// in `after_state_change` can pull the ready message without shifting
+    /// the whole tail: the common case (front is ready) pops in O(1),
+    /// where a `Vec::remove` drain degraded to O(n²) over a long buffer.
+    buffered: VecDeque<Buffered>,
     load_ns: u64,
     red_seq: u64,
     at_sync: bool,
@@ -76,7 +80,7 @@ impl Slot {
     fn new(boxed: Box<dyn crate::chare::ChareBox>) -> Slot {
         Slot {
             boxed: Some(boxed),
-            buffered: Vec::new(),
+            buffered: VecDeque::new(),
             load_ns: 0,
             red_seq: 0,
             at_sync: false,
@@ -128,6 +132,9 @@ pub(crate) struct PeState {
     coros: HashMap<u64, CoroHandle>,
     next_coro: u64,
     reds: RedTable,
+
+    /// Scratch buffers for message encodes on this PE's send path.
+    encode_pool: EncodePool,
 
     lb: LbPeState,
     lb_central: LbCentral,
@@ -206,6 +213,7 @@ impl PeState {
             coros: HashMap::new(),
             next_coro: 0,
             reds: HashMap::new(),
+            encode_pool: EncodePool::new(),
             lb: LbPeState::default(),
             lb_central: LbCentral::default(),
             ckpt: None,
@@ -290,7 +298,7 @@ impl PeState {
                         child,
                         EnvKind::BroadcastEntry {
                             coll,
-                            bytes: Arc::clone(&bytes),
+                            bytes: bytes.clone(),
                             root,
                         },
                     );
@@ -611,7 +619,7 @@ impl PeState {
                 let vt = self.registry.vtable(cs.spec.ctype);
                 let bytes = (vt.encode_msg)(&*any, self.cfg.codec)
                     .expect("message re-encode for forwarding failed");
-                Payload::Wire(bytes)
+                Payload::Wire(WireBytes::from_vec(bytes))
             }
         }
     }
@@ -659,7 +667,7 @@ impl PeState {
     /// owned `Payload::Wire` here (as this used to do) deep-copied the
     /// entire buffer per member just so `decode_payload` could consume it —
     /// O(members × size) copies that the decoder never needed.
-    fn deliver_wire_entry(&mut self, id: ChareId, bytes: &Arc<Vec<u8>>, reply: Option<FutureId>) {
+    fn deliver_wire_entry(&mut self, id: ChareId, bytes: &WireBytes, reply: Option<FutureId>) {
         let msg = self.decode_wire(&id, bytes);
         self.deliver_msg(id, msg, reply, None);
     }
@@ -705,7 +713,7 @@ impl PeState {
                 .get_mut(&id)
                 .unwrap()
                 .buffered
-                .push(Buffered { msg, reply, guard });
+                .push_back(Buffered { msg, reply, guard });
             return;
         }
         self.invoke(id, Invoke::Entry(msg, reply, guard));
@@ -786,14 +794,17 @@ impl PeState {
                 Some(slot) if slot.at_sync => return, // parked for LB
                 Some(_) => {}
             }
-            // 1. First deliverable buffered message, in arrival order.
+            // 1. First deliverable buffered message, in arrival order. The
+            // scan finds the ready index; the deque extracts it without
+            // shifting the rest of the buffer (front-ready, the common
+            // case, is a pop).
             let ready_msg = {
                 let slot = &self.chares[&id];
                 let pos = slot
                     .buffered
                     .iter()
                     .position(|b| self.guards_pass(&id, &b.msg, b.guard));
-                pos.map(|pos| self.chares.get_mut(&id).unwrap().buffered.remove(pos))
+                pos.and_then(|pos| self.chares.get_mut(&id).unwrap().buffered.remove(pos))
             };
             if let Some(b) = ready_msg {
                 self.invoke(id, Invoke::Entry(b.msg, b.reply, b.guard));
@@ -837,11 +848,16 @@ impl PeState {
                         Route::BufferHere | Route::UnknownColl => (false, self.pe),
                     };
                     let (byref, codec) = (self.cfg.same_pe_byref, self.cfg.codec);
+                    // The pool is lent out for the metered closure (the
+                    // meter needs `&mut self`); takes on it never allocate
+                    // at steady state, so the loan is the whole cost.
+                    let mut pool = std::mem::take(&mut self.encode_pool);
                     let payload = self.metered(this, || {
                         payload
-                            .into_payload(is_local, byref, codec)
+                            .into_payload(is_local, byref, codec, &mut pool)
                             .expect("entry message failed to encode")
                     });
+                    self.encode_pool = pool;
                     // Always goes through the queue, even locally: entry
                     // methods are asynchronous and never run re-entrantly.
                     self.emit(
@@ -860,7 +876,8 @@ impl PeState {
                     bytes,
                 } => {
                     // Section multicast: one encode at the call site, one
-                    // routed entry per member.
+                    // routed entry per member, every entry sharing the same
+                    // allocation (the clone is a refcount bump).
                     for index in members {
                         let to = ChareId { coll, index };
                         let dst = match self.route_of(&to) {
@@ -883,7 +900,7 @@ impl PeState {
                         self.pe,
                         EnvKind::BroadcastEntry {
                             coll,
-                            bytes: Arc::new(bytes),
+                            bytes,
                             root: self.pe,
                         },
                     );
@@ -893,7 +910,7 @@ impl PeState {
                         self.pe,
                         EnvKind::CreateCollection {
                             spec,
-                            init: Arc::new(init_bytes),
+                            init: init_bytes,
                             root: self.pe,
                         },
                     );
@@ -912,7 +929,12 @@ impl PeState {
                     let placed = dest.is_some();
                     let dst = dest.unwrap_or(self.pe);
                     let init = init
-                        .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                        .into_payload(
+                            dst == self.pe,
+                            self.cfg.same_pe_byref,
+                            self.cfg.codec,
+                            &mut self.encode_pool,
+                        )
                         .expect("constructor argument failed to encode");
                     self.emit(
                         dst,
@@ -933,7 +955,12 @@ impl PeState {
                 Op::SendFuture { fid, payload } => {
                     let dst = fid.pe as usize;
                     let payload = payload
-                        .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                        .into_payload(
+                            dst == self.pe,
+                            self.cfg.same_pe_byref,
+                            self.cfg.codec,
+                            &mut self.encode_pool,
+                        )
                         .expect("future value failed to encode");
                     self.emit(dst, EnvKind::FutureValue { fid, payload });
                 }
@@ -1196,13 +1223,13 @@ impl PeState {
                 .sum::<u64>()
     }
 
-    fn create_collection(&mut self, spec: CollSpec, init: Arc<Vec<u8>>, root: Pe) {
+    fn create_collection(&mut self, spec: CollSpec, init: WireBytes, root: Pe) {
         for child in self.cfg.tree.children(self.pe, root, self.npes) {
             self.emit(
                 child,
                 EnvKind::CreateCollection {
                     spec: spec.clone(),
-                    init: Arc::clone(&init),
+                    init: init.clone(),
                     root,
                 },
             );
@@ -1241,7 +1268,7 @@ impl PeState {
         }
     }
 
-    fn construct_member(&mut self, id: ChareId, init_bytes: &Arc<Vec<u8>>) {
+    fn construct_member(&mut self, id: ChareId, init_bytes: &WireBytes) {
         let cs = self.colls.get(&id.coll).expect("construct without spec");
         let vt = self.registry.vtable(cs.spec.ctype);
         let init = (vt.decode_init)(self.cfg.codec, init_bytes)
@@ -1346,7 +1373,7 @@ impl PeState {
                 // the vtable's init encoder.
                 let bytes = (vt.encode_init)(&*any, self.cfg.codec)
                     .expect("constructor argument re-encode failed");
-                Payload::Wire(bytes)
+                Payload::Wire(WireBytes::from_vec(bytes))
             }
         }
     }
@@ -1456,7 +1483,12 @@ impl PeState {
             RedTarget::Future(fid) => {
                 let dst = fid.pe as usize;
                 let payload = OutPayload::new(data)
-                    .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                    .into_payload(
+                        dst == self.pe,
+                        self.cfg.same_pe_byref,
+                        self.cfg.codec,
+                        &mut self.encode_pool,
+                    )
                     .expect("reduction result failed to encode");
                 self.emit(dst, EnvKind::FutureValue { fid, payload });
             }
@@ -1594,7 +1626,7 @@ impl PeState {
         for (bytes, reply, guard) in buffered {
             let msg = decode_msg(self.cfg.codec, &bytes)
                 .unwrap_or_else(|e| panic!("buffered message decode failed: {e}"));
-            slot.buffered.push(Buffered { msg, reply, guard });
+            slot.buffered.push_back(Buffered { msg, reply, guard });
         }
         self.chares.insert(id, slot);
         self.locations.remove(&id);
@@ -1879,7 +1911,12 @@ impl PeState {
                     for fid in waiters {
                         let dst = fid.pe as usize;
                         let payload = OutPayload::new(())
-                            .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+                            .into_payload(
+                                dst == self.pe,
+                                self.cfg.same_pe_byref,
+                                self.cfg.codec,
+                                &mut self.encode_pool,
+                            )
                             .expect("() failed to encode");
                         self.emit(dst, EnvKind::FutureValue { fid, payload });
                     }
@@ -1969,7 +2006,12 @@ impl PeState {
         }
         let dst = fid.pe as usize;
         let payload = OutPayload::new(total as i64)
-            .into_payload(dst == self.pe, self.cfg.same_pe_byref, self.cfg.codec)
+            .into_payload(
+                dst == self.pe,
+                self.cfg.same_pe_byref,
+                self.cfg.codec,
+                &mut self.encode_pool,
+            )
             .expect("checkpoint count failed to encode");
         self.emit(dst, EnvKind::FutureValue { fid, payload });
     }

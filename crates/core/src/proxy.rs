@@ -86,12 +86,13 @@ impl<T: Chare> Proxy<T> {
                 guard: None,
             }),
             None => {
-                // Broadcasts are encoded once at the call site and decoded
-                // per member (they fan out over the PE spanning tree).
+                // Broadcasts are encoded once at the call site into shared
+                // bytes and decoded per member; every tree hop and local
+                // fan-out clones the handle, never the allocation.
                 let bytes = ctx
                     .seed
                     .codec
-                    .encode(&msg)
+                    .encode_shared(&msg)
                     .expect("broadcast message failed to encode");
                 ctx.ops.push(Op::Broadcast {
                     coll: self.coll,
@@ -250,12 +251,13 @@ impl<T: Chare> Section<T> {
         &self.members
     }
 
-    /// Multicast `msg` to every member of the section.
+    /// Multicast `msg` to every member of the section: one encode, one
+    /// shared allocation, however many members.
     pub fn send(&self, ctx: &mut Ctx, msg: T::Msg) {
         let bytes = ctx
             .seed
             .codec
-            .encode(&msg)
+            .encode_shared(&msg)
             .expect("multicast message failed to encode");
         ctx.ops.push(Op::Multicast {
             coll: self.coll,
