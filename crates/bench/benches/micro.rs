@@ -1,8 +1,11 @@
 //! Criterion micro-benchmarks of the serialization substrate (paper §IV-B):
-//! fast vs pickle codecs, and the `Buf` zero-copy path vs per-element
-//! encoding — the mechanism behind "NumPy arrays bypass pickling".
+//! fast vs pickle codecs, the `Buf` zero-copy path vs per-element encoding
+//! — the mechanism behind "NumPy arrays bypass pickling" — plus the
+//! shared-payload fan-out, encode-pool, and guard-drain hot paths.
 
-use charm_wire::{Buf, Codec};
+use charm_core::prelude::*;
+use charm_sim::MachineModel;
+use charm_wire::{Buf, Codec, EncodePool, WireBytes};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use serde::{Deserialize, Serialize};
 
@@ -83,9 +86,113 @@ fn varint_benches(c: &mut Criterion) {
     });
 }
 
+/// The fan-out cost a broadcast/multicast pays per same-PE member: the old
+/// scheme deep-copied the encoded payload into an owned buffer per member;
+/// the shared scheme bumps a refcount per member.
+fn fanout_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_payload_fanout");
+    let payload: Vec<u8> = vec![0xA5; 16 * 1024];
+    for members in [8usize, 64] {
+        g.throughput(Throughput::Bytes((payload.len() * members) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("deep_copy", members),
+            &members,
+            |b, &m| {
+                b.iter(|| {
+                    let fan: Vec<Vec<u8>> = (0..m).map(|_| payload.clone()).collect();
+                    std::hint::black_box(fan)
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("shared", members), &members, |b, &m| {
+            let shared = WireBytes::from_vec(payload.clone());
+            b.iter(|| {
+                let fan: Vec<WireBytes> = (0..m).map(|_| shared.clone()).collect();
+                std::hint::black_box(fan)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Steady-state encode cost: a fresh growth-reallocating `Vec` per message
+/// vs a pooled scratch buffer drained into one exact-size allocation.
+fn encode_pool_benches(c: &mut Criterion) {
+    let msg = GhostMsg {
+        iter: 7,
+        face: 3,
+        data: (0..1024).map(|i| i as f64).collect(),
+    };
+    c.bench_function("encode_fresh_vec", |b| {
+        b.iter(|| std::hint::black_box(Codec::Fast.encode(&msg).unwrap()))
+    });
+    c.bench_function("encode_pooled_shared", |b| {
+        let mut pool = EncodePool::new();
+        b.iter(|| std::hint::black_box(Codec::Fast.encode_shared_with(&mut pool, &msg).unwrap()))
+    });
+}
+
+struct DrainGate {
+    open: bool,
+    acc: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum DrainMsg {
+    Tick(i64),
+    Open,
+    Report { done: Future<i64> },
+}
+
+impl Chare for DrainGate {
+    type Msg = DrainMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        DrainGate { open: false, acc: 0 }
+    }
+    fn guard(&self, msg: &DrainMsg) -> bool {
+        match msg {
+            DrainMsg::Tick(_) => self.open,
+            _ => true,
+        }
+    }
+    fn receive(&mut self, msg: DrainMsg, ctx: &mut Ctx) {
+        match msg {
+            DrainMsg::Tick(i) => self.acc += i,
+            DrainMsg::Open => self.open = true,
+            DrainMsg::Report { done } => ctx.send_future(&done, self.acc),
+        }
+    }
+}
+
+/// 1k messages pile up behind a when-guard, then the guard opens and the
+/// whole buffer drains — the `after_state_change` retry loop end to end
+/// (a `Vec::remove` drain was quadratic here; the deque drain is linear).
+fn guard_drain_bench(c: &mut Criterion) {
+    const N: i64 = 1000;
+    c.bench_function("guard_drain_1k_buffered", |b| {
+        b.iter(|| {
+            Runtime::new(1)
+                .backend(Backend::Sim(MachineModel::local(1)))
+                .register::<DrainGate>()
+                .run(|co| {
+                    let gate = co.ctx().create_chare::<DrainGate>((), Some(0));
+                    for i in 0..N {
+                        gate.send(co.ctx(), DrainMsg::Tick(i));
+                    }
+                    gate.send(co.ctx(), DrainMsg::Open);
+                    let done = co.ctx().create_future::<i64>();
+                    gate.send(co.ctx(), DrainMsg::Report { done });
+                    assert_eq!(co.get(&done), N * (N - 1) / 2);
+                    co.ctx().exit();
+                });
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = codec_benches, varint_benches
+    targets = codec_benches, varint_benches, fanout_benches, encode_pool_benches, guard_drain_bench
 }
 criterion_main!(benches);
