@@ -1,0 +1,112 @@
+//! `charm-analyze` CLI.
+//!
+//! ```text
+//! charm-analyze --workspace [--root <path>]   lint the workspace tree
+//! charm-analyze --self-test                   seed synthetic violations
+//! charm-analyze --list-rules                  print the rule table
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings (for `--self-test`: every seeded
+//! violation was detected, i.e. the linter works — CI asserts exactly 1),
+//! 2 = usage/io error, or a self-test in which the linter *missed* a rule.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use charm_analyze::{lint_workspace, self_test, Rule};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: charm-analyze --workspace [--root <path>] | --self-test | --list-rules"
+    );
+    ExitCode::from(2)
+}
+
+/// Locate the workspace root: `--root` wins; else the manifest dir baked in
+/// at compile time (two levels up from crates/analyze); else the cwd.
+fn find_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(ws) = manifest.parent().and_then(|p| p.parent()) {
+        if ws.join("Cargo.toml").is_file() {
+            return ws.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut mode = None;
+    let mut root = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => mode = Some("workspace"),
+            "--self-test" => mode = Some("self-test"),
+            "--list-rules" => mode = Some("list-rules"),
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match mode {
+        Some("list-rules") => {
+            for r in Rule::all() {
+                println!("{:<14} {}", r.key(), r.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("self-test") => match self_test() {
+            Ok(findings) => {
+                println!(
+                    "self-test: all {} rules detected their seeded violations ({} findings):",
+                    Rule::all().len(),
+                    findings.len()
+                );
+                for f in &findings {
+                    println!("  {f}");
+                }
+                // Nonzero by design: a tree with these violations must fail.
+                ExitCode::from(1)
+            }
+            Err(missed) => {
+                eprintln!(
+                    "self-test FAILED: linter missed rule(s): {}",
+                    missed
+                        .iter()
+                        .map(|r| r.key())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        Some("workspace") => {
+            let root = find_root(root);
+            match lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("charm-analyze: workspace clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    eprintln!("charm-analyze: {} finding(s):", findings.len());
+                    for f in &findings {
+                        eprintln!("  {f}");
+                    }
+                    ExitCode::from(1)
+                }
+                Err(e) => {
+                    eprintln!("charm-analyze: io error walking {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

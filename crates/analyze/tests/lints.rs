@@ -1,0 +1,140 @@
+//! Unit coverage for the lint engine: masking, annotations, each rule's
+//! positive and negative cases, and the in-memory self-test corpus.
+
+use charm_analyze::{lint_crate_root, lint_source, self_test, Rule};
+
+const HOT: &str = "crates/core/src/pe.rs";
+
+fn rules(findings: &[charm_analyze::Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unwrap_in_hot_path_fires() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert!(rules(&lint_source(HOT, src)).contains(&Rule::Panic));
+}
+
+#[test]
+fn unwrap_outside_scope_is_ignored() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert!(lint_source("crates/apps/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn annotation_on_same_line_suppresses() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyze: allow(panic, \"checked by caller\")\n}\n";
+    assert!(!rules(&lint_source(HOT, src)).contains(&Rule::Panic));
+}
+
+#[test]
+fn annotation_on_line_above_suppresses() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // analyze: allow(panic, \"checked by caller\")\n    x.unwrap()\n}\n";
+    assert!(!rules(&lint_source(HOT, src)).contains(&Rule::Panic));
+}
+
+#[test]
+fn annotation_without_reason_is_a_finding_and_does_not_suppress() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyze: allow(panic)\n}\n";
+    let got = rules(&lint_source(HOT, src));
+    assert!(got.contains(&Rule::Panic));
+    assert!(got.contains(&Rule::Annotation));
+}
+
+#[test]
+fn unknown_rule_annotation_is_a_finding() {
+    let src = "// analyze: allow(bogus, \"reason\")\nfn f() {}\n";
+    assert!(rules(&lint_source(HOT, src)).contains(&Rule::Annotation));
+}
+
+#[test]
+fn panic_inside_string_or_comment_is_masked() {
+    let src = concat!(
+        "fn f() {\n",
+        "    let s = \"do not .unwrap() here\";\n",
+        "    // a comment mentioning panic!( and v[0]\n",
+        "    /* block with .expect( inside */\n",
+        "    let _ = s;\n",
+        "}\n"
+    );
+    assert!(lint_source(HOT, src).is_empty());
+}
+
+#[test]
+fn raw_string_is_masked() {
+    let src = "fn f() -> &'static str {\n    r#\"x.unwrap() v[0]\"#\n}\n";
+    assert!(lint_source(HOT, src).is_empty());
+}
+
+#[test]
+fn indexing_fires_but_attributes_and_macros_do_not() {
+    let bad = "fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    assert!(rules(&lint_source(HOT, bad)).contains(&Rule::Panic));
+    let ok = "#[derive(Clone)]\nstruct S;\nfn g() -> Vec<u8> {\n    vec![1, 2]\n}\n";
+    assert!(lint_source(HOT, ok).is_empty());
+}
+
+#[test]
+fn lifetime_is_not_a_char_literal() {
+    // A lifetime after `'` must not put the lexer into char-literal state
+    // and swallow the rest of the line.
+    let src = "fn f<'a>(v: &'a [u8]) -> &'a u8 {\n    &v[0]\n}\n";
+    assert!(rules(&lint_source(HOT, src)).contains(&Rule::Panic));
+}
+
+#[test]
+fn payload_copy_fires_in_core_and_wire_only() {
+    let src = "fn f(v: &[u8]) -> Vec<u8> {\n    v.to_vec()\n}\n";
+    assert!(rules(&lint_source("crates/core/src/msg.rs", src)).contains(&Rule::PayloadCopy));
+    assert!(rules(&lint_source("crates/wire/src/buffer.rs", src)).contains(&Rule::PayloadCopy));
+    assert!(lint_source("crates/lb/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn payload_copy_exempts_test_modules() {
+    let src = concat!(
+        "fn prod(v: &[u8]) -> usize { v.len() }\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn fixture(v: &[u8]) -> Vec<u8> { v.to_vec() }\n",
+        "}\n"
+    );
+    assert!(lint_source("crates/wire/src/buffer.rs", src).is_empty());
+}
+
+#[test]
+fn blocking_fires_on_sleep_and_mutex() {
+    let sleep = "fn f() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(rules(&lint_source("crates/core/src/ctx.rs", sleep)).contains(&Rule::Blocking));
+    let mutex = "use std::sync::Mutex;\nstruct S {\n    m: Mutex<u32>,\n}\n";
+    assert!(rules(&lint_source("crates/core/src/pe.rs", mutex)).contains(&Rule::Blocking));
+}
+
+#[test]
+fn crate_root_policy() {
+    let forbid = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_crate_root("crates/x/src/lib.rs", forbid).is_empty());
+
+    let nothing = "pub fn f() {}\n";
+    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", nothing))
+        .contains(&Rule::ForbidUnsafe));
+
+    let bare_deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", bare_deny))
+        .contains(&Rule::ForbidUnsafe));
+
+    let deny_doc = "// analyze: allow(unsafe, \"FFI shim for page-locked buffers\")\n#![deny(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_crate_root("crates/x/src/lib.rs", deny_doc).is_empty());
+}
+
+#[test]
+fn self_test_detects_every_seeded_violation() {
+    let findings = self_test().expect("linter must catch every seeded violation");
+    for r in Rule::all() {
+        assert!(
+            findings.iter().any(|f| f.rule == r),
+            "no finding for rule {:?}",
+            r
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //!   third scenario exercising reductions, broadcasts and all-to-all key
 //!   exchange in one program.
 
+#![forbid(unsafe_code)]
+
 pub mod histo;
 pub mod leanmd;
 pub mod stencil3d;

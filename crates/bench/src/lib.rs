@@ -9,6 +9,8 @@
 //! * `CHARMRS_ITERS`   — iterations per run (default figure-specific),
 //! * `CHARMRS_BLOCK`   — stencil block edge (default figure-specific).
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 /// Read a positive integer knob from the environment.

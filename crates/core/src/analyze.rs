@@ -1,0 +1,245 @@
+//! # Dynamic race/protocol detector (`--features analyze`)
+//!
+//! Layer 2 of the correctness tooling (DESIGN.md §6): with the `analyze`
+//! feature enabled, every [`Envelope`](crate::msg::Envelope) carries an
+//! [`EnvTrace`] — a globally unique id plus the sending PE's vector clock —
+//! and every PE scheduler owns a [`Detector`] that checks happens-before
+//! invariants as messages flow:
+//!
+//! * **No double delivery** — each traced envelope id enters a PE's
+//!   delivered-set at most once (and, across the whole sim run, at most one
+//!   PE's delivered-set).
+//! * **Per-channel FIFO** — the sender component of successive clocks
+//!   arriving on one (src → dst) channel is strictly increasing. Every send
+//!   ticks the sender's own component, so out-of-order delivery on a
+//!   channel is visible as a non-monotonic stamp. (The sim driver clamps
+//!   per-channel delivery times under this feature so the modeled network
+//!   provides the FIFO channels the threads backend and Charm++ both
+//!   guarantee.)
+//! * **Per-chare serialized execution** — entering an entry method for a
+//!   chare already marked executing is reported.
+//! * **Send/deliver balance at quiescence** — when a sim run drains its
+//!   event queue (true quiescence: nothing in flight), the union of
+//!   sent-sets must equal the union of delivered-sets; a sent-but-never-
+//!   delivered id is a lost envelope.
+//! * **FIFO when-guard drains** — the scheduler must always hand the
+//!   *earliest* deliverable buffered message to a chare; skipping a ready
+//!   message is reported (hook in `after_state_change`).
+//!
+//! Violations go to the run's [`FaultProbe`] when one is installed (the
+//! fault-injection tests read it), and panic with an `analyze:` prefix
+//! otherwise, so CI runs of the ordinary suite fail loudly on a real race.
+//!
+//! [`InjectFault`] is the test-only fault injector driven by the sim
+//! backend: it duplicates or drops the Nth application envelope at the
+//! network layer, which the detector must then report.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use crate::ids::{ChareId, Pe};
+
+/// Per-envelope trace: unique id + the sender's vector clock at send time.
+///
+/// `id == 0` marks an untraced envelope (the bootstrap event and internally
+/// re-parked envelopes); untraced envelopes are exempt from accounting.
+#[derive(Debug, Clone, Default)]
+pub struct EnvTrace {
+    /// Globally unique envelope id: `(pe + 1) << 40 | seq`.
+    pub id: u64,
+    /// Sender's vector clock (length = npes) at the moment of send.
+    pub clock: Vec<u64>,
+}
+
+/// Shared sink for detector findings. Installed via
+/// `Runtime::analyze_probe`/`analyze_inject`; when present, violations are
+/// collected here instead of panicking, so negative tests can assert on
+/// them.
+#[derive(Clone, Default)]
+pub struct FaultProbe {
+    findings: Arc<Mutex<Vec<String>>>,
+}
+
+impl FaultProbe {
+    /// A fresh, empty probe.
+    pub fn new() -> FaultProbe {
+        FaultProbe::default()
+    }
+
+    /// Record one violation.
+    pub fn report(&self, msg: String) {
+        if let Ok(mut v) = self.findings.lock() {
+            v.push(msg);
+        }
+    }
+
+    /// Snapshot the findings recorded so far.
+    pub fn findings(&self) -> Vec<String> {
+        self.findings.lock().map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// Whether any finding's text contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.findings().iter().any(|f| f.contains(needle))
+    }
+}
+
+impl std::fmt::Debug for FaultProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultProbe({} findings)", self.findings().len())
+    }
+}
+
+/// Network-layer fault injected by the sim driver (tests only): the Nth
+/// (0-based) QD-counted envelope shipped is duplicated or dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectFault {
+    /// Deliver the Nth application envelope twice.
+    DuplicateNth(u64),
+    /// Silently drop the Nth application envelope.
+    DropNth(u64),
+}
+
+/// Per-PE happens-before state: a vector clock plus send/deliver
+/// accounting. One lives inside every `PeState` when the feature is on.
+pub struct Detector {
+    pe: Pe,
+    clock: Vec<u64>,
+    next_seq: u64,
+    sent: HashSet<u64>,
+    delivered: HashSet<u64>,
+    /// Last sender-component stamp seen per source PE (FIFO channel check).
+    last_from: HashMap<Pe, u64>,
+    executing: HashSet<ChareId>,
+    probe: Option<FaultProbe>,
+}
+
+impl Detector {
+    pub fn new(pe: Pe, npes: usize, probe: Option<FaultProbe>) -> Detector {
+        Detector {
+            pe,
+            clock: vec![0; npes],
+            next_seq: 0,
+            sent: HashSet::new(),
+            delivered: HashSet::new(),
+            last_from: HashMap::new(),
+            executing: HashSet::new(),
+            probe,
+        }
+    }
+
+    /// Report a violation: into the probe when installed, else panic so the
+    /// failure cannot be missed.
+    pub fn violation(&self, msg: String) {
+        match &self.probe {
+            Some(p) => p.report(msg),
+            None => panic!("analyze: {msg}"),
+        }
+    }
+
+    /// A send event: tick this PE's clock component, mint a trace.
+    pub fn on_send(&mut self) -> EnvTrace {
+        self.clock[self.pe] += 1;
+        self.next_seq += 1;
+        let id = ((self.pe as u64 + 1) << 40) | self.next_seq;
+        self.sent.insert(id);
+        EnvTrace {
+            id,
+            clock: self.clock.clone(),
+        }
+    }
+
+    /// A delivery event: dedup-check, per-channel FIFO check, clock join.
+    pub fn on_deliver(&mut self, src: Pe, trace: &EnvTrace) {
+        if trace.id == 0 {
+            return; // untraced (bootstrap / re-parked)
+        }
+        if !self.delivered.insert(trace.id) {
+            self.violation(format!(
+                "double-delivered envelope {:#x} from PE {src} on PE {}",
+                trace.id, self.pe
+            ));
+        }
+        // FIFO per (src → this PE) channel: the sender ticks its own clock
+        // component on every send, so stamps arriving here from `src` must
+        // be strictly increasing.
+        let stamp = trace.clock.get(src).copied().unwrap_or(0);
+        if let Some(&last) = self.last_from.get(&src) {
+            if stamp <= last {
+                self.violation(format!(
+                    "per-channel FIFO violated on PE {}: envelope {:#x} from PE {src} \
+                     carries stamp {stamp} after stamp {last} was already delivered",
+                    self.pe, trace.id
+                ));
+            }
+        }
+        self.last_from.insert(src, stamp);
+        // Happens-before join, then tick for the local delivery event.
+        for (mine, theirs) in self.clock.iter_mut().zip(&trace.clock) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.clock[self.pe] += 1;
+    }
+
+    /// Entering an entry method on `id`; overlap means broken serialization.
+    pub fn enter_chare(&mut self, id: &ChareId) {
+        if !self.executing.insert(*id) {
+            self.violation(format!(
+                "overlapping entry-method execution on chare {id} (PE {})",
+                self.pe
+            ));
+        }
+    }
+
+    /// Leaving the entry method on `id`.
+    pub fn exit_chare(&mut self, id: &ChareId) {
+        self.executing.remove(id);
+    }
+
+    /// Send/deliver accounting for the end-of-run balance check:
+    /// `(sent ids, delivered ids)`.
+    pub fn summary(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.sent.iter().copied().collect(),
+            self.delivered.iter().copied().collect(),
+        )
+    }
+}
+
+/// Cross-PE balance check, run by the sim driver after the event loop.
+///
+/// `drained` is true when the run ended because the event queue emptied —
+/// true quiescence, at which every sent envelope must have been delivered.
+/// After a clean `exit()` messages may legitimately still be in flight, so
+/// only the duplicate check applies.
+pub fn check_balance(
+    summaries: Vec<(Vec<u64>, Vec<u64>)>,
+    drained: bool,
+    probe: Option<&FaultProbe>,
+) {
+    let mut sent: HashSet<u64> = HashSet::new();
+    let mut delivered: HashSet<u64> = HashSet::new();
+    let report = |msg: String| match probe {
+        Some(p) => p.report(msg),
+        None => panic!("analyze: {msg}"),
+    };
+    for (s, d) in summaries {
+        sent.extend(s);
+        for id in d {
+            if !delivered.insert(id) {
+                report(format!(
+                    "envelope {id:#x} delivered on more than one PE (double delivery across the machine)"
+                ));
+            }
+        }
+    }
+    if drained {
+        let mut lost: Vec<u64> = sent.difference(&delivered).copied().collect();
+        lost.sort_unstable();
+        for id in lost {
+            report(format!(
+                "lost envelope {id:#x}: sent but never delivered, yet the machine reached quiescence"
+            ));
+        }
+    }
+}

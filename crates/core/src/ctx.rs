@@ -175,16 +175,19 @@ impl Ctx {
 
     /// Index of the current chare within its collection (`thisIndex`).
     pub fn my_index(&self) -> Index {
+        // analyze: allow(panic, "API contract: my_index is only callable from inside an entry method, as in CharmPy; elsewhere is user error")
         self.this.expect("my_index outside a chare").index
     }
 
     /// Proxy to the current chare's whole collection (`thisProxy`).
     pub fn this_proxy<T: Chare>(&self) -> Proxy<T> {
+        // analyze: allow(panic, "API contract: this_proxy requires an active chare context; user error otherwise")
         Proxy::collection(self.this.expect("this_proxy outside a chare").coll)
     }
 
     /// Proxy to the current chare itself.
     pub fn this_elem<T: Chare>(&self) -> Proxy<T> {
+        // analyze: allow(panic, "API contract: this_elem requires an active chare context; user error otherwise")
         let id = self.this.expect("this_elem outside a chare");
         Proxy::element(id.coll, id.index)
     }
@@ -291,6 +294,7 @@ impl Ctx {
             id,
             ctype: crate::ids::ChareTypeId(u32::MAX),
             kind: CollKind::Dense {
+                // analyze: allow(payload-copy, "copies a short user-supplied dims slice into collection metadata, not a wire payload")
                 dims: dims.to_vec(),
             },
             placement: opts.placement,
@@ -322,6 +326,7 @@ impl Ctx {
             .seed
             .codec
             .encode_shared(&init)
+            // analyze: allow(panic, "encoding a just-built constructor argument fails only on a codec bug; no recovery is possible")
             .expect("constructor argument failed to encode");
         self.push_create_raw::<T>(spec, bytes);
     }
@@ -354,6 +359,7 @@ impl Ctx {
             .seed
             .codec
             .encode(value)
+            // analyze: allow(panic, "encoding the user's gather contribution fails only on a codec bug")
             .expect("gather contribution failed to encode");
         let index = self.my_index();
         self.contribute(

@@ -34,6 +34,10 @@
 //! substitute for the paper's Cray testbeds that makes the scaling figures
 //! reproducible on any host.
 
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "analyze")]
+pub mod analyze;
 pub mod chare;
 pub mod checkpoint;
 pub mod collections;

@@ -50,9 +50,11 @@ impl Payload {
         match self {
             Payload::Local(b) => *b
                 .downcast::<V>()
+                // analyze: allow(panic, "sender and receiver can disagree on an entry's message type only via a registration bug; surfaced loudly on first use")
                 .unwrap_or_else(|_| panic!("payload type mismatch for {}", std::any::type_name::<V>())),
             Payload::Wire(bytes) => codec
                 .decode::<V>(&bytes)
+                // analyze: allow(panic, "bytes were produced by this codec's own encoder; decode failure is a codec bug")
                 .unwrap_or_else(|e| panic!("payload decode failed for {}: {e}", std::any::type_name::<V>())),
         }
     }
@@ -83,6 +85,7 @@ impl OutPayload {
             encode: |any, codec, pool| {
                 let m = any
                     .downcast_ref::<M>()
+                    // analyze: allow(panic, "the encoder closure is built alongside `any` with the same concrete type; the downcast cannot fail")
                     .expect("OutPayload encoder type invariant");
                 codec.encode_shared_with(pool, m)
             },
@@ -121,6 +124,35 @@ pub struct Envelope {
     pub src: Pe,
     /// What the message is.
     pub kind: EnvKind,
+    /// Happens-before trace (id + sender vector clock) for the dynamic
+    /// race detector. Only present with `--features analyze`.
+    #[cfg(feature = "analyze")]
+    pub trace: crate::analyze::EnvTrace,
+}
+
+impl Envelope {
+    /// Build an envelope; the trace (when the `analyze` feature is on)
+    /// starts untraced and is stamped by the sending scheduler's detector.
+    pub fn new(src: Pe, kind: EnvKind) -> Envelope {
+        Envelope {
+            src,
+            kind,
+            #[cfg(feature = "analyze")]
+            trace: crate::analyze::EnvTrace::default(),
+        }
+    }
+
+    /// Clone the envelope if its kind supports it — used only by the
+    /// fault-injection harness to double-deliver a message. The duplicate
+    /// keeps the original trace id, exactly like a network-level duplicate.
+    #[cfg(feature = "analyze")]
+    pub fn try_clone(&self) -> Option<Envelope> {
+        Some(Envelope {
+            src: self.src,
+            kind: self.kind.try_clone()?,
+            trace: self.trace.clone(),
+        })
+    }
 }
 
 /// The runtime message set.
@@ -342,6 +374,72 @@ impl EnvKind {
                 | EnvKind::RedBroadcast { .. }
                 | EnvKind::MigrateChare { .. }
         )
+    }
+
+    /// Clone the kinds whose payloads are cheaply shareable (wire bytes,
+    /// reduction data) — enough for the fault injector to duplicate any
+    /// cross-PE application envelope. `Payload::Local` and control kinds
+    /// return `None`.
+    #[cfg(feature = "analyze")]
+    pub fn try_clone(&self) -> Option<EnvKind> {
+        fn clone_payload(p: &Payload) -> Option<Payload> {
+            match p {
+                Payload::Local(_) => None,
+                Payload::Wire(b) => Some(Payload::Wire(b.clone())),
+            }
+        }
+        match self {
+            EnvKind::Entry {
+                to,
+                payload,
+                reply,
+                guard,
+            } => Some(EnvKind::Entry {
+                to: *to,
+                payload: clone_payload(payload)?,
+                reply: *reply,
+                guard: *guard,
+            }),
+            EnvKind::BroadcastEntry { coll, bytes, root } => Some(EnvKind::BroadcastEntry {
+                coll: *coll,
+                bytes: bytes.clone(),
+                root: *root,
+            }),
+            EnvKind::InsertElem {
+                coll,
+                index,
+                init,
+                on_pe,
+                placed,
+            } => Some(EnvKind::InsertElem {
+                coll: *coll,
+                index: *index,
+                init: clone_payload(init)?,
+                on_pe: *on_pe,
+                placed: *placed,
+            }),
+            EnvKind::FutureValue { fid, payload } => Some(EnvKind::FutureValue {
+                fid: *fid,
+                payload: clone_payload(payload)?,
+            }),
+            EnvKind::RedDeliver { to, tag, data } => Some(EnvKind::RedDeliver {
+                to: *to,
+                tag: *tag,
+                data: data.clone(),
+            }),
+            EnvKind::RedBroadcast {
+                coll,
+                tag,
+                data,
+                root,
+            } => Some(EnvKind::RedBroadcast {
+                coll: *coll,
+                tag: *tag,
+                data: data.clone(),
+                root: *root,
+            }),
+            _ => None,
+        }
     }
 
     /// Approximate on-wire size for the network cost model.

@@ -49,6 +49,9 @@ pub(crate) struct SchedCfg {
     pub restore_dir: Option<std::path::PathBuf>,
     /// Registered per-message when-conditions.
     pub msg_guards: Arc<MsgGuards>,
+    /// Sink for race-detector findings (tests); `None` panics on violation.
+    #[cfg(feature = "analyze")]
+    pub analyze_probe: Option<crate::analyze::FaultProbe>,
 }
 
 /// Launcher type for coroutines (the boxed closure spawned on a thread).
@@ -163,6 +166,10 @@ pub(crate) struct PeState {
     /// (completed by quiescence detection once every restored chare landed).
     entry_gate: Option<FutureId>,
     main_id: ChareId,
+
+    /// Happens-before detector (vector clocks + send/deliver accounting).
+    #[cfg(feature = "analyze")]
+    pub det: crate::analyze::Detector,
 }
 
 /// Identity of the built-in main chare (hosted on PE 0).
@@ -196,6 +203,8 @@ impl PeState {
             coll_seq: Arc::new(AtomicU32::new(0)),
             registry: Arc::clone(&registry),
         };
+        #[cfg(feature = "analyze")]
+        let det = crate::analyze::Detector::new(pe, npes, cfg.analyze_probe.clone());
         PeState {
             pe,
             npes,
@@ -228,7 +237,15 @@ impl PeState {
             entry,
             entry_gate: None,
             main_id: main_chare_id(),
+            #[cfg(feature = "analyze")]
+            det,
         }
+    }
+
+    /// Send/deliver id accounting for the end-of-run balance check.
+    #[cfg(feature = "analyze")]
+    pub fn det_summary(&self) -> (Vec<u64>, Vec<u64>) {
+        self.det.summary()
     }
 
     /// Current time in nanoseconds (virtual under sim, real elapsed under
@@ -253,7 +270,13 @@ impl PeState {
         if dst != self.pe {
             self.counters.bytes += kind.size_hint() as u64;
         }
-        self.outbox.push((dst, Envelope { src: self.pe, kind }));
+        #[allow(unused_mut)]
+        let mut env = Envelope::new(self.pe, kind);
+        #[cfg(feature = "analyze")]
+        {
+            env.trace = self.det.on_send();
+        }
+        self.outbox.push((dst, env));
     }
 
     /// Charge compute to the current event (and, optionally, a chare).
@@ -274,6 +297,11 @@ impl PeState {
         if env.kind.counts_for_qd() {
             self.counters.processed += 1;
         }
+        // Delivery event: dedup + per-channel FIFO + clock join. Parked
+        // envelopes re-enter via `dispatch()` below, so each delivery is
+        // accounted exactly once.
+        #[cfg(feature = "analyze")]
+        self.det.on_deliver(env.src, &env.trace);
         self.dispatch(env);
     }
 
@@ -382,8 +410,10 @@ impl PeState {
                 for child in children {
                     used += 1;
                     let d = if used == uses {
+                        // analyze: allow(panic, "fan-out discipline: exactly `uses` consumers; the last takes, earlier ones clone, so the Option is Some")
                         data.take().unwrap()
                     } else {
+                        // analyze: allow(panic, "fan-out discipline: a non-final consumer clones while the Option still holds the value")
                         data.as_ref().unwrap().clone()
                     };
                     self.emit(
@@ -399,8 +429,10 @@ impl PeState {
                 for id in members {
                     used += 1;
                     let d = if used == uses {
+                        // analyze: allow(panic, "fan-out discipline: exactly `uses` consumers; the last takes, earlier ones clone, so the Option is Some")
                         data.take().unwrap()
                     } else {
+                        // analyze: allow(panic, "fan-out discipline: a non-final consumer clones while the Option still holds the value")
                         data.as_ref().unwrap().clone()
                     };
                     self.invoke(id, Invoke::Reduced(tag, d));
@@ -490,7 +522,7 @@ impl PeState {
         self.pending_coll
             .entry(coll)
             .or_default()
-            .push(Envelope { src: self.pe, kind });
+            .push(Envelope::new(self.pe, kind));
     }
 
     fn local_members(&self, coll: CollectionId) -> Vec<ChareId> {
@@ -571,15 +603,15 @@ impl PeState {
                     },
                 );
             }
-            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope {
-                src: self.pe,
-                kind: EnvKind::Entry {
+            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope::new(
+                self.pe,
+                EnvKind::Entry {
                     to,
                     payload,
                     reply,
                     guard,
                 },
-            }),
+            )),
             Route::UnknownColl => self.park_unknown_coll(
                 to.coll,
                 EnvKind::Entry {
@@ -596,10 +628,11 @@ impl PeState {
         match self.route_of(&to) {
             Route::Local => self.invoke(to, Invoke::Reduced(tag, data)),
             Route::Remote(pe) => self.emit(pe, EnvKind::RedDeliver { to, tag, data }),
-            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope {
-                src: self.pe,
-                kind: EnvKind::RedDeliver { to, tag, data },
-            }),
+            Route::BufferHere => self
+                .pending_chare
+                .entry(to)
+                .or_default()
+                .push(Envelope::new(self.pe, EnvKind::RedDeliver { to, tag, data })),
             Route::UnknownColl => {
                 self.park_unknown_coll(to.coll, EnvKind::RedDeliver { to, tag, data })
             }
@@ -615,9 +648,11 @@ impl PeState {
         match payload {
             Payload::Wire(b) => Payload::Wire(b),
             Payload::Local(any) => {
+                // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
                 let cs = self.colls.get(&coll).expect("forwarding unknown collection");
                 let vt = self.registry.vtable(cs.spec.ctype);
                 let bytes = (vt.encode_msg)(&*any, self.cfg.codec)
+                    // analyze: allow(panic, "re-encoding a message that was encodable at send time fails only on a codec bug")
                     .expect("message re-encode for forwarding failed");
                 Payload::Wire(WireBytes::from_vec(bytes))
             }
@@ -640,6 +675,7 @@ impl PeState {
             let cs = self
                 .colls
                 .get(&id.coll)
+                // analyze: allow(panic, "delivery paths park messages until the collection spec arrives; decode runs only after it is known")
                 .expect("decode for unknown collection");
             self.registry.vtable(cs.spec.ctype).decode_msg
         };
@@ -655,6 +691,7 @@ impl PeState {
         let codec = self.cfg.codec;
         self.metered(Some(*id), move || {
             decode_msg(codec, bytes)
+                // analyze: allow(panic, "wire bytes come from the matching registered encoder; failure is a codec/registration bug")
                 .unwrap_or_else(|e| panic!("entry message decode failed: {e}"))
         })
     }
@@ -675,7 +712,9 @@ impl PeState {
     /// Both the type's receiver-side guard and the optional per-message
     /// sender-side guard must pass for a message to be deliverable.
     fn guards_pass(&self, id: &ChareId, msg: &BoxMsg, guard: Option<u32>) -> bool {
+        // analyze: allow(panic, "guards_pass is called only for ids the caller just looked up or buffered under; the slot exists")
         let slot = self.chares.get(id).expect("guard check on missing chare");
+        // analyze: allow(panic, "guards never run while the chare is checked out; invoke() returns the box before draining buffers")
         let boxed = slot.boxed.as_ref().expect("chare checked out during guard");
         if !boxed.guard_ok(msg) {
             return false;
@@ -705,12 +744,14 @@ impl PeState {
         guard: Option<u32>,
     ) {
         let guard_ok = self.guards_pass(&id, &msg, guard);
+        // analyze: allow(panic, "route_entry inserted or located this chare before delivery; the slot exists")
         let at_sync = self.chares.get(&id).unwrap().at_sync;
         if !guard_ok || at_sync {
             // Deferred by a when-guard, or parked while the chare sits at an
             // LB sync point (AtSync chares do no work until resumed).
             self.chares
                 .get_mut(&id)
+                // analyze: allow(panic, "slot presence established at the at_sync lookup above in this same delivery")
                 .unwrap()
                 .buffered
                 .push_back(Buffered { msg, reply, guard });
@@ -735,7 +776,10 @@ impl PeState {
             }
             return;
         };
+        // analyze: allow(panic, "the scheduler serializes entry methods per chare, so the box is present (checked dynamically under --features analyze)")
         let mut boxed = slot.boxed.take().expect("re-entrant invoke on one chare");
+        #[cfg(feature = "analyze")]
+        self.det.enter_chare(&id);
         let mut ctx = self.new_ctx(Some(id));
         let t0 = Instant::now();
         match what {
@@ -751,8 +795,11 @@ impl PeState {
             Invoke::ResumeFromSync => boxed.resume_from_sync_dyn(&mut ctx),
         }
         let measured = self.metered_ns(t0);
+        // analyze: allow(panic, "chares are removed only by migration/exit, which cannot interleave with an in-flight invoke on this PE")
         let slot = self.chares.get_mut(&id).expect("slot vanished during invoke");
         slot.boxed = Some(boxed);
+        #[cfg(feature = "analyze")]
+        self.det.exit_chare(&id);
         self.charge_work(measured, Some(&id));
         self.exec_ops(ctx.ops, Some(id), ctx.reply_to);
         self.after_state_change(id);
@@ -798,21 +845,48 @@ impl PeState {
             // scan finds the ready index; the deque extracts it without
             // shifting the rest of the buffer (front-ready, the common
             // case, is a pop).
+            #[cfg(feature = "analyze")]
+            let mut fifo_violation: Option<String> = None;
             let ready_msg = {
+                // analyze: allow(panic, "after_state_change only walks ids that own slots on this PE")
                 let slot = &self.chares[&id];
                 let pos = slot
                     .buffered
                     .iter()
                     .position(|b| self.guards_pass(&id, &b.msg, b.guard));
+                // Independent re-scan: the chosen index must be the FIRST
+                // deliverable one, or the when-guard buffer is draining out
+                // of FIFO order.
+                #[cfg(feature = "analyze")]
+                if let Some(p) = pos {
+                    if let Some(q) = slot
+                        .buffered
+                        .iter()
+                        .take(p)
+                        .position(|b| self.guards_pass(&id, &b.msg, b.guard))
+                    {
+                        fifo_violation = Some(format!(
+                            "when-guard buffer for chare {id} drained out of FIFO order: \
+                             index {q} is deliverable but index {p} was chosen"
+                        ));
+                    }
+                }
+                // analyze: allow(panic, "slot presence established above in the same drain pass")
                 pos.and_then(|pos| self.chares.get_mut(&id).unwrap().buffered.remove(pos))
             };
+            #[cfg(feature = "analyze")]
+            if let Some(v) = fifo_violation {
+                self.det.violation(v);
+            }
             if let Some(b) = ready_msg {
                 self.invoke(id, Invoke::Entry(b.msg, b.reply, b.guard));
                 continue;
             }
             // 2. A coroutine whose wait-predicate is now satisfied.
             let ready_coro = {
+                // analyze: allow(panic, "slot presence established by the caller of this guard re-check")
                 let slot = self.chares.get(&id).unwrap();
+                // analyze: allow(panic, "the box is in place between handler invocations (checked dynamically under --features analyze)")
                 let boxed = slot.boxed.as_ref().unwrap();
                 slot.coros.iter().copied().find(|cid| {
                     match self.coros.get(&cid.0).and_then(|h| h.wait.as_ref()) {
@@ -855,6 +929,7 @@ impl PeState {
                     let payload = self.metered(this, || {
                         payload
                             .into_payload(is_local, byref, codec, &mut pool)
+                            // analyze: allow(panic, "encoding a runtime-built entry message fails only on a codec bug")
                             .expect("entry message failed to encode")
                     });
                     self.encode_pool = pool;
@@ -935,6 +1010,7 @@ impl PeState {
                             self.cfg.codec,
                             &mut self.encode_pool,
                         )
+                        // analyze: allow(panic, "encoding a just-built constructor argument fails only on a codec bug")
                         .expect("constructor argument failed to encode");
                     self.emit(
                         dst,
@@ -961,6 +1037,7 @@ impl PeState {
                             self.cfg.codec,
                             &mut self.encode_pool,
                         )
+                        // analyze: allow(panic, "encoding a future value fails only on a codec bug")
                         .expect("future value failed to encode");
                     self.emit(dst, EnvKind::FutureValue { fid, payload });
                 }
@@ -969,14 +1046,17 @@ impl PeState {
                     reducer,
                     target,
                 } => {
+                    // analyze: allow(panic, "API contract: contribute is only callable inside an entry method")
                     let id = this.expect("contribute outside a chare");
                     self.contribute_local(id, data, reducer, target);
                 }
                 Op::MigrateMe { to } => {
+                    // analyze: allow(panic, "API contract: migrate_me is only callable inside an entry method")
                     let id = this.expect("migrate_me outside a chare");
                     self.migrate_out(id, to, false);
                 }
                 Op::AtSync => {
+                    // analyze: allow(panic, "API contract: at_sync is only callable inside an entry method")
                     let id = this.expect("at_sync outside a chare");
                     if let Some(slot) = self.chares.get_mut(&id) {
                         if !slot.at_sync {
@@ -987,6 +1067,7 @@ impl PeState {
                     self.lb_check_ready();
                 }
                 Op::Go(f) => {
+                    // analyze: allow(panic, "API contract: go is only callable inside an entry method")
                     let id = this.expect("go outside a chare");
                     self.launch_coro(id, f, reply);
                 }
@@ -994,6 +1075,7 @@ impl PeState {
                     if self.cfg.is_sim {
                         self.charge_work(dt.as_nanos() as u64, this.as_ref());
                     } else {
+                        // analyze: allow(blocking, "Charge deliberately burns wall time on the threads backend to emulate compute; it blocks only the charging chare's PE, exactly as real work would")
                         std::thread::sleep(dt);
                         if let Some(id) = &this {
                             if let Some(slot) = self.chares.get_mut(id) {
@@ -1037,6 +1119,7 @@ impl PeState {
         let join = std::thread::Builder::new()
             .name(format!("coro-{id}"))
             .spawn(move || f(side))
+            // analyze: allow(panic, "OS thread spawn fails only on resource exhaustion; the runtime cannot run coroutines without it")
             .expect("failed to spawn coroutine thread");
         let cid = CoroId(self.next_coro);
         self.next_coro += 1;
@@ -1052,17 +1135,21 @@ impl PeState {
         );
         self.chares
             .get_mut(&id)
+            // analyze: allow(panic, "launch_coro is called with an id the scheduler just resolved; the slot exists")
             .expect("go on missing chare")
             .coros
             .push(cid);
         let chare = self
             .chares
             .get_mut(&id)
+            // analyze: allow(panic, "slot presence established at the `go on missing chare` check above")
             .unwrap()
             .boxed
             .take()
+            // analyze: allow(panic, "the box is in place when a coroutine launches; entry methods are serialized per chare")
             .expect("chare checked out at coroutine launch");
         let now_ns = self.now_ns();
+        // analyze: allow(panic, "the handle was inserted into self.coros a few lines above")
         let handle = self.coros.get_mut(&cid.0).unwrap();
         handle
             .tx
@@ -1071,21 +1158,26 @@ impl PeState {
                 now_ns,
                 reply_to: reply,
             })
+            // analyze: allow(panic, "the coroutine thread blocks on the rendezvous before any yield; a closed channel means it died, which is fatal")
             .expect("coroutine died before start");
         let y = handle.rx.recv();
         self.process_yield(cid, y);
     }
 
     fn resume_coro(&mut self, cid: CoroId, value: Option<Payload>) {
+        // analyze: allow(panic, "resume messages are only generated for coroutines this scheduler created and has not completed")
         let id = self.coros.get(&cid.0).expect("resume of unknown coroutine").chare;
         let chare = self
             .chares
             .get_mut(&id)
+            // analyze: allow(panic, "a live coroutine pins its chare; the chare cannot be removed mid-coroutine")
             .expect("coroutine's chare missing")
             .boxed
             .take()
+            // analyze: allow(panic, "the box was returned at the previous yield; no other handler ran for this chare since")
             .expect("chare checked out at coroutine resume");
         let now_ns = self.now_ns();
+        // analyze: allow(panic, "handle presence established at the resume lookup above")
         let handle = self.coros.get_mut(&cid.0).unwrap();
         handle.wait = None;
         handle
@@ -1095,12 +1187,14 @@ impl PeState {
                 value,
                 now_ns,
             })
+            // analyze: allow(panic, "a closed rendezvous channel means the coroutine thread died; fatal")
             .expect("coroutine died before resume");
         let y = handle.rx.recv();
         self.process_yield(cid, y);
     }
 
     fn process_yield(&mut self, cid: CoroId, y: Result<CoroYield, mpsc::RecvError>) {
+        // analyze: allow(panic, "yields only come from coroutines this scheduler launched")
         let id = self.coros.get(&cid.0).expect("yield from unknown coroutine").chare;
         match y {
             Ok(CoroYield::Blocked {
@@ -1110,12 +1204,14 @@ impl PeState {
                 work_ns,
             }) => {
                 let measured_ns = self.scale_coro_work(work_ns);
+                // analyze: allow(panic, "the chare slot outlives its coroutines; presence established at launch")
                 self.chares.get_mut(&id).unwrap().boxed = Some(chare);
                 self.charge_work(measured_ns, Some(&id));
                 let register_future = match &wait {
                     WaitKind::Future(fid) => Some(*fid),
                     WaitKind::Pred(_) => None,
                 };
+                // analyze: allow(panic, "handle presence established when the yield was received")
                 self.coros.get_mut(&cid.0).unwrap().wait = Some(wait);
                 // Flush the coroutine's buffered ops *before* checking for
                 // an already-ready future, so they are never lost.
@@ -1128,6 +1224,7 @@ impl PeState {
                             return;
                         }
                         Some(FutState::Waiting(_)) => {
+                            // analyze: allow(panic, "one-waiter-per-future discipline: wait() consumes the future, so a second waiter is a user bug worth failing fast")
                             panic!("two coroutines waiting on one future")
                         }
                         _ => {
@@ -1143,6 +1240,7 @@ impl PeState {
                 work_ns,
             }) => {
                 let measured_ns = self.scale_coro_work(work_ns);
+                // analyze: allow(panic, "the chare slot outlives its coroutines; presence established at resume")
                 self.chares.get_mut(&id).unwrap().boxed = Some(chare);
                 self.charge_work(measured_ns, Some(&id));
                 if let Some(mut h) = self.coros.remove(&cid.0) {
@@ -1166,6 +1264,7 @@ impl PeState {
                     .and_then(|j| j.join().err());
                 match payload {
                     Some(p) => std::panic::resume_unwind(p),
+                    // analyze: allow(panic, "a coroutine ending without Done or a yield means its thread panicked; propagate the failure")
                     None => panic!("coroutine for chare {id} terminated unexpectedly"),
                 }
             }
@@ -1186,6 +1285,7 @@ impl PeState {
         }
         match self.futures.remove(&fid) {
             Some(FutState::Waiting(cid)) => self.resume_coro(cid, Some(payload)),
+            // analyze: allow(panic, "futures complete exactly once by protocol; a second FutureValue is runtime corruption (the analyze detector reports it as double delivery)")
             Some(FutState::Ready(_)) => panic!("future {fid:?} completed twice"),
             _ => {
                 self.futures.insert(fid, FutState::Ready(payload));
@@ -1200,10 +1300,12 @@ impl PeState {
     fn initial_counts(&self, spec: &CollSpec) -> Vec<u64> {
         let mut counts = vec![0u64; self.npes];
         match &spec.kind {
+            // analyze: allow(panic, "pe indices come from placement and are bounded by npes; counts was sized to npes")
             CollKind::Singleton { pe } => counts[*pe] += 1,
             CollKind::Group => counts.iter_mut().for_each(|c| *c += 1),
             CollKind::Dense { dims } => {
                 for ix in CollSpec::dense_indices(dims) {
+                    // analyze: allow(panic, "place() reduces indices mod npes; counts was sized to npes")
                     counts[spec.place(&ix, self.npes, &self.placements)] += 1;
                 }
             }
@@ -1213,6 +1315,7 @@ impl PeState {
     }
 
     fn subtree_total(&self, counts: &[u64], pe: Pe) -> u64 {
+        // analyze: allow(panic, "pe iterates 0..npes here; counts was sized to npes")
         counts[pe]
             + self
                 .cfg
@@ -1237,6 +1340,7 @@ impl PeState {
         let counts = self.initial_counts(&spec);
         let coll = spec.id;
         let state = CollState {
+            // analyze: allow(panic, "self.pe is bounded by npes; counts was sized to npes")
             local_members: counts[self.pe],
             subtree_members: self.subtree_total(&counts, self.pe),
             done_inserting: !matches!(spec.kind, CollKind::Sparse),
@@ -1269,14 +1373,17 @@ impl PeState {
     }
 
     fn construct_member(&mut self, id: ChareId, init_bytes: &WireBytes) {
+        // analyze: allow(panic, "construct messages are only routed after the spec broadcast that created the collection")
         let cs = self.colls.get(&id.coll).expect("construct without spec");
         let vt = self.registry.vtable(cs.spec.ctype);
         let init = (vt.decode_init)(self.cfg.codec, init_bytes)
+            // analyze: allow(panic, "constructor bytes come from the matching registered encoder; failure is a codec bug")
             .unwrap_or_else(|e| panic!("constructor argument decode failed: {e}"));
         self.construct_member_box(id, init);
     }
 
     fn construct_member_box(&mut self, id: ChareId, init: BoxMsg) {
+        // analyze: allow(panic, "spec presence established at the construct lookup above")
         let cs = self.colls.get(&id.coll).expect("construct without spec");
         let ctype = cs.spec.ctype;
         let construct = self.registry.vtable(ctype).construct;
@@ -1341,9 +1448,11 @@ impl PeState {
         let init_box = match init {
             Payload::Local(b) => b,
             Payload::Wire(bytes) => (vt.decode_init)(self.cfg.codec, &bytes)
+                // analyze: allow(panic, "constructor bytes come from the matching registered encoder; failure is a codec bug")
                 .unwrap_or_else(|e| panic!("constructor argument decode failed: {e}")),
         };
         {
+            // analyze: allow(panic, "spec presence established earlier in this insert path")
             let cs = self.colls.get_mut(&coll).unwrap();
             cs.local_members += 1;
             cs.subtree_members += 1;
@@ -1364,6 +1473,7 @@ impl PeState {
         match init {
             Payload::Wire(b) => Payload::Wire(b),
             Payload::Local(any) => {
+                // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
                 let cs = self.colls.get(&coll).expect("forwarding unknown collection");
                 let vt = self.registry.vtable(cs.spec.ctype);
                 // Init payloads use the init decoder, so encode via the
@@ -1372,6 +1482,7 @@ impl PeState {
                 // Local init here means dst was believed local; encode with
                 // the vtable's init encoder.
                 let bytes = (vt.encode_init)(&*any, self.cfg.codec)
+                    // analyze: allow(panic, "re-encoding an argument that was encodable at send time fails only on a codec bug")
                     .expect("constructor argument re-encode failed");
                 Payload::Wire(WireBytes::from_vec(bytes))
             }
@@ -1391,12 +1502,14 @@ impl PeState {
     ) {
         let coll = id.coll;
         let redno = {
+            // analyze: allow(panic, "contribute is invoked by a live chare on this PE; its slot exists")
             let slot = self.chares.get_mut(&id).expect("contribute from missing chare");
             let n = slot.red_seq;
             slot.red_seq += 1;
             n
         };
         self.red_merge(coll, redno, 1, data, Some(reducer), Some(target));
+        // analyze: allow(panic, "the reduction state was created by the entry check just above")
         let st = self.reds.get_mut(&(coll, redno)).unwrap();
         st.local_got += 1;
         self.red_try_complete(coll, redno);
@@ -1422,11 +1535,13 @@ impl PeState {
         st.parts.push(data);
         // Combine incrementally so memory stays bounded for big fan-ins.
         if st.parts.len() >= 2 {
+            // analyze: allow(panic, "every contribute path sets the reducer before pushing a part")
             let reducer = st.reducer.expect("reduction without reducer");
             let parts = std::mem::take(&mut st.parts);
             let combined = combine(reducer, parts, &self.reducers);
             self.reds
                 .get_mut(&(coll, redno))
+                // analyze: allow(panic, "the (coll, redno) entry was fetched mutably two lines up; still present")
                 .unwrap()
                 .parts
                 .push(combined);
@@ -1436,6 +1551,7 @@ impl PeState {
     fn red_try_complete(&mut self, coll: CollectionId, redno: u64) {
         let Some(cs) = self.colls.get(&coll) else { return };
         let expected = self.subtree_expected(coll);
+        // analyze: allow(panic, "callers only check completion for reductions with live state")
         let st = self.reds.get(&(coll, redno)).expect("red state missing");
         if expected == 0 || st.count < expected {
             return;
@@ -1447,9 +1563,12 @@ impl PeState {
             expected,
             cs.spec.id
         );
+        // analyze: allow(panic, "completion runs at most once; the caller verified the state is present")
         let mut st = self.reds.remove(&(coll, redno)).unwrap();
+        // analyze: allow(panic, "every contribution set the reducer; a reduction cannot complete without one")
         let reducer = st.reducer.expect("completing reduction without reducer");
         let data = if st.parts.len() == 1 {
+            // analyze: allow(panic, "the len()==1 branch guarantees a part to pop")
             st.parts.pop().unwrap()
         } else {
             combine(reducer, std::mem::take(&mut st.parts), &self.reducers)
@@ -1468,6 +1587,7 @@ impl PeState {
             ),
             None => {
                 // Root: deliver to the target.
+                // analyze: allow(panic, "the reduction's target was recorded at creation from the contribute call")
                 let target = st.target.expect("reduction completed without target");
                 self.red_deliver(target, data);
             }
@@ -1489,6 +1609,7 @@ impl PeState {
                         self.cfg.codec,
                         &mut self.encode_pool,
                     )
+                    // analyze: allow(panic, "encoding the reduction result fails only on a codec bug")
                     .expect("reduction result failed to encode");
                 self.emit(dst, EnvKind::FutureValue { fid, payload });
             }
@@ -1524,6 +1645,7 @@ impl PeState {
             let slot = self
                 .chares
                 .get(&id)
+                // analyze: allow(panic, "LbDoMigrate names chares the central LB just saw in this PE's stats; absence means runtime corruption")
                 .unwrap_or_else(|| panic!("migrate_out of missing chare {id}"));
             assert!(
                 slot.coros.is_empty(),
@@ -1531,28 +1653,34 @@ impl PeState {
             );
         }
         let (encode_msg, home) = {
+            // analyze: allow(panic, "a chare cannot exist without its collection's spec on its PE")
             let cs = self.colls.get(&id.coll).expect("migrate without spec");
             (
                 self.registry.vtable(cs.spec.ctype).encode_msg,
                 cs.spec.home_pe(&id.index, self.npes),
             )
         };
+        // analyze: allow(panic, "presence checked by migrate_out's lookup at entry")
         let slot = self.chares.remove(&id).unwrap();
+        // analyze: allow(panic, "migration initiates between entry methods; the box is in place")
         let boxed = slot.boxed.expect("chare checked out at migration");
         let data = boxed
             .pack(self.cfg.codec)
             .unwrap_or_else(|| {
+                // analyze: allow(panic, "migrating a chare type without pack support is a registration bug, surfaced at the first migration attempt")
                 panic!(
                     "{} is not migratable; use register_migratable",
                     self.registry.vtable(boxed.type_id()).name
                 )
             })
+            // analyze: allow(panic, "encoding chare state for migration fails only on a codec bug")
             .expect("chare state failed to encode");
         let buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)> = slot
             .buffered
             .iter()
             .map(|b| {
                 (
+                    // analyze: allow(panic, "buffered messages were encodable at send time; re-encode fails only on a codec bug")
                     encode_msg(&*b.msg, self.cfg.codec).expect("buffered message encode failed"),
                     b.reply,
                     b.guard,
@@ -1560,6 +1688,7 @@ impl PeState {
             })
             .collect();
         {
+            // analyze: allow(panic, "spec presence established at migrate_out entry")
             let cs = self.colls.get_mut(&id.coll).unwrap();
             cs.local_members -= 1;
             cs.subtree_members -= 1;
@@ -1615,9 +1744,11 @@ impl PeState {
         };
         let id = ChareId { coll, index };
         let vt = self.registry.vtable(cs.spec.ctype);
+        // analyze: allow(panic, "migrated-in chares were packed by a type whose vtable migrates; missing unpack is a registration bug")
         let unpack = vt.unpack.expect("migrated chare type lacks unpack");
         let decode_msg = vt.decode_msg;
         let boxed = unpack(self.cfg.codec, &data, cs.spec.ctype)
+            // analyze: allow(panic, "state bytes come from the matching pack; decode failure is a codec bug")
             .unwrap_or_else(|e| panic!("migrated chare decode failed: {e}"));
         let mut slot = Slot::new(boxed);
         slot.load_ns = load_ns;
@@ -1625,12 +1756,14 @@ impl PeState {
         slot.at_sync = for_lb; // LB migrants resume with everyone else
         for (bytes, reply, guard) in buffered {
             let msg = decode_msg(self.cfg.codec, &bytes)
+                // analyze: allow(panic, "buffered bytes come from the matching encoder; decode failure is a codec bug")
                 .unwrap_or_else(|e| panic!("buffered message decode failed: {e}"));
             slot.buffered.push_back(Buffered { msg, reply, guard });
         }
         self.chares.insert(id, slot);
         self.locations.remove(&id);
         {
+            // analyze: allow(panic, "home routing ships migrations only to PEs that hold the collection spec")
             let cs = self.colls.get_mut(&coll).unwrap();
             cs.local_members += 1;
             cs.subtree_members += 1;
@@ -1638,6 +1771,7 @@ impl PeState {
         if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
             self.emit(parent, EnvKind::SubtreeAdd { coll, delta: 1 });
         }
+        // analyze: allow(panic, "spec presence established in this same migrate-in path")
         let home = cs_home(self.colls.get(&coll).unwrap(), &index, self.npes);
         if home != self.pe {
             self.emit(home, EnvKind::LocationUpdate { id, pe: self.pe });
@@ -1681,9 +1815,11 @@ impl PeState {
         let stats: Vec<LbChareStat> = participants
             .iter()
             .map(|id| {
+                // analyze: allow(panic, "LB stats walk this PE's own chare map keys")
                 let slot = &self.chares[id];
                 let migratable = self
                     .registry
+                    // analyze: allow(panic, "a chare's collection spec exists wherever the chare lives")
                     .vtable(self.colls[&id.coll].spec.ctype)
                     .migratable;
                 LbChareStat {
@@ -1696,6 +1832,7 @@ impl PeState {
             .collect();
         // Loads reset at the epoch boundary.
         for id in &participants {
+            // analyze: allow(panic, "participants are keys of self.chares collected above")
             self.chares.get_mut(id).unwrap().load_ns = 0;
         }
         self.lb.stats_sent = true;
@@ -1742,13 +1879,23 @@ impl PeState {
             self.lb_finish_epoch();
             return;
         }
-        let total = moves.len() as u64;
-        self.lb_central.migrations_pending = total;
         let mut per_pe: HashMap<Pe, Vec<(ChareId, Pe)>> = HashMap::new();
+        let mut total = 0u64;
         for (id, dst) in moves {
-            let owner = stats.chares.iter().find(|c| c.id == id).unwrap().pe;
+            // A strategy returning a move for a chare absent from its own
+            // input stats is a strategy bug; skip that move instead of
+            // panicking the PE mid-epoch.
+            let Some(owner) = stats.chares.iter().find(|c| c.id == id).map(|c| c.pe) else {
+                continue;
+            };
+            total += 1;
             per_pe.entry(owner).or_default().push((id, dst));
         }
+        if total == 0 {
+            self.lb_finish_epoch();
+            return;
+        }
+        self.lb_central.migrations_pending = total;
         for (owner, moves) in per_pe {
             self.emit(owner, EnvKind::LbDoMigrate { moves, total });
         }
@@ -1823,6 +1970,7 @@ impl PeState {
         let mut ids: Vec<_> = self.chares.keys().copied().collect();
         ids.sort();
         for id in ids {
+            // analyze: allow(panic, "debug dump walks this PE's own chare map keys")
             let slot = &self.chares[&id];
             if !slot.buffered.is_empty() || slot.at_sync || slot.red_seq > 0 {
                 eprintln!(
@@ -1917,6 +2065,7 @@ impl PeState {
                                 self.cfg.codec,
                                 &mut self.encode_pool,
                             )
+                            // analyze: allow(panic, "encoding the unit value fails only on a codec bug")
                             .expect("() failed to encode");
                         self.emit(dst, EnvKind::FutureValue { fid, payload });
                     }
@@ -1948,22 +2097,27 @@ impl PeState {
         ids.sort();
         let mut chares = Vec::with_capacity(ids.len());
         for id in ids {
+            // analyze: allow(panic, "checkpoint walks this PE's own chares; their specs exist locally")
             let cs = &self.colls[&id.coll];
             let encode_msg = self.registry.vtable(cs.spec.ctype).encode_msg;
+            // analyze: allow(panic, "checkpoint walks this PE's own chare map keys")
             let slot = &self.chares[&id];
             assert!(
                 slot.coros.is_empty(),
                 "cannot checkpoint {id}: a threaded entry method is active"
             );
+            // analyze: allow(panic, "checkpoints run between entry methods; the box is in place")
             let boxed = slot.boxed.as_ref().expect("chare checked out at checkpoint");
             let data = boxed
                 .pack(self.cfg.codec)
                 .unwrap_or_else(|| {
+                    // analyze: allow(panic, "checkpointing a chare type without pack support is a registration bug")
                     panic!(
                         "{} is not migratable; checkpointing requires register_migratable",
                         self.registry.vtable(boxed.type_id()).name
                     )
                 })
+                // analyze: allow(panic, "encoding chare state for checkpoint fails only on a codec bug")
                 .expect("chare state failed to encode");
             let buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)> = slot
                 .buffered
@@ -1971,6 +2125,7 @@ impl PeState {
                 .map(|b| {
                     (
                         encode_msg(&*b.msg, self.cfg.codec)
+                            // analyze: allow(panic, "buffered messages were encodable at send time")
                             .expect("buffered message encode failed"),
                         b.reply,
                         b.guard,
@@ -1993,12 +2148,18 @@ impl PeState {
             chares,
         };
         checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
+            // analyze: allow(panic, "an unwritable checkpoint directory is an unrecoverable operator error; fail loudly rather than silently drop the checkpoint")
             .unwrap_or_else(|e| panic!("checkpoint write failed on PE {}: {e}", self.pe));
         self.emit(initiator, EnvKind::CkptAck { saved });
     }
 
     fn ckpt_ack(&mut self, saved: u64) {
-        let (fid, left, total) = self.ckpt.take().expect("stray checkpoint ack");
+        // A late or duplicate ack after the checkpoint window closed is a
+        // peer-protocol anomaly, not a local invariant violation: drop it
+        // rather than bringing the PE down.
+        let Some((fid, left, total)) = self.ckpt.take() else {
+            return;
+        };
         let total = total + saved;
         if left > 1 {
             self.ckpt = Some((fid, left - 1, total));
@@ -2012,6 +2173,7 @@ impl PeState {
                 self.cfg.codec,
                 &mut self.encode_pool,
             )
+            // analyze: allow(panic, "encoding the checkpoint count fails only on a codec bug")
             .expect("checkpoint count failed to encode");
         self.emit(dst, EnvKind::FutureValue { fid, payload });
     }
@@ -2054,6 +2216,7 @@ impl PeState {
     /// their placement policy onto the *current* PE count.
     fn restore_from(&mut self, dir: &std::path::Path) {
         let files = checkpoint::read_all(dir)
+            // analyze: allow(panic, "restore from an unreadable or corrupt checkpoint cannot proceed; fail loudly")
             .unwrap_or_else(|e| panic!("checkpoint restore failed: {e}"));
         let mut seen = std::collections::HashSet::new();
         let mut specs = Vec::new();
@@ -2077,6 +2240,7 @@ impl PeState {
             specs
                 .iter()
                 .find(|s| s.id == coll)
+                // analyze: allow(panic, "a checkpoint naming a collection absent from the restored spec set is corrupt input; fail loudly")
                 .unwrap_or_else(|| panic!("checkpointed chare of unknown collection {coll}"))
         };
         let mut restored = 0u64;
@@ -2154,6 +2318,7 @@ impl PeState {
                 self.registry.type_of::<crate::runtime::Main>(),
             ))),
         );
+        // analyze: allow(panic, "bootstrap runs exactly once and Runtime::run always sets the entry closure first")
         let entry = self.entry.take().expect("bootstrap without entry closure");
         self.launch_coro(id, entry, None);
     }

@@ -93,6 +93,7 @@ impl<T: Chare> Proxy<T> {
                     .seed
                     .codec
                     .encode_shared(&msg)
+                    // analyze: allow(panic, "encoding the user's broadcast message fails only on a codec bug")
                     .expect("broadcast message failed to encode");
                 ctx.ops.push(Op::Broadcast {
                     coll: self.coll,
@@ -108,6 +109,7 @@ impl<T: Chare> Proxy<T> {
     pub fn call<V: Message>(&self, ctx: &mut Ctx, msg: T::Msg) -> Future<V> {
         let index = self
             .index
+            // analyze: allow(panic, "API contract: call() on a whole-collection proxy is a user error, reported like CharmPy's exception")
             .expect("call() needs an element proxy; use reductions for collective results");
         let fut = ctx.create_future::<V>();
         ctx.ops.push(Op::SendElem {
@@ -130,6 +132,7 @@ impl<T: Chare> Proxy<T> {
     pub fn send_when(&self, ctx: &mut Ctx, msg: T::Msg, guard: MsgGuard) {
         let index = self
             .index
+            // analyze: allow(panic, "API contract: send_when requires an element proxy; user error otherwise")
             .expect("send_when needs an element proxy");
         ctx.ops.push(Op::SendElem {
             to: ChareId {
@@ -258,6 +261,7 @@ impl<T: Chare> Section<T> {
             .seed
             .codec
             .encode_shared(&msg)
+            // analyze: allow(panic, "encoding the user's multicast message fails only on a codec bug")
             .expect("multicast message failed to encode");
         ctx.ops.push(Op::Multicast {
             coll: self.coll,

@@ -57,6 +57,7 @@ impl RedData {
     pub fn as_i64(&self) -> i64 {
         match self {
             RedData::I64(v) => *v,
+            // analyze: allow(panic, "API contract: the program asked for i64 but the reducer yielded another kind; user bug surfaced at the boundary")
             other => panic!("reduction produced {}, expected i64", other.kind()),
         }
     }
@@ -65,6 +66,7 @@ impl RedData {
     pub fn as_f64(&self) -> f64 {
         match self {
             RedData::F64(v) => *v,
+            // analyze: allow(panic, "API contract: result-kind mismatch (expected f64) is a user bug surfaced at the boundary")
             other => panic!("reduction produced {}, expected f64", other.kind()),
         }
     }
@@ -73,6 +75,7 @@ impl RedData {
     pub fn as_vec_f64(&self) -> &[f64] {
         match self {
             RedData::VecF64(v) => v,
+            // analyze: allow(panic, "API contract: result-kind mismatch (expected vec<f64>) is a user bug surfaced at the boundary")
             other => panic!("reduction produced {}, expected vec<f64>", other.kind()),
         }
     }
@@ -81,6 +84,7 @@ impl RedData {
     pub fn as_vec_i64(&self) -> &[i64] {
         match self {
             RedData::VecI64(v) => v,
+            // analyze: allow(panic, "API contract: result-kind mismatch (expected vec<i64>) is a user bug surfaced at the boundary")
             other => panic!("reduction produced {}, expected vec<i64>", other.kind()),
         }
     }
@@ -157,6 +161,7 @@ impl CustomReducers {
         &*self
             .fns
             .get(id as usize)
+            // analyze: allow(panic, "using a custom reducer id that was never registered is a user bug; no sane fallback exists")
             .unwrap_or_else(|| panic!("custom reducer {id} not registered"))
             .1
     }
@@ -187,6 +192,7 @@ fn combine2(r: Reducer, a: RedData, b: RedData) -> RedData {
                     Product => xi.wrapping_mul(*yi),
                     Max => (*xi).max(*yi),
                     Min => (*xi).min(*yi),
+                    // analyze: allow(panic, "API contract: applying this reducer to vec<i64> is undefined; user bug")
                     _ => panic!("reducer {op:?} not applicable to vec<i64>"),
                 };
             }
@@ -200,6 +206,7 @@ fn combine2(r: Reducer, a: RedData, b: RedData) -> RedData {
                     Product => *xi * yi,
                     Max => xi.max(*yi),
                     Min => xi.min(*yi),
+                    // analyze: allow(panic, "API contract: applying this reducer to vec<f64> is undefined; user bug")
                     _ => panic!("reducer {op:?} not applicable to vec<f64>"),
                 };
             }
@@ -210,6 +217,7 @@ fn combine2(r: Reducer, a: RedData, b: RedData) -> RedData {
             x.sort_by_key(|a| a.0);
             RedData::Gather(x)
         }
+        // analyze: allow(panic, "API contract: contributions of mismatched kinds cannot be combined; user bug")
         (op, a, b) => panic!(
             "reducer {op:?} cannot combine {} with {}",
             a.kind(),
@@ -231,6 +239,7 @@ pub fn combine(reducer: Reducer, mut parts: Vec<RedData>, custom: &CustomReducer
         return RedData::Unit;
     }
     let mut acc = match parts.is_empty() {
+        // analyze: allow(panic, "combine is only called once at least one part exists; empty input is a scheduler bug worth failing fast")
         true => panic!("combine called with no contributions"),
         false => parts.remove(0),
     };
@@ -352,6 +361,7 @@ mod tests {
                 let idx: Vec<i32> = items.iter().map(|(i, _)| i.first()).collect();
                 assert_eq!(idx, vec![1, 2, 3]);
             }
+            // analyze: allow(panic, "API contract: reading a gather result from a non-gather reduction is a user bug")
             other => panic!("expected gather, got {other:?}"),
         }
     }

@@ -108,6 +108,15 @@ pub struct Runtime {
     placements: Placements,
     restore_dir: Option<std::path::PathBuf>,
     msg_guards: MsgGuards,
+    /// Sim backend: jitter message delivery order with this seed (FIFO
+    /// per channel is preserved). Drives the schedule-permutation harness.
+    permute: Option<u64>,
+    /// Network fault injected by the sim driver (detector tests).
+    #[cfg(feature = "analyze")]
+    inject: Option<crate::analyze::InjectFault>,
+    /// Findings sink shared with every PE's detector.
+    #[cfg(feature = "analyze")]
+    probe: Option<crate::analyze::FaultProbe>,
 }
 
 impl Runtime {
@@ -129,7 +138,45 @@ impl Runtime {
             placements: Placements::default(),
             restore_dir: None,
             msg_guards: MsgGuards::default(),
+            permute: None,
+            #[cfg(feature = "analyze")]
+            inject: None,
+            #[cfg(feature = "analyze")]
+            probe: None,
         }
+    }
+
+    /// Sim backend: permute the delivery schedule with a deterministic
+    /// seed. Per-channel FIFO order is preserved (as the network
+    /// guarantees); everything else — cross-channel interleaving, the order
+    /// concurrent messages reach one PE — is jittered. Running the same
+    /// program under many seeds and diffing results is the
+    /// schedule-permutation harness of DESIGN.md §6.
+    pub fn permute_schedule(mut self, seed: u64) -> Self {
+        self.permute = Some(seed);
+        self
+    }
+
+    /// Install a findings probe: detector violations are collected instead
+    /// of panicking. Returns the probe for inspection after `run`.
+    #[cfg(feature = "analyze")]
+    pub fn analyze_probe(mut self) -> (Self, crate::analyze::FaultProbe) {
+        let probe = self
+            .probe
+            .get_or_insert_with(crate::analyze::FaultProbe::new)
+            .clone();
+        (self, probe)
+    }
+
+    /// Inject a network fault on the sim backend (tests): the detector must
+    /// report it through the returned probe.
+    #[cfg(feature = "analyze")]
+    pub fn analyze_inject(
+        mut self,
+        fault: crate::analyze::InjectFault,
+    ) -> (Self, crate::analyze::FaultProbe) {
+        self.inject = Some(fault);
+        self.analyze_probe()
     }
 
     /// Number of PEs this runtime will drive.
@@ -283,6 +330,8 @@ impl Runtime {
             is_sim,
             restore_dir,
             msg_guards: Arc::new(self.msg_guards.clone()),
+            #[cfg(feature = "analyze")]
+            analyze_probe: self.probe.clone(),
         });
         let registry = Arc::new(std::mem::take(&mut self.registry));
         let placements = Arc::new(self.placements.clone());
@@ -306,7 +355,16 @@ impl Runtime {
 
         match self.backend {
             Backend::Threads => run_threads(self.npes, self.idle_timeout, mk_pe, entry_fn, start),
-            Backend::Sim(model) => run_sim(self.npes, model, mk_pe, entry_fn, start),
+            Backend::Sim(model) => run_sim(
+                self.npes,
+                model,
+                mk_pe,
+                entry_fn,
+                start,
+                self.permute,
+                #[cfg(feature = "analyze")]
+                self.inject,
+            ),
         }
     }
 }
@@ -328,10 +386,7 @@ fn run_threads(
         receivers.push(rx);
     }
     senders[0]
-        .send(Envelope {
-            src: 0,
-            kind: EnvKind::Bootstrap,
-        })
+        .send(Envelope::new(0, EnvKind::Bootstrap))
         .expect("bootstrap send failed");
 
     let mut entry_slot = Some(entry_fn);
@@ -405,22 +460,29 @@ fn run_sim(
     mk_pe: impl Fn(Pe, Option<crate::pe::CoroLauncher>) -> PeState,
     entry_fn: crate::pe::CoroLauncher,
     start: Instant,
+    permute: Option<u64>,
+    #[cfg(feature = "analyze")] inject: Option<crate::analyze::InjectFault>,
 ) -> RunReport {
     let mut entry_slot = Some(entry_fn);
     let mut pes: Vec<PeState> = (0..npes)
         .map(|pe| mk_pe(pe, if pe == 0 { entry_slot.take() } else { None }))
         .collect();
     let mut events: EventQueue<(Pe, Envelope)> = EventQueue::new();
-    events.push(
-        VTime::ZERO,
-        (
-            0,
-            Envelope {
-                src: 0,
-                kind: EnvKind::Bootstrap,
-            },
-        ),
-    );
+    events.push(VTime::ZERO, (0, Envelope::new(0, EnvKind::Bootstrap)));
+
+    // Schedule permutation: deterministic per-seed jitter on delivery
+    // times, preserving per-channel FIFO (the ordering real networks and
+    // the threads backend guarantee).
+    let mut permuter = permute.map(charm_sim::PermuteSchedule::new);
+    // Per-channel arrival clamp: the baseline delay model is size-dependent
+    // and may reorder one channel's messages; under the detector we pin
+    // channels FIFO so an ordering violation is a runtime bug, not a model
+    // artifact.
+    #[cfg(feature = "analyze")]
+    let mut last_arrival: std::collections::HashMap<(Pe, Pe), u64> = std::collections::HashMap::new();
+    // Fault injection: (fault, count of QD-counted envelopes shipped).
+    #[cfg(feature = "analyze")]
+    let mut inject_state = inject.map(|f| (f, 0u64));
 
     let mut clean_exit = false;
     while let Some((t, (pe, env))) = events.pop() {
@@ -432,14 +494,59 @@ fn run_sim(
         let outbox: Vec<(Pe, Envelope)> = state.outbox.drain(..).collect();
         let exited = state.exited;
         for (dst, env) in outbox {
+            #[cfg(feature = "analyze")]
+            let mut duplicate: Option<Envelope> = None;
+            #[cfg(feature = "analyze")]
+            if let Some((fault, count)) = &mut inject_state {
+                if env.kind.counts_for_qd() {
+                    let n = *count;
+                    *count += 1;
+                    match *fault {
+                        crate::analyze::InjectFault::DropNth(k) if k == n => continue,
+                        crate::analyze::InjectFault::DuplicateNth(k) if k == n => {
+                            duplicate = env.try_clone();
+                        }
+                        _ => {}
+                    }
+                }
+            }
             let delay = model.msg_delay(pe, dst, env.kind.size_hint());
-            events.push(VTime::from_nanos(now) + delay, (dst, env));
+            let mut at = VTime::from_nanos(now) + delay;
+            if let Some(p) = &mut permuter {
+                at = p.delivery_time(pe, dst, at);
+            }
+            #[cfg(feature = "analyze")]
+            {
+                let last = last_arrival.entry((pe, dst)).or_insert(0);
+                if at.as_nanos() <= *last {
+                    at = VTime::from_nanos(*last + 1);
+                }
+                *last = at.as_nanos();
+            }
+            events.push(at, (dst, env));
+            #[cfg(feature = "analyze")]
+            if let Some(dup) = duplicate {
+                // The duplicate trails the original on the same channel,
+                // like a network-level retransmission.
+                let at2 = VTime::from_nanos(at.as_nanos() + 1);
+                last_arrival.insert((pe, dst), at2.as_nanos());
+                events.push(at2, (dst, dup));
+            }
         }
         if exited {
             clean_exit = true;
             break;
         }
     }
+
+    // Send/deliver accounting must balance once the machine is quiescent:
+    // a drained queue with sent ids never delivered means lost envelopes.
+    #[cfg(feature = "analyze")]
+    crate::analyze::check_balance(
+        pes.iter().map(|p| p.det_summary()).collect(),
+        !clean_exit,
+        pes[0].cfg.analyze_probe.as_ref(),
+    );
 
     if !clean_exit {
         eprintln!("charm-rs sim: event queue drained without exit() — stalled state:");

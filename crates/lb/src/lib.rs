@@ -12,6 +12,8 @@
 //!   strategy, like Charm++'s rotate balancer.
 //! * [`RandLb`] — seeded random placement, a baseline for benchmarks.
 
+#![forbid(unsafe_code)]
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

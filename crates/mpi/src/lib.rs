@@ -23,6 +23,8 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
 

@@ -25,6 +25,8 @@
 //!     });
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::{Mutex, OnceLock};

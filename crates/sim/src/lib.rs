@@ -20,12 +20,16 @@
 //! The event loop that drives PE scheduling lives in `charm-core`; it is a
 //! consumer of these types.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
+pub mod permute;
 pub mod queue;
 pub mod time;
 pub mod topology;
 
 pub use model::MachineModel;
+pub use permute::PermuteSchedule;
 pub use queue::EventQueue;
 pub use time::VTime;
 pub use topology::Topology;

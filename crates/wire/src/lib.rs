@@ -12,6 +12,9 @@
 //! numeric buffer that serializes as a single raw byte block under *both*
 //! codecs, bypassing per-element work entirely.
 
+// analyze: allow(unsafe, "buffer.rs reinterprets sealed POD scalar slices as bytes for zero-copy pup; both unsafe blocks carry SAFETY proofs")
+#![deny(unsafe_code)]
+
 pub mod buffer;
 pub mod error;
 pub mod fast;

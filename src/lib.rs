@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the charm-rs workspace.
+
+#![forbid(unsafe_code)]
+
 pub use charm_core as core;
 pub use charm_wire as wire;
 pub use charm_sim as sim;
