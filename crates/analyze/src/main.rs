@@ -18,9 +18,7 @@ use std::process::ExitCode;
 use charm_analyze::{lint_workspace, self_test, Rule};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: charm-analyze --workspace [--root <path>] | --self-test | --list-rules"
-    );
+    eprintln!("usage: charm-analyze --workspace [--root <path>] | --self-test | --list-rules");
     ExitCode::from(2)
 }
 
@@ -60,6 +58,11 @@ fn main() -> ExitCode {
             for r in Rule::all() {
                 println!("{:<14} {}", r.key(), r.describe());
             }
+            println!(
+                "{:<14} {}",
+                "trace-hook",
+                "allow-key for scheduler trace instrumentation: suppresses panic + blocking on the annotated line"
+            );
             ExitCode::SUCCESS
         }
         Some("self-test") => match self_test() {

@@ -116,15 +116,39 @@ fn crate_root_policy() {
     assert!(lint_crate_root("crates/x/src/lib.rs", forbid).is_empty());
 
     let nothing = "pub fn f() {}\n";
-    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", nothing))
-        .contains(&Rule::ForbidUnsafe));
+    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", nothing)).contains(&Rule::ForbidUnsafe));
 
     let bare_deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
-    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", bare_deny))
-        .contains(&Rule::ForbidUnsafe));
+    assert!(rules(&lint_crate_root("crates/x/src/lib.rs", bare_deny)).contains(&Rule::ForbidUnsafe));
 
     let deny_doc = "// analyze: allow(unsafe, \"FFI shim for page-locked buffers\")\n#![deny(unsafe_code)]\npub fn f() {}\n";
     assert!(lint_crate_root("crates/x/src/lib.rs", deny_doc).is_empty());
+}
+
+#[test]
+fn trace_hook_suppresses_panic_and_blocking() {
+    let idx = "fn f(v: &[u8]) -> u8 {\n    // analyze: allow(trace-hook, \"depth probe; dispatch validated the slot\")\n    v[0]\n}\n";
+    assert!(!rules(&lint_source(HOT, idx)).contains(&Rule::Panic));
+    let sleep = "fn f() {\n    // analyze: allow(trace-hook, \"clock read may park briefly on this platform\")\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(!rules(&lint_source(HOT, sleep)).contains(&Rule::Blocking));
+}
+
+#[test]
+fn trace_hook_is_a_known_key_but_needs_a_reason() {
+    // Recognized key: no unknown-rule finding...
+    let with_reason = "// analyze: allow(trace-hook, \"why\")\nfn f() {}\n";
+    assert!(lint_source(HOT, with_reason).is_empty());
+    // ...but a reason is still mandatory.
+    let bare = "fn f(v: &[u8]) -> u8 {\n    v[0] // analyze: allow(trace-hook)\n}\n";
+    let got = rules(&lint_source(HOT, bare));
+    assert!(got.contains(&Rule::Annotation));
+    assert!(got.contains(&Rule::Panic));
+}
+
+#[test]
+fn trace_hook_does_not_suppress_payload_copy() {
+    let src = "fn f(b: &WireBytes) -> Vec<u8> {\n    // analyze: allow(trace-hook, \"not a trace hook at all\")\n    b.to_vec()\n}\n";
+    assert!(rules(&lint_source("crates/wire/src/buffer.rs", src)).contains(&Rule::PayloadCopy));
 }
 
 #[test]

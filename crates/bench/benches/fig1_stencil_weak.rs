@@ -24,12 +24,12 @@ fn main() {
     let block = env_usize("CHARMRS_BLOCK", 64);
     let pes = pe_series(1, 64);
 
-    let params_for = |p: usize| {
-        StencilParams::new([block * p, block, block], [p, 1, 1], iters)
-    };
+    let params_for = |p: usize| StencilParams::new([block * p, block, block], [p, 1, 1], iters);
     let rt = |p: usize, dispatch: DispatchMode| {
         Runtime::new(p)
-            .backend(Backend::Sim(MachineModel::bluewaters(p.div_ceil(32).max(8))))
+            .backend(Backend::Sim(MachineModel::bluewaters(
+                p.div_ceil(32).max(8),
+            )))
             .dispatch(dispatch)
     };
 
@@ -66,4 +66,14 @@ fn main() {
         &series,
     );
     print_ratios("fig1", &series[2], &series[0]);
+
+    // CHARMRS_TRACE_DIR=<dir>: re-run the largest point under full capture
+    // and drop a Chrome trace + utilization summary (DESIGN.md §7).
+    if charm_bench::trace_dir().is_some() {
+        if let Some(&p) = pes.last() {
+            let traced = rt(p, DispatchMode::Native).trace(charm_core::TraceConfig::full());
+            let r = run_charm(params_for(p), traced);
+            charm_bench::emit_trace("fig1_stencil_weak", &r.report);
+        }
+    }
 }

@@ -77,4 +77,14 @@ fn main() {
             println!("{p:>8}  {:>8.2}%", 100.0 * ideal / t);
         }
     }
+
+    // CHARMRS_TRACE_DIR=<dir>: re-run the largest point under full capture
+    // and drop a Chrome trace + utilization summary (DESIGN.md §7).
+    if charm_bench::trace_dir().is_some() {
+        if let Some(&p) = pes.last() {
+            let traced = mk(p, DispatchMode::Native).trace(charm_core::TraceConfig::full());
+            let r = run_charm(params_for(p), traced);
+            charm_bench::emit_trace("fig2_stencil_strong", &r.report);
+        }
+    }
 }

@@ -108,4 +108,14 @@ fn main() {
         let su_py = series[1].points[row].1 / series[4].points[row].1;
         println!("{p:>8}  {su_xx:>10.2}  {su_py:>10.2}");
     }
+
+    // CHARMRS_TRACE_DIR=<dir>: trace the LB run at the largest point — the
+    // interesting artifact here is the LbEpoch spans and migration instants.
+    if charm_bench::trace_dir().is_some() {
+        if let Some(&p) = pes.last() {
+            let traced = mk(p, DispatchMode::Native, true).trace(charm_core::TraceConfig::full());
+            let r = run_charm(fine(p, true), traced);
+            charm_bench::emit_trace("fig3_stencil_lb", &r.report);
+        }
+    }
 }

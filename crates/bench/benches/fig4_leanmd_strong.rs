@@ -73,4 +73,14 @@ fn main() {
         let r = series[1].points[row].1 / series[0].points[row].1;
         println!("{p:>8}  {:>8.1}%", (r - 1.0) * 100.0);
     }
+
+    // CHARMRS_TRACE_DIR=<dir>: re-run the largest point under full capture
+    // and drop a Chrome trace + utilization summary (DESIGN.md §7).
+    if charm_bench::trace_dir().is_some() {
+        if let Some(&p) = pes.last() {
+            let traced = mk(p, DispatchMode::Native).trace(charm_core::TraceConfig::full());
+            let r = run_charm(params.clone(), traced);
+            charm_bench::emit_trace("fig4_leanmd_strong", &r.report);
+        }
+    }
 }

@@ -1,0 +1,149 @@
+//! Tracing-overhead micro-benchmark (DESIGN.md §7).
+//!
+//! Runs the same message-heavy fan-in workload as `analyze_overhead` under
+//! the three trace levels and measures host wall time per run:
+//!
+//! ```sh
+//! cargo bench -p charm-bench --bench trace_overhead
+//! ```
+//!
+//! The benchmark ids are `fan_in_sim/trace_off`, `…/counters_only` and
+//! `…/full_capture`; the off→counters ratio is the cost of the always-on
+//! aggregate path (the acceptance budget is <5%), and counters→full is the
+//! cost of timestamping and ring insertion on every scheduler boundary. No
+//! cargo feature is needed — levels are set per run with `Runtime::trace`.
+
+use charm_core::prelude::*;
+use charm_sim::MachineModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::{Deserialize, Serialize};
+
+const NPES: usize = 8;
+const PER_PE: i64 = 32;
+const ROUNDS: usize = 4;
+
+struct Sink {
+    sum: i64,
+    got: usize,
+    expect: usize,
+    notify: Option<Future<i64>>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum SinkMsg {
+    Push(i64),
+    WhenDone { expect: usize, notify: Future<i64> },
+}
+
+impl Chare for Sink {
+    type Msg = SinkMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Sink {
+            sum: 0,
+            got: 0,
+            expect: usize::MAX,
+            notify: None,
+        }
+    }
+    fn receive(&mut self, msg: SinkMsg, ctx: &mut Ctx) {
+        match msg {
+            SinkMsg::Push(v) => {
+                self.sum += v;
+                self.got += 1;
+            }
+            SinkMsg::WhenDone { expect, notify } => {
+                self.expect = expect;
+                self.notify = Some(notify);
+            }
+        }
+        if self.got == self.expect {
+            if let Some(f) = self.notify.take() {
+                ctx.send_future(&f, self.sum);
+            }
+        }
+    }
+}
+
+struct Spray;
+
+#[derive(Serialize, Deserialize)]
+enum SprayMsg {
+    Go { sink: Proxy<Sink>, per_pe: i64 },
+}
+
+impl Chare for Spray {
+    type Msg = SprayMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Spray
+    }
+    fn receive(&mut self, msg: SprayMsg, ctx: &mut Ctx) {
+        let SprayMsg::Go { sink, per_pe } = msg;
+        for k in 0..per_pe {
+            sink.send(ctx, SinkMsg::Push(ctx.my_pe() as i64 + k));
+        }
+    }
+}
+
+fn fan_in_run(trace: TraceConfig) -> charm_core::RunReport {
+    let report = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .trace(trace)
+        .register::<Sink>()
+        .register::<Spray>()
+        .run(|co| {
+            for _ in 0..ROUNDS {
+                let sink = co.ctx().create_chare::<Sink>((), Some(0));
+                let group = co.ctx().create_group::<Spray>(());
+                let done = co.ctx().create_future::<i64>();
+                group.send(
+                    co.ctx(),
+                    SprayMsg::Go {
+                        sink,
+                        per_pe: PER_PE,
+                    },
+                );
+                sink.send(
+                    co.ctx(),
+                    SinkMsg::WhenDone {
+                        expect: NPES * PER_PE as usize,
+                        notify: done,
+                    },
+                );
+                co.get(&done);
+            }
+            co.ctx().exit();
+        });
+    assert!(report.clean_exit);
+    report
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let levels = [
+        ("trace_off", TraceConfig::off()),
+        ("counters_only", TraceConfig::counters()),
+        ("full_capture", TraceConfig::full()),
+    ];
+    for (label, cfg) in levels {
+        c.bench_function(&format!("fan_in_sim/{label}"), |b| {
+            b.iter(|| fan_in_run(cfg))
+        });
+    }
+}
+
+criterion_group!(benches, trace_overhead);
+
+// Expanded `criterion_main!` so the run can also drop a trace artifact:
+// CHARMRS_TRACE_DIR=<dir> writes the fan-in workload's Chrome trace +
+// utilization summary after the timing passes.
+fn main() {
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+    if charm_bench::trace_dir().is_some() {
+        let r = fan_in_run(TraceConfig::full());
+        charm_bench::emit_trace("micro_fan_in", &r);
+    }
+}

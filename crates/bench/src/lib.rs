@@ -89,7 +89,29 @@ pub fn ms(d: Duration) -> f64 {
 /// the standard way to damp host-timing noise in metered simulations.
 pub fn best_of(f: impl Fn() -> f64) -> f64 {
     let reps = env_usize("CHARMRS_REPS", 2);
-    (0..reps)
-        .map(|_| f())
-        .fold(f64::INFINITY, f64::min)
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Where figure runs drop their trace files: the `CHARMRS_TRACE_DIR`
+/// directory, or `None` (the default — no trace run, no files).
+pub fn trace_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("CHARMRS_TRACE_DIR").map(std::path::PathBuf::from)
+}
+
+/// Write `<name>.trace.json` (Chrome trace events, load in Perfetto or
+/// chrome://tracing) into [`trace_dir`] and print the utilization summary.
+/// A no-op when `CHARMRS_TRACE_DIR` is unset or the run carried no trace.
+pub fn emit_trace(name: &str, report: &charm_core::RunReport) {
+    let (Some(dir), Some(trace)) = (trace_dir(), report.trace.as_ref()) else {
+        return;
+    };
+    let path = dir.join(format!("{name}.trace.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| trace.write_chrome(&path)) {
+        Ok(()) => println!("\n# trace: {}", path.display()),
+        Err(e) => {
+            eprintln!("trace write failed for {}: {e}", path.display());
+            return;
+        }
+    }
+    println!("{}", trace.summary());
 }

@@ -243,3 +243,22 @@ pub fn check_balance(
         }
     }
 }
+
+/// The trace counters' version of [`check_balance`]: at true quiescence the
+/// machine-wide QD-counted sends must equal the handles. `totals` is one
+/// `(sent, processed)` pair per PE.
+pub fn check_counter_balance(totals: &[(u64, u64)], drained: bool, probe: Option<&FaultProbe>) {
+    if !drained {
+        return; // after exit() messages may legitimately be in flight
+    }
+    let sent: u64 = totals.iter().map(|(s, _)| s).sum();
+    let processed: u64 = totals.iter().map(|(_, p)| p).sum();
+    if sent != processed {
+        let msg =
+            format!("trace counter imbalance at quiescence: {sent} sent vs {processed} processed");
+        match probe {
+            Some(p) => p.report(msg),
+            None => panic!("analyze: {msg}"),
+        }
+    }
+}

@@ -91,15 +91,21 @@ impl<T: Chare> ChareBox for Holder<T> {
         &self.inner
     }
     fn deliver(&mut self, msg: BoxMsg, ctx: &mut Ctx) {
-        let msg = *msg
-            .downcast::<T::Msg>()
-            .unwrap_or_else(|_| panic!("message type mismatch delivering to {}", std::any::type_name::<T>()));
+        let msg = *msg.downcast::<T::Msg>().unwrap_or_else(|_| {
+            panic!(
+                "message type mismatch delivering to {}",
+                std::any::type_name::<T>()
+            )
+        });
         self.inner.receive(msg, ctx);
     }
     fn guard_ok(&self, msg: &BoxMsg) -> bool {
-        let msg = msg
-            .downcast_ref::<T::Msg>()
-            .unwrap_or_else(|| panic!("message type mismatch in guard for {}", std::any::type_name::<T>()));
+        let msg = msg.downcast_ref::<T::Msg>().unwrap_or_else(|| {
+            panic!(
+                "message type mismatch in guard for {}",
+                std::any::type_name::<T>()
+            )
+        });
         self.inner.guard(msg)
     }
     fn reduced_dyn(&mut self, tag: u32, data: RedData, ctx: &mut Ctx) {
@@ -314,6 +320,15 @@ impl Registry {
     /// VTable for a registered type id.
     pub fn vtable(&self, tid: ChareTypeId) -> &ChareVTable {
         &self.tables[tid.0 as usize]
+    }
+
+    /// Display name for a type id; total (traces may carry ids the local
+    /// registry has never seen, e.g. after a partial restore).
+    pub fn name_of(&self, tid: ChareTypeId) -> &'static str {
+        self.tables
+            .get(tid.0 as usize)
+            .map(|t| t.name)
+            .unwrap_or("<unregistered>")
     }
 
     /// Number of registered types.

@@ -61,10 +61,11 @@ pub fn pe_file(dir: &Path, pe: usize) -> std::path::PathBuf {
     dir.join(format!("pe{pe}.ckpt"))
 }
 
-/// Write one PE's checkpoint. The serialized image goes through the
-/// thread's pooled scratch buffer, so repeated checkpoints reuse one
-/// high-water allocation instead of growing a fresh `Vec` each time.
-pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<()> {
+/// Write one PE's checkpoint, returning the image size in bytes. The
+/// serialized image goes through the thread's pooled scratch buffer, so
+/// repeated checkpoints reuse one high-water allocation instead of growing
+/// a fresh `Vec` each time.
+pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<u64> {
     std::fs::create_dir_all(dir)?;
     charm_wire::pool::with_pool(|pool| {
         let mut buf = pool.take();
@@ -72,8 +73,9 @@ pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<()>
             .encode_into(&mut buf, file)
             .map_err(|e| std::io::Error::other(format!("checkpoint encode: {e}")));
         let result = encoded.and_then(|()| std::fs::write(pe_file(dir, pe), &buf));
+        let n = buf.len() as u64;
         pool.put(buf);
-        result
+        result.map(|()| n)
     })
 }
 

@@ -107,6 +107,7 @@ pub(crate) enum Op {
         fid: FutureId,
     },
     Exit,
+    TraceMark(String),
 }
 
 impl std::fmt::Debug for Op {
@@ -127,6 +128,7 @@ impl std::fmt::Debug for Op {
             Op::StartQd { .. } => "StartQd",
             Op::Checkpoint { .. } => "Checkpoint",
             Op::Exit => "Exit",
+            Op::TraceMark(_) => "TraceMark",
         };
         write!(f, "Op::{name}")
     }
@@ -395,10 +397,9 @@ impl Ctx {
     /// the PE keeps delivering other messages (paper §II-H1).
     pub fn go<T: Chare>(&mut self, body: impl FnOnce(&mut Co<T>) + Send + 'static) {
         assert!(self.this.is_some(), "go must be called from a chare");
-        self.ops
-            .push(Op::Go(Box::new(move |side: CoroSide| {
-                run_coroutine::<T>(side, body)
-            })));
+        self.ops.push(Op::Go(Box::new(move |side: CoroSide| {
+            run_coroutine::<T>(side, body)
+        })));
     }
 
     /// Charge `dt` of compute time to this PE. Under the simulated backend
@@ -431,5 +432,11 @@ impl Ctx {
     /// Stop the runtime (`charm.exit()`).
     pub fn exit(&mut self) {
         self.ops.push(Op::Exit);
+    }
+
+    /// Drop a labelled instant into this PE's trace (visible in the
+    /// Chrome/Perfetto timeline; a no-op below full capture).
+    pub fn trace_mark(&mut self, label: impl Into<String>) {
+        self.ops.push(Op::TraceMark(label.into()));
     }
 }

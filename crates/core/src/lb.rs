@@ -95,6 +95,9 @@ pub struct LbCentral {
     pub in_epoch: bool,
     /// Completed LB epochs (reported in `RunReport`).
     pub epochs_done: u64,
+    /// Clock stamp of the current epoch's first stats arrival (traces the
+    /// epoch duration).
+    pub epoch_start_ns: u64,
 }
 
 #[cfg(test)]

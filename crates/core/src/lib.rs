@@ -67,9 +67,14 @@ pub use reduction::{RedData, RedTarget, Reducer};
 pub use runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
 pub use tree::TreeShape;
 
+// Tracing & metrics (DESIGN.md §7) — the subsystem lives in `charm-trace`;
+// re-exported so applications configure and consume traces through one crate.
+pub use charm_trace::{PePerf, PeTrace, TraceConfig, TraceLevel, TraceReport};
+
 /// Everything an application usually needs.
 pub mod prelude {
     pub use crate::chare::Chare;
+    pub use crate::chare::MsgGuard;
     pub use crate::collections::Placement;
     pub use crate::coro::Co;
     pub use crate::ctx::{ArrayOpts, Ctx};
@@ -77,9 +82,9 @@ pub mod prelude {
     pub use crate::ids::{ChareId, Index, Pe};
     pub use crate::lb::{LbChareStat, LbStats, LbStrategy};
     pub use crate::msg::Message;
-    pub use crate::chare::MsgGuard;
     pub use crate::proxy::{Proxy, Section};
     pub use crate::reduction::{RedData, RedTarget, Reducer};
     pub use crate::runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
     pub use crate::tree::TreeShape;
+    pub use charm_trace::{TraceConfig, TraceLevel};
 }

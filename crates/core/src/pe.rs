@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use charm_sim::MachineModel;
+use charm_trace::{EntryKind, EventKind, PeTracer, TraceConfig, WorkClass};
 use charm_wire::{Codec, EncodePool, WireBytes};
 
 use crate::chare::{MsgGuards, Registry};
@@ -49,6 +50,8 @@ pub(crate) struct SchedCfg {
     pub restore_dir: Option<std::path::PathBuf>,
     /// Registered per-message when-conditions.
     pub msg_guards: Arc<MsgGuards>,
+    /// Tracing level + ring capacity for every PE's tracer.
+    pub trace: TraceConfig,
     /// Sink for race-detector findings (tests); `None` panics on violation.
     #[cfg(feature = "analyze")]
     pub analyze_probe: Option<crate::analyze::FaultProbe>,
@@ -90,16 +93,6 @@ impl Slot {
             coros: Vec::new(),
         }
     }
-}
-
-/// Message/byte counters (quiescence detection + `RunReport`).
-#[derive(Default, Debug, Clone, Copy)]
-pub(crate) struct Counters {
-    pub sent: u64,
-    pub processed: u64,
-    pub bytes: u64,
-    pub entries: u64,
-    pub migrations: u64,
 }
 
 enum Route {
@@ -149,7 +142,9 @@ pub(crate) struct PeState {
 
     /// Outgoing envelopes, drained by the driver after each event.
     pub outbox: Vec<(Pe, Envelope)>,
-    pub counters: Counters,
+    /// Trace recorder: always-on counters (quiescence detection +
+    /// `RunReport`) plus, by level, aggregates and the event ring.
+    pub tracer: PeTracer,
     /// Compute time accrued during the current event (sim backend);
     /// drained by the driver into the PE's virtual clock.
     pub event_work_ns: u64,
@@ -205,6 +200,7 @@ impl PeState {
         };
         #[cfg(feature = "analyze")]
         let det = crate::analyze::Detector::new(pe, npes, cfg.analyze_probe.clone());
+        let cfg_trace = cfg.trace;
         PeState {
             pe,
             npes,
@@ -229,7 +225,7 @@ impl PeState {
             qd_pe: QdPeState::default(),
             qd_central: QdCentral::default(),
             outbox: Vec::new(),
-            counters: Counters::default(),
+            tracer: PeTracer::new(&cfg_trace),
             event_work_ns: 0,
             clock_ns: 0,
             start,
@@ -265,10 +261,25 @@ impl PeState {
     /// Queue an envelope for `dst` (counting for QD and traffic stats).
     fn emit(&mut self, dst: Pe, kind: EnvKind) {
         if kind.counts_for_qd() {
-            self.counters.sent += 1;
+            self.tracer.counters.sent += 1;
         }
-        if dst != self.pe {
-            self.counters.bytes += kind.size_hint() as u64;
+        let remote = dst != self.pe;
+        if remote || self.tracer.enabled() {
+            let sz = kind.size_hint() as u64;
+            if remote {
+                self.tracer.counters.bytes += sz;
+            }
+            self.tracer.msg_send(sz, remote);
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer.push(
+                    now,
+                    charm_trace::EventKind::MsgSend {
+                        bytes: sz.min(u32::MAX as u64) as u32,
+                        remote,
+                    },
+                );
+            }
         }
         #[allow(unused_mut)]
         let mut env = Envelope::new(self.pe, kind);
@@ -279,9 +290,11 @@ impl PeState {
         self.outbox.push((dst, env));
     }
 
-    /// Charge compute to the current event (and, optionally, a chare).
-    fn charge_work(&mut self, ns: u64, chare: Option<&ChareId>) {
+    /// Charge compute to the current event (and, optionally, a chare),
+    /// classified as useful entry work or runtime overhead for the trace.
+    fn charge_work(&mut self, ns: u64, chare: Option<&ChareId>, class: WorkClass) {
         self.event_work_ns += ns;
+        self.tracer.work(class, ns);
         if let Some(id) = chare {
             if let Some(slot) = self.chares.get_mut(id) {
                 slot.load_ns += ns;
@@ -295,7 +308,20 @@ impl PeState {
 
     pub fn handle(&mut self, env: Envelope) {
         if env.kind.counts_for_qd() {
-            self.counters.processed += 1;
+            self.tracer.counters.processed += 1;
+        }
+        if self.tracer.enabled() {
+            let sz = env.kind.size_hint() as u64;
+            self.tracer.msg_recv(sz);
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer.push(
+                    now,
+                    charm_trace::EventKind::MsgRecv {
+                        bytes: sz.min(u32::MAX as u64) as u32,
+                    },
+                );
+            }
         }
         // Delivery event: dedup + per-channel FIFO + clock join. Parked
         // envelopes re-enter via `dispatch()` below, so each delivery is
@@ -321,7 +347,22 @@ impl PeState {
                     self.park_unknown_coll(coll, EnvKind::BroadcastEntry { coll, bytes, root });
                     return;
                 }
-                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                let children = self.cfg.tree.children(self.pe, root, self.npes);
+                let members = self.local_members(coll);
+                if self.tracer.enabled() {
+                    self.tracer.bcast_relays += 1;
+                    if self.tracer.full() {
+                        let now = self.now_ns();
+                        self.tracer.push(
+                            now,
+                            charm_trace::EventKind::BcastFanout {
+                                children: children.len() as u32,
+                                members: members.len() as u32,
+                            },
+                        );
+                    }
+                }
+                for child in children {
                     self.emit(
                         child,
                         EnvKind::BroadcastEntry {
@@ -331,7 +372,6 @@ impl PeState {
                         },
                     );
                 }
-                let members = self.local_members(coll);
                 for id in members {
                     self.deliver_wire_entry(id, &bytes, None);
                 }
@@ -572,8 +612,6 @@ impl PeState {
         }
     }
 
-
-
     /// Route an entry message; when this PE forwards somebody else's
     /// message (the chare moved on), tell the original sender where the
     /// chare lives now, so migration-induced forwarding chains collapse
@@ -603,15 +641,19 @@ impl PeState {
                     },
                 );
             }
-            Route::BufferHere => self.pending_chare.entry(to).or_default().push(Envelope::new(
-                self.pe,
-                EnvKind::Entry {
-                    to,
-                    payload,
-                    reply,
-                    guard,
-                },
-            )),
+            Route::BufferHere => self
+                .pending_chare
+                .entry(to)
+                .or_default()
+                .push(Envelope::new(
+                    self.pe,
+                    EnvKind::Entry {
+                        to,
+                        payload,
+                        reply,
+                        guard,
+                    },
+                )),
             Route::UnknownColl => self.park_unknown_coll(
                 to.coll,
                 EnvKind::Entry {
@@ -632,7 +674,10 @@ impl PeState {
                 .pending_chare
                 .entry(to)
                 .or_default()
-                .push(Envelope::new(self.pe, EnvKind::RedDeliver { to, tag, data })),
+                .push(Envelope::new(
+                    self.pe,
+                    EnvKind::RedDeliver { to, tag, data },
+                )),
             Route::UnknownColl => {
                 self.park_unknown_coll(to.coll, EnvKind::RedDeliver { to, tag, data })
             }
@@ -648,8 +693,11 @@ impl PeState {
         match payload {
             Payload::Wire(b) => Payload::Wire(b),
             Payload::Local(any) => {
-                // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
-                let cs = self.colls.get(&coll).expect("forwarding unknown collection");
+                let cs = self
+                    .colls
+                    .get(&coll)
+                    // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
+                    .expect("forwarding unknown collection");
                 let vt = self.registry.vtable(cs.spec.ctype);
                 let bytes = (vt.encode_msg)(&*any, self.cfg.codec)
                     // analyze: allow(panic, "re-encoding a message that was encodable at send time fails only on a codec bug")
@@ -685,7 +733,7 @@ impl PeState {
         if self.cfg.dynamic {
             if let Some(model) = self.cfg.sim_model.clone() {
                 let ns = model.dynamic_overhead(bytes.len()).as_nanos() as u64;
-                self.charge_work(ns, Some(id));
+                self.charge_work(ns, Some(id), WorkClass::Overhead);
             }
         }
         let codec = self.cfg.codec;
@@ -749,12 +797,23 @@ impl PeState {
         if !guard_ok || at_sync {
             // Deferred by a when-guard, or parked while the chare sits at an
             // LB sync point (AtSync chares do no work until resumed).
-            self.chares
-                .get_mut(&id)
-                // analyze: allow(panic, "slot presence established at the at_sync lookup above in this same delivery")
-                .unwrap()
-                .buffered
-                .push_back(Buffered { msg, reply, guard });
+            let depth = {
+                let slot = self
+                    .chares
+                    .get_mut(&id)
+                    // analyze: allow(panic, "slot presence established at the at_sync lookup above in this same delivery")
+                    .unwrap();
+                slot.buffered.push_back(Buffered { msg, reply, guard });
+                slot.buffered.len() as u32
+            };
+            if self.tracer.enabled() {
+                self.tracer.guard_buffered += 1;
+                if self.tracer.full() {
+                    let now = self.now_ns();
+                    self.tracer
+                        .push(now, charm_trace::EventKind::GuardBuffer { depth });
+                }
+            }
             return;
         }
         self.invoke(id, Invoke::Entry(msg, reply, guard));
@@ -781,28 +840,72 @@ impl PeState {
         #[cfg(feature = "analyze")]
         self.det.enter_chare(&id);
         let mut ctx = self.new_ctx(Some(id));
+        let trace_begin = if self.tracer.enabled() {
+            self.now_ns()
+        } else {
+            0
+        };
         let t0 = Instant::now();
+        let ekind = match &what {
+            Invoke::Entry(..) => EntryKind::Receive,
+            Invoke::Reduced(..) => EntryKind::Reduced,
+            Invoke::ResumeFromSync => EntryKind::ResumeFromSync,
+        };
         match what {
             Invoke::Entry(msg, reply, _) => {
                 ctx.reply_to = reply;
                 boxed.deliver(msg, &mut ctx);
-                self.counters.entries += 1;
+                self.tracer.counters.entries += 1;
             }
             Invoke::Reduced(tag, data) => {
                 boxed.reduced_dyn(tag, data, &mut ctx);
-                self.counters.entries += 1;
+                self.tracer.counters.entries += 1;
             }
             Invoke::ResumeFromSync => boxed.resume_from_sync_dyn(&mut ctx),
         }
         let measured = self.metered_ns(t0);
-        // analyze: allow(panic, "chares are removed only by migration/exit, which cannot interleave with an in-flight invoke on this PE")
-        let slot = self.chares.get_mut(&id).expect("slot vanished during invoke");
+        let slot = self
+            .chares
+            .get_mut(&id)
+            // analyze: allow(panic, "chares are removed only by migration/exit, which cannot interleave with an in-flight invoke on this PE")
+            .expect("slot vanished during invoke");
         slot.boxed = Some(boxed);
         #[cfg(feature = "analyze")]
         self.det.exit_chare(&id);
-        self.charge_work(measured, Some(&id));
+        self.charge_work(measured, Some(&id), WorkClass::Entry);
+        if self.tracer.enabled() {
+            let end = self.now_ns();
+            let ctype = self.chare_ctype(&id);
+            self.tracer.entry(trace_begin, end, measured, ctype, ekind);
+        }
         self.exec_ops(ctx.ops, Some(id), ctx.reply_to);
         self.after_state_change(id);
+    }
+
+    /// Chare type id for trace attribution (0 when the collection spec is
+    /// not locally known — cannot happen for an invokable chare).
+    fn chare_ctype(&self, id: &ChareId) -> u32 {
+        self.colls
+            .get(&id.coll)
+            .map(|cs| cs.spec.ctype.0)
+            .unwrap_or(0)
+    }
+
+    /// Record one coroutine segment as an entry activation. The begin stamp
+    /// is back-dated by the segment's measured work; the tracer clamps ring
+    /// timestamps so this stays monotone.
+    fn trace_coro_segment(&mut self, id: &ChareId, measured_ns: u64) {
+        if self.tracer.enabled() {
+            let end = self.now_ns();
+            let ctype = self.chare_ctype(id);
+            self.tracer.entry(
+                end.saturating_sub(measured_ns),
+                end,
+                measured_ns,
+                ctype,
+                EntryKind::Coroutine,
+            );
+        }
     }
 
     fn metered_ns(&self, t0: Instant) -> u64 {
@@ -818,7 +921,7 @@ impl PeState {
         let t0 = Instant::now();
         let r = f();
         let ns = self.metered_ns(t0);
-        self.charge_work(ns, chare.as_ref());
+        self.charge_work(ns, chare.as_ref(), WorkClass::Overhead);
         r
     }
 
@@ -837,7 +940,7 @@ impl PeState {
     fn after_state_change(&mut self, id: ChareId) {
         loop {
             match self.chares.get(&id) {
-                None => return, // migrated away mid-drain
+                None => return,                       // migrated away mid-drain
                 Some(slot) if slot.at_sync => return, // parked for LB
                 Some(_) => {}
             }
@@ -879,6 +982,16 @@ impl PeState {
                 self.det.violation(v);
             }
             if let Some(b) = ready_msg {
+                if self.tracer.enabled() {
+                    self.tracer.guard_drained += 1;
+                    if self.tracer.full() {
+                        let now = self.now_ns();
+                        // analyze: allow(trace-hook, "depth probe for the drain event; the slot was checked at the top of this drain pass")
+                        let depth = self.chares[&id].buffered.len() as u32;
+                        self.tracer
+                            .push(now, charm_trace::EventKind::GuardDrain { depth });
+                    }
+                }
                 self.invoke(id, Invoke::Entry(b.msg, b.reply, b.guard));
                 continue;
             }
@@ -1073,10 +1186,11 @@ impl PeState {
                 }
                 Op::Charge(dt) => {
                     if self.cfg.is_sim {
-                        self.charge_work(dt.as_nanos() as u64, this.as_ref());
+                        self.charge_work(dt.as_nanos() as u64, this.as_ref(), WorkClass::Entry);
                     } else {
                         // analyze: allow(blocking, "Charge deliberately burns wall time on the threads backend to emulate compute; it blocks only the charging chare's PE, exactly as real work would")
                         std::thread::sleep(dt);
+                        self.tracer.work(WorkClass::Entry, dt.as_nanos() as u64);
                         if let Some(id) = &this {
                             if let Some(slot) = self.chares.get_mut(id) {
                                 slot.load_ns += dt.as_nanos() as u64;
@@ -1097,6 +1211,13 @@ impl PeState {
                 Op::Exit => {
                     for pe in 0..self.npes {
                         self.emit(pe, EnvKind::Exit);
+                    }
+                }
+                Op::TraceMark(label) => {
+                    if self.tracer.full() {
+                        let now = self.now_ns();
+                        self.tracer
+                            .push(now, charm_trace::EventKind::Mark { label });
                     }
                 }
             }
@@ -1165,8 +1286,12 @@ impl PeState {
     }
 
     fn resume_coro(&mut self, cid: CoroId, value: Option<Payload>) {
-        // analyze: allow(panic, "resume messages are only generated for coroutines this scheduler created and has not completed")
-        let id = self.coros.get(&cid.0).expect("resume of unknown coroutine").chare;
+        let id = self
+            .coros
+            .get(&cid.0)
+            // analyze: allow(panic, "resume messages are only generated for coroutines this scheduler created and has not completed")
+            .expect("resume of unknown coroutine")
+            .chare;
         let chare = self
             .chares
             .get_mut(&id)
@@ -1194,8 +1319,12 @@ impl PeState {
     }
 
     fn process_yield(&mut self, cid: CoroId, y: Result<CoroYield, mpsc::RecvError>) {
-        // analyze: allow(panic, "yields only come from coroutines this scheduler launched")
-        let id = self.coros.get(&cid.0).expect("yield from unknown coroutine").chare;
+        let id = self
+            .coros
+            .get(&cid.0)
+            // analyze: allow(panic, "yields only come from coroutines this scheduler launched")
+            .expect("yield from unknown coroutine")
+            .chare;
         match y {
             Ok(CoroYield::Blocked {
                 chare,
@@ -1206,7 +1335,8 @@ impl PeState {
                 let measured_ns = self.scale_coro_work(work_ns);
                 // analyze: allow(panic, "the chare slot outlives its coroutines; presence established at launch")
                 self.chares.get_mut(&id).unwrap().boxed = Some(chare);
-                self.charge_work(measured_ns, Some(&id));
+                self.charge_work(measured_ns, Some(&id), WorkClass::Entry);
+                self.trace_coro_segment(&id, measured_ns);
                 let register_future = match &wait {
                     WaitKind::Future(fid) => Some(*fid),
                     WaitKind::Pred(_) => None,
@@ -1242,7 +1372,8 @@ impl PeState {
                 let measured_ns = self.scale_coro_work(work_ns);
                 // analyze: allow(panic, "the chare slot outlives its coroutines; presence established at resume")
                 self.chares.get_mut(&id).unwrap().boxed = Some(chare);
-                self.charge_work(measured_ns, Some(&id));
+                self.charge_work(measured_ns, Some(&id), WorkClass::Entry);
+                self.trace_coro_segment(&id, measured_ns);
                 if let Some(mut h) = self.coros.remove(&cid.0) {
                     if let Some(j) = h.join.take() {
                         let _ = j.join();
@@ -1388,11 +1519,21 @@ impl PeState {
         let ctype = cs.spec.ctype;
         let construct = self.registry.vtable(ctype).construct;
         let mut ctx = self.new_ctx(Some(id));
+        let trace_begin = if self.tracer.enabled() {
+            self.now_ns()
+        } else {
+            0
+        };
         let t0 = Instant::now();
         let boxed = construct(init, &mut ctx, ctype);
         let measured = self.metered_ns(t0);
         self.chares.insert(id, Slot::new(boxed));
-        self.charge_work(measured, Some(&id));
+        self.charge_work(measured, Some(&id), WorkClass::Entry);
+        if self.tracer.enabled() {
+            let end = self.now_ns();
+            self.tracer
+                .entry(trace_begin, end, measured, ctype.0, EntryKind::Construct);
+        }
         self.exec_ops(ctx.ops, Some(id), None);
         self.flush_pending_chare(id);
         self.after_state_change(id);
@@ -1473,8 +1614,11 @@ impl PeState {
         match init {
             Payload::Wire(b) => Payload::Wire(b),
             Payload::Local(any) => {
-                // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
-                let cs = self.colls.get(&coll).expect("forwarding unknown collection");
+                let cs = self
+                    .colls
+                    .get(&coll)
+                    // analyze: allow(panic, "the router resolved this collection's spec to pick a destination; the spec is present")
+                    .expect("forwarding unknown collection");
                 let vt = self.registry.vtable(cs.spec.ctype);
                 // Init payloads use the init decoder, so encode via the
                 // generic path: we cannot re-use encode_msg (wrong type).
@@ -1500,10 +1644,20 @@ impl PeState {
         reducer: Reducer,
         target: RedTarget,
     ) {
+        if self.tracer.enabled() {
+            self.tracer.red_contributes += 1;
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer.push(now, charm_trace::EventKind::RedContribute);
+            }
+        }
         let coll = id.coll;
         let redno = {
-            // analyze: allow(panic, "contribute is invoked by a live chare on this PE; its slot exists")
-            let slot = self.chares.get_mut(&id).expect("contribute from missing chare");
+            let slot = self
+                .chares
+                .get_mut(&id)
+                // analyze: allow(panic, "contribute is invoked by a live chare on this PE; its slot exists")
+                .expect("contribute from missing chare");
             let n = slot.red_seq;
             slot.red_seq += 1;
             n
@@ -1549,7 +1703,9 @@ impl PeState {
     }
 
     fn red_try_complete(&mut self, coll: CollectionId, redno: u64) {
-        let Some(cs) = self.colls.get(&coll) else { return };
+        let Some(cs) = self.colls.get(&coll) else {
+            return;
+        };
         let expected = self.subtree_expected(coll);
         // analyze: allow(panic, "callers only check completion for reductions with live state")
         let st = self.reds.get(&(coll, redno)).expect("red state missing");
@@ -1595,10 +1751,20 @@ impl PeState {
     }
 
     fn subtree_expected(&self, coll: CollectionId) -> u64 {
-        self.colls.get(&coll).map(|c| c.subtree_members).unwrap_or(0)
+        self.colls
+            .get(&coll)
+            .map(|c| c.subtree_members)
+            .unwrap_or(0)
     }
 
     fn red_deliver(&mut self, target: RedTarget, data: RedData) {
+        if self.tracer.enabled() {
+            self.tracer.red_delivers += 1;
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer.push(now, charm_trace::EventKind::RedDeliver);
+            }
+        }
         match target {
             RedTarget::Future(fid) => {
                 let dst = fid.pe as usize;
@@ -1694,14 +1860,29 @@ impl PeState {
             cs.subtree_members -= 1;
         }
         if let Some(parent) = self.cfg.tree.parent(self.pe, 0, self.npes) {
-            self.emit(parent, EnvKind::SubtreeAdd { coll: id.coll, delta: -1 });
+            self.emit(
+                parent,
+                EnvKind::SubtreeAdd {
+                    coll: id.coll,
+                    delta: -1,
+                },
+            );
         }
         self.locations.insert(id, to);
         // The home PE must learn the new location for fresh senders.
         if home != self.pe && home != to {
             self.emit(home, EnvKind::LocationUpdate { id, pe: to });
         }
-        self.counters.migrations += 1;
+        self.tracer.counters.migrations += 1;
+        if self.tracer.full() {
+            let now = self.now_ns();
+            self.tracer.push(
+                now,
+                charm_trace::EventKind::MigrateOut {
+                    bytes: data.len().min(u32::MAX as usize) as u32,
+                },
+            );
+        }
         self.emit(
             to,
             EnvKind::MigrateChare {
@@ -1743,6 +1924,15 @@ impl PeState {
             return;
         };
         let id = ChareId { coll, index };
+        if self.tracer.full() {
+            let now = self.now_ns();
+            self.tracer.push(
+                now,
+                charm_trace::EventKind::MigrateIn {
+                    bytes: data.len().min(u32::MAX as usize) as u32,
+                },
+            );
+        }
         let vt = self.registry.vtable(cs.spec.ctype);
         // analyze: allow(panic, "migrated-in chares were packed by a type whose vtable migrates; missing unpack is a registration bug")
         let unpack = vt.unpack.expect("migrated chare type lacks unpack");
@@ -1845,8 +2035,10 @@ impl PeState {
         self.lb_central.batches.push(stats);
         self.lb_central.pes_reported += 1;
         if self.lb_central.pes_reported == 1 {
-            // Epoch begins: poll every PE so ones without participants
-            // still report (they have no at-sync trigger of their own).
+            // Epoch begins: stamp it for the trace, then poll every PE so
+            // ones without participants still report (they have no at-sync
+            // trigger of their own).
+            self.lb_central.epoch_start_ns = self.now_ns();
             for pe in 0..self.npes {
                 self.emit(pe, EnvKind::LbPoll);
             }
@@ -1904,6 +2096,12 @@ impl PeState {
     fn lb_finish_epoch(&mut self) {
         self.lb_central.in_epoch = false;
         self.lb_central.epochs_done += 1;
+        if self.tracer.full() {
+            let now = self.now_ns();
+            let dur = now.saturating_sub(self.lb_central.epoch_start_ns);
+            self.tracer
+                .push(now, charm_trace::EventKind::LbEpoch { dur_ns: dur });
+        }
         self.emit(0, EnvKind::LbResume { root: 0 });
     }
 
@@ -1931,15 +2129,29 @@ impl PeState {
         self.lb_central.epochs_done
     }
 
+    /// Close out this PE's trace: fold unattributed time into overhead and
+    /// hand the per-PE record to the driver. The tracer is consumed (a
+    /// subsequent call would yield an empty `Off` trace).
+    pub fn finish_trace(&mut self) -> charm_trace::PeTrace {
+        let wall = self.now_ns();
+        let tracer = std::mem::take(&mut self.tracer);
+        let registry = Arc::clone(&self.registry);
+        tracer.finish(self.pe, wall, self.encode_pool.bytes_encoded(), move |ct| {
+            registry.name_of(crate::ids::ChareTypeId(ct)).to_string()
+        })
+    }
+
+    /// QD counter totals for the end-of-run balance check.
+    #[cfg(feature = "analyze")]
+    pub fn counter_totals(&self) -> (u64, u64) {
+        (self.tracer.counters.sent, self.tracer.counters.processed)
+    }
+
     /// Diagnostic snapshot printed when a simulated run stalls (runs out of
     /// events without an `exit()`): everything that could be waiting.
     pub fn debug_dump(&self) {
         let buffered: usize = self.chares.values().map(|s| s.buffered.len()).sum();
-        let blocked: usize = self
-            .coros
-            .values()
-            .filter(|h| h.wait.is_some())
-            .count();
+        let blocked: usize = self.coros.values().filter(|h| h.wait.is_some()).count();
         if buffered == 0
             && blocked == 0
             && self.reds.is_empty()
@@ -1949,8 +2161,9 @@ impl PeState {
         {
             return;
         }
+        let c = &self.tracer.counters;
         eprintln!(
-            "  PE {}: {} chares, {} buffered msgs, {} blocked coros, {} reductions in flight, {} pending-chare, {} pending-coll, at_sync={}",
+            "  PE {}: {} chares, {} buffered msgs, {} blocked coros, {} reductions in flight, {} pending-chare, {} pending-coll, at_sync={}, sent={} processed={} remote_bytes={} entries={} migrations={}",
             self.pe,
             self.chares.len(),
             buffered,
@@ -1959,6 +2172,11 @@ impl PeState {
             self.pending_chare.len(),
             self.pending_coll.len(),
             self.lb.at_sync_count,
+            c.sent,
+            c.processed,
+            c.bytes,
+            c.entries,
+            c.migrations,
         );
         for ((coll, redno), st) in &self.reds {
             eprintln!(
@@ -2008,8 +2226,8 @@ impl PeState {
         self.qd_pe = QdPeState {
             round,
             pending_children: children.len(),
-            sent: self.counters.sent,
-            done: self.counters.processed,
+            sent: self.tracer.counters.sent,
+            done: self.tracer.counters.processed,
             pes: 1,
             active: true,
         };
@@ -2106,8 +2324,11 @@ impl PeState {
                 slot.coros.is_empty(),
                 "cannot checkpoint {id}: a threaded entry method is active"
             );
-            // analyze: allow(panic, "checkpoints run between entry methods; the box is in place")
-            let boxed = slot.boxed.as_ref().expect("chare checked out at checkpoint");
+            let boxed = slot
+                .boxed
+                .as_ref()
+                // analyze: allow(panic, "checkpoints run between entry methods; the box is in place")
+                .expect("chare checked out at checkpoint");
             let data = boxed
                 .pack(self.cfg.codec)
                 .unwrap_or_else(|| {
@@ -2147,9 +2368,17 @@ impl PeState {
             specs,
             chares,
         };
-        checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
+        let bytes = checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
             // analyze: allow(panic, "an unwritable checkpoint directory is an unrecoverable operator error; fail loudly rather than silently drop the checkpoint")
             .unwrap_or_else(|e| panic!("checkpoint write failed on PE {}: {e}", self.pe));
+        if self.tracer.enabled() {
+            self.tracer.ckpt_bytes += bytes;
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer
+                    .push(now, charm_trace::EventKind::Ckpt { bytes });
+            }
+        }
         self.emit(initiator, EnvKind::CkptAck { saved });
     }
 

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use charm_sim::{EventQueue, MachineModel, VTime};
+use charm_trace::{PePerf, PeTrace, TraceConfig, TraceReport};
 use charm_wire::Codec;
 
 use crate::chare::{Chare, MsgGuard, MsgGuards, Registry};
@@ -35,7 +36,7 @@ use crate::ctx::Ctx;
 use crate::ids::Pe;
 use crate::lb::LbStrategy;
 use crate::msg::{EnvKind, Envelope};
-use crate::pe::{Counters, PeState, SchedCfg};
+use crate::pe::{PeState, SchedCfg};
 use crate::reduction::{CustomReducers, RedData, Reducer};
 use crate::tree::TreeShape;
 
@@ -71,7 +72,7 @@ impl Chare for Main {
 }
 
 /// Aggregate results of one run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Host wall-clock duration of the run.
     pub wall: Duration,
@@ -90,6 +91,12 @@ pub struct RunReport {
     pub lb_epochs: u64,
     /// Whether the run ended via `exit()` (vs. running out of messages).
     pub clean_exit: bool,
+    /// Per-PE message counts, bytes moved, and (above `TraceLevel::Off`)
+    /// the busy/idle/overhead decomposition. Always populated.
+    pub pe_stats: Vec<PePerf>,
+    /// Full trace (per-entry stats + event rings under full capture);
+    /// `None` when tracing was configured off.
+    pub trace: Option<TraceReport>,
 }
 
 /// Builder/launcher for a charm-rs application.
@@ -108,6 +115,7 @@ pub struct Runtime {
     placements: Placements,
     restore_dir: Option<std::path::PathBuf>,
     msg_guards: MsgGuards,
+    trace: TraceConfig,
     /// Sim backend: jitter message delivery order with this seed (FIFO
     /// per channel is preserved). Drives the schedule-permutation harness.
     permute: Option<u64>,
@@ -138,6 +146,7 @@ impl Runtime {
             placements: Placements::default(),
             restore_dir: None,
             msg_guards: MsgGuards::default(),
+            trace: default_trace(),
             permute: None,
             #[cfg(feature = "analyze")]
             inject: None,
@@ -248,6 +257,14 @@ impl Runtime {
         self
     }
 
+    /// Configure tracing (Projections-style, DESIGN.md §7). The default is
+    /// [`TraceConfig::counters`] — cheap always-on aggregates — or full
+    /// event capture when built with `--features trace`.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = cfg;
+        self
+    }
+
     /// Register a chare type (every type used must be registered).
     pub fn register<T: Chare>(mut self) -> Self {
         self.registry.register::<T>();
@@ -330,6 +347,7 @@ impl Runtime {
             is_sim,
             restore_dir,
             msg_guards: Arc::new(self.msg_guards.clone()),
+            trace: self.trace,
             #[cfg(feature = "analyze")]
             analyze_probe: self.probe.clone(),
         });
@@ -400,15 +418,24 @@ fn run_threads(
                 .name(format!("pe-{pe}"))
                 .spawn(move || {
                     loop {
+                        // Time spent waiting on the channel is the threaded
+                        // backend's idle time.
+                        let idle_from = if state.tracer.enabled() {
+                            Some(state.now_ns())
+                        } else {
+                            None
+                        };
                         let env = match rx.recv_timeout(idle_timeout) {
                             Ok(env) => env,
                             Err(channel::RecvTimeoutError::Timeout) => {
-                                panic!(
-                                    "PE {pe} idle for {idle_timeout:?} — application hang?"
-                                );
+                                panic!("PE {pe} idle for {idle_timeout:?} — application hang?");
                             }
                             Err(channel::RecvTimeoutError::Disconnected) => break,
                         };
+                        if let Some(t0) = idle_from {
+                            let t1 = state.now_ns();
+                            state.tracer.idle(t0, t1);
+                        }
                         state.handle(env);
                         for (dst, env) in state.outbox.drain(..) {
                             // A send failing means the destination already
@@ -419,38 +446,58 @@ fn run_threads(
                             break;
                         }
                     }
-                    (state.counters, state.lb_epochs())
+                    (state.finish_trace(), state.lb_epochs())
                 })
                 .expect("failed to spawn PE thread")
         })
         .collect();
 
-    let mut counters = Counters::default();
+    let mut traces = Vec::with_capacity(npes);
     let mut lb_epochs = 0;
-    let clean = true;
     for h in handles {
         match h.join() {
-            Ok((c, lb)) => {
-                counters.sent += c.sent;
-                counters.processed += c.processed;
-                counters.bytes += c.bytes;
-                counters.entries += c.entries;
-                counters.migrations += c.migrations;
+            Ok((t, lb)) => {
+                traces.push(t);
                 lb_epochs += lb;
             }
             Err(p) => std::panic::resume_unwind(p),
         }
     }
     let wall = start.elapsed();
+    finish_report(wall, wall, lb_epochs, true, traces)
+}
+
+/// Fold the per-PE traces into the run report (shared by both backends).
+fn finish_report(
+    wall: Duration,
+    time: Duration,
+    lb_epochs: u64,
+    clean_exit: bool,
+    pes: Vec<PeTrace>,
+) -> RunReport {
+    let mut msgs = 0;
+    let mut bytes = 0;
+    let mut entries = 0;
+    let mut migrations = 0;
+    for t in &pes {
+        msgs += t.perf.msgs_processed;
+        bytes += t.perf.bytes_sent_remote;
+        entries += t.perf.entries;
+        migrations += t.perf.migrations;
+    }
+    let enabled = pes.iter().any(|t| t.enabled);
+    let pe_stats = pes.iter().map(|t| t.perf.clone()).collect();
     RunReport {
         wall,
-        time: wall,
-        msgs: counters.processed,
-        bytes: counters.bytes,
-        entries: counters.entries,
-        migrations: counters.migrations,
+        time,
+        msgs,
+        bytes,
+        entries,
+        migrations,
         lb_epochs,
-        clean_exit: clean,
+        clean_exit,
+        pe_stats,
+        trace: enabled.then(|| TraceReport { pes }),
     }
 }
 
@@ -479,7 +526,8 @@ fn run_sim(
     // channels FIFO so an ordering violation is a runtime bug, not a model
     // artifact.
     #[cfg(feature = "analyze")]
-    let mut last_arrival: std::collections::HashMap<(Pe, Pe), u64> = std::collections::HashMap::new();
+    let mut last_arrival: std::collections::HashMap<(Pe, Pe), u64> =
+        std::collections::HashMap::new();
     // Fault injection: (fault, count of QD-counted envelopes shipped).
     #[cfg(feature = "analyze")]
     let mut inject_state = inject.map(|f| (f, 0u64));
@@ -487,7 +535,12 @@ fn run_sim(
     let mut clean_exit = false;
     while let Some((t, (pe, env))) = events.pop() {
         let state = &mut pes[pe];
-        state.clock_ns = state.clock_ns.max(t.as_nanos());
+        // An arrival past this PE's clock means the PE sat idle for the gap.
+        let t_ns = t.as_nanos();
+        if t_ns > state.clock_ns {
+            state.tracer.idle(state.clock_ns, t_ns);
+            state.clock_ns = t_ns;
+        }
         state.handle(env);
         state.clock_ns += std::mem::take(&mut state.event_work_ns);
         let now = state.clock_ns;
@@ -547,6 +600,14 @@ fn run_sim(
         !clean_exit,
         pes[0].cfg.analyze_probe.as_ref(),
     );
+    // The trace counters must agree with the detector: every QD-counted
+    // send has a matching handle once the machine drains.
+    #[cfg(feature = "analyze")]
+    crate::analyze::check_counter_balance(
+        &pes.iter().map(|p| p.counter_totals()).collect::<Vec<_>>(),
+        !clean_exit,
+        pes[0].cfg.analyze_probe.as_ref(),
+    );
 
     if !clean_exit {
         eprintln!("charm-rs sim: event queue drained without exit() — stalled state:");
@@ -555,23 +616,23 @@ fn run_sim(
         }
     }
     let makespan = pes.iter().map(|p| p.clock_ns).max().unwrap_or(0);
-    let mut counters = Counters::default();
-    for p in &pes {
-        counters.sent += p.counters.sent;
-        counters.processed += p.counters.processed;
-        counters.bytes += p.counters.bytes;
-        counters.entries += p.counters.entries;
-        counters.migrations += p.counters.migrations;
-    }
     let lb_epochs = pes[0].lb_epochs();
-    RunReport {
-        wall: start.elapsed(),
-        time: Duration::from_nanos(makespan),
-        msgs: counters.processed,
-        bytes: counters.bytes,
-        entries: counters.entries,
-        migrations: counters.migrations,
+    let traces: Vec<PeTrace> = pes.iter_mut().map(|p| p.finish_trace()).collect();
+    finish_report(
+        start.elapsed(),
+        Duration::from_nanos(makespan),
         lb_epochs,
         clean_exit,
+        traces,
+    )
+}
+
+/// Default tracing level: cheap counters, or full event capture when the
+/// crate is built with `--features trace`.
+fn default_trace() -> TraceConfig {
+    if cfg!(feature = "trace") {
+        TraceConfig::full()
+    } else {
+        TraceConfig::counters()
     }
 }

@@ -114,6 +114,13 @@ impl TreeShape {
             .map(|&c| self.subtree_size(c, root, npes))
             .sum::<usize>()
     }
+
+    /// Relay fan-out of `pe` in the tree rooted at `root` — the number of
+    /// PEs it forwards a broadcast to (what the trace's `bcast_fanout`
+    /// events record per hop).
+    pub fn fanout(&self, pe: Pe, root: Pe, npes: usize) -> usize {
+        self.children(pe, root, npes).len()
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +194,19 @@ mod tests {
         assert_eq!(t.children(1, 0, 7), vec![3, 4]);
         assert_eq!(t.children(2, 0, 7), vec![5, 6]);
         assert_eq!(t.parent(6, 0, 7), Some(2));
+    }
+
+    #[test]
+    fn fanout_matches_children() {
+        let t = TreeShape {
+            arity: 2,
+            cores_per_node: None,
+        };
+        assert_eq!(t.fanout(0, 0, 7), 2);
+        assert_eq!(t.fanout(3, 0, 7), 0);
+        // Interior fan-outs sum to the non-root population.
+        let total: usize = (0..7).map(|pe| t.fanout(pe, 0, 7)).sum();
+        assert_eq!(total, 6);
     }
 
     #[test]

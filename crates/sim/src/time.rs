@@ -53,6 +53,12 @@ impl VTime {
         self.0 as f64 / 1e9
     }
 
+    /// This instant expressed in fractional microseconds (the unit Chrome
+    /// trace-event exporters emit).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// This instant expressed in fractional milliseconds.
     #[inline]
     pub fn as_millis_f64(self) -> f64 {
@@ -127,6 +133,13 @@ mod tests {
         assert_eq!(VTime::from_micros(1), VTime::from_nanos(1_000));
         assert_eq!(VTime::from_millis(1), VTime::from_micros(1_000));
         assert_eq!(VTime::from_secs_f64(1.0), VTime::from_millis(1_000));
+    }
+
+    #[test]
+    fn fractional_accessors_agree() {
+        let t = VTime::from_nanos(1_500);
+        assert_eq!(t.as_micros_f64(), 1.5);
+        assert_eq!(t.as_millis_f64(), 0.0015);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Trace event schema: what happened, when.
+//!
+//! Events are recorded per PE into a fixed-capacity [`Ring`]; when the ring
+//! is full the oldest event is overwritten and the drop is counted, so full
+//! capture never grows memory without bound (Projections' log buffers
+//! behave the same way). Paired kinds (`EntryBegin`/`EntryEnd`,
+//! `IdleBegin`/`IdleEnd`) are always pushed back-to-back by the recorder,
+//! which is what lets the exporter and the validator pair them without a
+//! stack — a ring wrap can cut at most the very first pair.
+
+/// Which kind of entry-method activation a begin/end pair brackets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntryKind {
+    /// Chare constructor run on arrival of a collection-create fragment.
+    Construct,
+    /// Ordinary message delivery into a `receive` entry.
+    Receive,
+    /// Reduction result delivered back into the contributing chare.
+    Reduced,
+    /// `resume_from_sync` after an AtSync load-balancing epoch.
+    ResumeFromSync,
+    /// One coroutine segment (between two yields of a `Co` body).
+    Coroutine,
+}
+
+impl EntryKind {
+    /// Short label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryKind::Construct => "construct",
+            EntryKind::Receive => "receive",
+            EntryKind::Reduced => "reduced",
+            EntryKind::ResumeFromSync => "resume_from_sync",
+            EntryKind::Coroutine => "coroutine",
+        }
+    }
+}
+
+/// One traced occurrence. Payload sizes are clamped to `u32` — a 4 GiB
+/// single message would be a bug worth tracing in itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Entry-method activation started (paired with the next `EntryEnd`).
+    EntryBegin { ctype: u32, kind: EntryKind },
+    /// Entry-method activation finished.
+    EntryEnd { ctype: u32, kind: EntryKind },
+    /// Envelope queued for a destination; `remote` is false for same-PE.
+    MsgSend { bytes: u32, remote: bool },
+    /// Envelope handed to this PE's scheduler.
+    MsgRecv { bytes: u32 },
+    /// Scheduler went idle (paired with the next `IdleEnd`).
+    IdleBegin,
+    /// Scheduler woke up.
+    IdleEnd,
+    /// A message missed its when-guard and was buffered (`depth` = queue
+    /// length after buffering).
+    GuardBuffer { depth: u32 },
+    /// A buffered message became deliverable and was drained (`depth` =
+    /// queue length after draining).
+    GuardDrain { depth: u32 },
+    /// A chare contributed to a reduction on this PE.
+    RedContribute,
+    /// A finished reduction was delivered at its root.
+    RedDeliver,
+    /// Broadcast relayed down the PE spanning tree.
+    BcastFanout { children: u32, members: u32 },
+    /// Chare packed and shipped to another PE.
+    MigrateOut { bytes: u32 },
+    /// Chare unpacked on arrival.
+    MigrateIn { bytes: u32 },
+    /// Load-balancing epoch finished; `dur_ns` spans stats → resume.
+    LbEpoch { dur_ns: u64 },
+    /// Checkpoint file written for this PE.
+    Ckpt { bytes: u64 },
+    /// User annotation recorded via `Ctx::trace_mark`.
+    Mark { label: String },
+}
+
+impl EventKind {
+    /// Stable kind name, used as the exporter event/category name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::EntryBegin { .. } => "entry_begin",
+            EventKind::EntryEnd { .. } => "entry_end",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgRecv { .. } => "msg_recv",
+            EventKind::IdleBegin => "idle_begin",
+            EventKind::IdleEnd => "idle_end",
+            EventKind::GuardBuffer { .. } => "guard_buffer",
+            EventKind::GuardDrain { .. } => "guard_drain",
+            EventKind::RedContribute => "red_contribute",
+            EventKind::RedDeliver => "red_deliver",
+            EventKind::BcastFanout { .. } => "bcast_fanout",
+            EventKind::MigrateOut { .. } => "migrate_out",
+            EventKind::MigrateIn { .. } => "migrate_in",
+            EventKind::LbEpoch { .. } => "lb_epoch",
+            EventKind::Ckpt { .. } => "ckpt",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+}
+
+/// A timestamped event on one PE's clock (see crate docs for clock rules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds on the owning PE's scheduler clock.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity overwrite-oldest event buffer.
+///
+/// A default-constructed ring has zero capacity and records nothing (the
+/// tracer only pushes at full-capture level, which always builds a ring
+/// via [`Ring::new`]).
+#[derive(Debug, Default)]
+pub struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    start: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// Ring holding at most `cap.max(1)` events.
+    pub fn new(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append, overwriting (and counting) the oldest event when full.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            return;
+        }
+        if let Some(slot) = self.buf.get_mut(self.start) {
+            *slot = ev;
+            self.start = (self.start + 1) % self.cap;
+        }
+        self.dropped += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consume the ring: events in record order plus the drop count.
+    pub fn into_parts(mut self) -> (Vec<Event>, u64) {
+        self.buf.rotate_left(self.start);
+        (self.buf, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind: EventKind::Mark {
+                label: format!("m{ts}"),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut r = Ring::new(4);
+        for ts in 0..10 {
+            r.push(mark(ts));
+        }
+        let (evs, dropped) = r.into_parts();
+        assert_eq!(dropped, 6);
+        let ts: Vec<u64> = evs.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_under_capacity_drops_nothing() {
+        let mut r = Ring::new(8);
+        for ts in 0..3 {
+            r.push(mark(ts));
+        }
+        assert_eq!(r.len(), 3);
+        let (evs, dropped) = r.into_parts();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn default_ring_records_nothing() {
+        let mut r = Ring::default();
+        r.push(mark(1));
+        let (evs, dropped) = r.into_parts();
+        assert!(evs.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            EventKind::IdleBegin,
+            EventKind::IdleEnd,
+            EventKind::RedContribute,
+            EventKind::RedDeliver,
+            EventKind::MsgSend {
+                bytes: 1,
+                remote: true,
+            },
+            EventKind::MsgRecv { bytes: 1 },
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

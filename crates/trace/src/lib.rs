@@ -1,0 +1,125 @@
+//! # charm-trace — Projections-style tracing & metrics
+//!
+//! Charm++ ships Projections, a tracing tool that attributes every PE's
+//! time to entry-method execution, communication overhead, and idle waiting
+//! (the paper's §IV evaluation is built on exactly that breakdown). This
+//! crate is the charm-rs equivalent:
+//!
+//! * **Always-on counters** ([`Counters`]) — messages sent/processed,
+//!   remote bytes, entry activations, migrations. These feed quiescence
+//!   detection and the end-of-run `RunReport`, so they are maintained even
+//!   at [`TraceLevel::Off`].
+//! * **Cheap aggregates** ([`TraceLevel::Counters`], the default) — busy /
+//!   idle / overhead nanoseconds, per-entry call counts with log2 time
+//!   histograms, bytes by path (same-PE vs remote), when-guard buffer and
+//!   reduction tallies. A handful of adds per scheduler step.
+//! * **Full event capture** ([`TraceLevel::Full`]) — every scheduler
+//!   boundary pushes a timestamped [`Event`] into a fixed-capacity per-PE
+//!   [`Ring`](event::Ring) that overwrites its oldest entry when full (the
+//!   drop count is reported, never silent).
+//!
+//! Two exporters live in [`report`]: [`TraceReport::chrome_json`] emits
+//! Chrome trace-event JSON (load it in Perfetto or `chrome://tracing`; one
+//! track per PE) and [`TraceReport::summary`] prints a plain-text
+//! utilization + entry-method table. [`json`] is a small strict JSON parser
+//! used by the round-trip tests; this crate has no dependencies.
+//!
+//! Timestamps are nanoseconds on the owning PE's scheduler clock: real
+//! elapsed time on the threads backend, virtual `clock + charged work`
+//! under the sim backend, so traces line up with `MachineModel` makespans.
+
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod report;
+pub mod tracer;
+
+pub use event::{EntryKind, Event, EventKind};
+pub use report::{EntrySummary, PePerf, PeTrace, TraceReport};
+pub use tracer::{Counters, EntryStat, PeTracer, WorkClass};
+
+/// Default full-capture ring capacity (events per PE).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// How much the tracer records. Ordered: each level includes the previous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Baseline [`Counters`] only (they can never be disabled — quiescence
+    /// detection reads them). Exists as the overhead-bench baseline.
+    Off,
+    /// Counters plus cheap aggregates: utilization breakdown, per-entry
+    /// stats, byte paths. The default.
+    #[default]
+    Counters,
+    /// Everything above plus the per-PE timestamped event ring.
+    Full,
+}
+
+/// Tracer configuration, passed to `Runtime::trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Capture level.
+    pub level: TraceLevel,
+    /// Event-ring capacity per PE (only used at [`TraceLevel::Full`]).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::counters()
+    }
+}
+
+impl TraceConfig {
+    /// Counters only — the overhead-bench baseline.
+    pub fn off() -> TraceConfig {
+        TraceConfig {
+            level: TraceLevel::Off,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Counters + cheap aggregates (default).
+    pub fn counters() -> TraceConfig {
+        TraceConfig {
+            level: TraceLevel::Counters,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Full event capture with the default ring capacity.
+    pub fn full() -> TraceConfig {
+        TraceConfig {
+            level: TraceLevel::Full,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Override the per-PE event-ring capacity (min 1).
+    pub fn ring_capacity(mut self, cap: usize) -> TraceConfig {
+        self.ring_capacity = cap.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TraceLevel::Off < TraceLevel::Counters);
+        assert!(TraceLevel::Counters < TraceLevel::Full);
+        assert_eq!(TraceLevel::default(), TraceLevel::Counters);
+    }
+
+    #[test]
+    fn config_builders() {
+        assert_eq!(TraceConfig::default(), TraceConfig::counters());
+        assert_eq!(TraceConfig::full().ring_capacity, DEFAULT_RING_CAPACITY);
+        assert_eq!(TraceConfig::full().ring_capacity(8).ring_capacity, 8);
+        assert_eq!(TraceConfig::full().ring_capacity(0).ring_capacity, 1);
+        assert_eq!(TraceConfig::off().level, TraceLevel::Off);
+    }
+}

@@ -1,0 +1,588 @@
+//! End-of-run trace artifacts: per-PE performance blocks, the assembled
+//! [`TraceReport`], and its two exporters (Chrome trace-event JSON for
+//! Perfetto / `chrome://tracing`, and a plain-text summary table).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::{EntryKind, Event, EventKind};
+use crate::json;
+use crate::tracer::EntryStat;
+
+/// Cheap per-PE performance counters — always present in `RunReport`,
+/// whatever the trace level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PePerf {
+    /// Which PE this block describes.
+    pub pe: usize,
+    /// Scheduler lifetime in ns (virtual time under the sim backend).
+    pub wall_ns: u64,
+    /// Entry-method / coroutine execution time.
+    pub busy_ns: u64,
+    /// Time spent waiting for work.
+    pub idle_ns: u64,
+    /// Runtime bookkeeping, codec work, and unattributed scheduler time.
+    pub overhead_ns: u64,
+    /// QD-counted envelopes emitted.
+    pub msgs_sent: u64,
+    /// QD-counted envelopes handled.
+    pub msgs_processed: u64,
+    /// Cross-PE envelopes emitted (trace-level ≥ counters).
+    pub sent_remote: u64,
+    /// Same-PE envelopes emitted (trace-level ≥ counters).
+    pub sent_local: u64,
+    /// Bytes shipped to other PEs.
+    pub bytes_sent_remote: u64,
+    /// Bytes of same-PE sends (delivered by reference).
+    pub bytes_sent_local: u64,
+    /// Bytes received by this scheduler.
+    pub bytes_recv: u64,
+    /// Bytes produced by this PE's wire-encode pool.
+    pub bytes_encoded: u64,
+    /// Entry-method activations.
+    pub entries: u64,
+    /// Chares migrated away.
+    pub migrations: u64,
+    /// Messages buffered behind a when-guard.
+    pub guard_buffered: u64,
+    /// Buffered messages later drained.
+    pub guard_drained: u64,
+    /// Reduction contributions.
+    pub red_contributes: u64,
+    /// Reductions delivered at a root here.
+    pub red_delivers: u64,
+    /// Broadcasts relayed down the spanning tree.
+    pub bcast_relays: u64,
+    /// Checkpoint bytes written.
+    pub ckpt_bytes: u64,
+    /// Events overwritten in the full-capture ring.
+    pub events_dropped: u64,
+}
+
+impl PePerf {
+    /// Fraction of wall time spent in entry methods (0 when wall is 0).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// One (chare type, entry kind) row of the per-entry statistics.
+#[derive(Debug, Clone)]
+pub struct EntrySummary {
+    /// Chare type id (index into the runtime's registry).
+    pub ctype: u32,
+    /// Resolved chare type name.
+    pub name: String,
+    /// Activation kind.
+    pub kind: EntryKind,
+    /// Call counts and time histogram.
+    pub stat: EntryStat,
+}
+
+/// Everything one PE recorded.
+#[derive(Debug, Clone, Default)]
+pub struct PeTrace {
+    /// Counter block (always meaningful).
+    pub perf: PePerf,
+    /// Per-entry statistics (empty below counters level).
+    pub entries: Vec<EntrySummary>,
+    /// Captured events in record order (empty below full level).
+    pub events: Vec<Event>,
+    /// Trace level was ≥ counters.
+    pub enabled: bool,
+    /// Trace level was full (events were captured).
+    pub captured: bool,
+}
+
+impl Default for EntrySummary {
+    fn default() -> Self {
+        EntrySummary {
+            ctype: 0,
+            name: String::new(),
+            kind: EntryKind::Receive,
+            stat: EntryStat::default(),
+        }
+    }
+}
+
+/// The whole machine's trace, one [`PeTrace`] per PE in PE order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Per-PE traces, indexed by PE number.
+    pub pes: Vec<PeTrace>,
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn complete(pe: usize, name: &str, cat: &str, begin_ns: u64, end_ns: u64) -> String {
+    format!(
+        r#"{{"ph":"X","pid":1,"tid":{pe},"ts":{},"dur":{},"name":"{}","cat":"{cat}"}}"#,
+        us(begin_ns),
+        us(end_ns.saturating_sub(begin_ns)),
+        json::escape(name)
+    )
+}
+
+fn instant(pe: usize, name: &str, cat: &str, ts_ns: u64, args: &str) -> String {
+    let args = if args.is_empty() {
+        String::new()
+    } else {
+        format!(r#","args":{{{args}}}"#)
+    };
+    format!(
+        r#"{{"ph":"i","pid":1,"tid":{pe},"ts":{},"s":"t","name":"{}","cat":"{cat}"{args}}}"#,
+        us(ts_ns),
+        json::escape(name)
+    )
+}
+
+impl TraceReport {
+    /// Chrome trace-event JSON (array form): metadata rows naming one
+    /// track per PE, `"X"` complete events for entry/idle/LB spans, and
+    /// `"i"` instants for everything else. Timestamps are microseconds.
+    pub fn chrome_json(&self) -> String {
+        let mut objs: Vec<String> = Vec::new();
+        objs.push(
+            r#"{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"charm-rs"}}"#
+                .to_string(),
+        );
+        for t in &self.pes {
+            let pe = t.perf.pe;
+            objs.push(format!(
+                r#"{{"ph":"M","pid":1,"tid":{pe},"name":"thread_name","args":{{"name":"PE {pe}"}}}}"#
+            ));
+        }
+        for t in &self.pes {
+            let pe = t.perf.pe;
+            let names: BTreeMap<u32, &str> = t
+                .entries
+                .iter()
+                .map(|e| (e.ctype, e.name.as_str()))
+                .collect();
+            let entry_name = |ctype: u32, kind: EntryKind| match names.get(&ctype) {
+                Some(n) => format!("{n}::{}", kind.label()),
+                None => format!("ctype{}::{}", ctype, kind.label()),
+            };
+            let mut iter = t.events.iter().peekable();
+            while let Some(ev) = iter.next() {
+                match &ev.kind {
+                    EventKind::EntryBegin { ctype, kind } => {
+                        let paired = matches!(
+                            iter.peek(),
+                            Some(n) if n.kind == (EventKind::EntryEnd { ctype: *ctype, kind: *kind })
+                        );
+                        if paired {
+                            let end = iter.next().map(|n| n.ts_ns).unwrap_or(ev.ts_ns);
+                            objs.push(complete(
+                                pe,
+                                &entry_name(*ctype, *kind),
+                                "entry",
+                                ev.ts_ns,
+                                end,
+                            ));
+                        } else {
+                            objs.push(instant(pe, ev.kind.name(), "entry", ev.ts_ns, ""));
+                        }
+                    }
+                    EventKind::IdleBegin => {
+                        if matches!(iter.peek(), Some(n) if n.kind == EventKind::IdleEnd) {
+                            let end = iter.next().map(|n| n.ts_ns).unwrap_or(ev.ts_ns);
+                            objs.push(complete(pe, "idle", "idle", ev.ts_ns, end));
+                        } else {
+                            objs.push(instant(pe, ev.kind.name(), "idle", ev.ts_ns, ""));
+                        }
+                    }
+                    // Orphan ends can only come from a ring-wrap cut.
+                    EventKind::EntryEnd { .. } => {
+                        objs.push(instant(pe, ev.kind.name(), "entry", ev.ts_ns, ""));
+                    }
+                    EventKind::IdleEnd => {
+                        objs.push(instant(pe, ev.kind.name(), "idle", ev.ts_ns, ""));
+                    }
+                    EventKind::MsgSend { bytes, remote } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "msg",
+                            ev.ts_ns,
+                            &format!(r#""bytes":{bytes},"remote":{remote}"#),
+                        ));
+                    }
+                    EventKind::MsgRecv { bytes } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "msg",
+                            ev.ts_ns,
+                            &format!(r#""bytes":{bytes}"#),
+                        ));
+                    }
+                    EventKind::GuardBuffer { depth } | EventKind::GuardDrain { depth } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "guard",
+                            ev.ts_ns,
+                            &format!(r#""depth":{depth}"#),
+                        ));
+                    }
+                    EventKind::RedContribute | EventKind::RedDeliver => {
+                        objs.push(instant(pe, ev.kind.name(), "red", ev.ts_ns, ""));
+                    }
+                    EventKind::BcastFanout { children, members } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "bcast",
+                            ev.ts_ns,
+                            &format!(r#""children":{children},"members":{members}"#),
+                        ));
+                    }
+                    EventKind::MigrateOut { bytes } | EventKind::MigrateIn { bytes } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "migrate",
+                            ev.ts_ns,
+                            &format!(r#""bytes":{bytes}"#),
+                        ));
+                    }
+                    EventKind::LbEpoch { dur_ns } => {
+                        objs.push(complete(
+                            pe,
+                            ev.kind.name(),
+                            "lb",
+                            ev.ts_ns.saturating_sub(*dur_ns),
+                            ev.ts_ns,
+                        ));
+                    }
+                    EventKind::Ckpt { bytes } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "ckpt",
+                            ev.ts_ns,
+                            &format!(r#""bytes":{bytes}"#),
+                        ));
+                    }
+                    EventKind::Mark { label } => {
+                        objs.push(instant(pe, label, "mark", ev.ts_ns, ""));
+                    }
+                }
+            }
+        }
+        let mut out = String::from("[\n");
+        out.push_str(&objs.join(",\n"));
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write the Chrome JSON to `path` (open the file in Perfetto).
+    pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_json())
+    }
+
+    /// Plain-text utilization + per-entry summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4}  {:>12} {:>7} {:>7} {:>7}  {:>8} {:>8}  {:>12} {:>8}\n",
+            "PE", "wall_ms", "busy%", "idle%", "ovhd%", "sent", "procd", "rem_bytes", "dropped"
+        ));
+        for t in &self.pes {
+            let p = &t.perf;
+            let pct = |ns: u64| {
+                if p.wall_ns == 0 {
+                    0.0
+                } else {
+                    100.0 * ns as f64 / p.wall_ns as f64
+                }
+            };
+            out.push_str(&format!(
+                "{:>4}  {:>12.3} {:>7.1} {:>7.1} {:>7.1}  {:>8} {:>8}  {:>12} {:>8}\n",
+                p.pe,
+                p.wall_ns as f64 / 1e6,
+                pct(p.busy_ns),
+                pct(p.idle_ns),
+                pct(p.overhead_ns),
+                p.msgs_sent,
+                p.msgs_processed,
+                p.bytes_sent_remote,
+                p.events_dropped,
+            ));
+        }
+        // Merge entry stats across PEs by (name, kind).
+        let mut merged: BTreeMap<(String, EntryKind), EntryStat> = BTreeMap::new();
+        for t in &self.pes {
+            for e in &t.entries {
+                let m = merged.entry((e.name.clone(), e.kind)).or_default();
+                m.calls += e.stat.calls;
+                m.total_ns += e.stat.total_ns;
+                m.max_ns = m.max_ns.max(e.stat.max_ns);
+                for (dst, src) in m.hist.iter_mut().zip(e.stat.hist.iter()) {
+                    *dst += src;
+                }
+            }
+        }
+        if !merged.is_empty() {
+            out.push_str(&format!(
+                "\n{:<48} {:<16} {:>8} {:>12} {:>10} {:>10}\n",
+                "entry", "kind", "calls", "total_ms", "max_us", "avg_us"
+            ));
+            for ((name, kind), s) in &merged {
+                out.push_str(&format!(
+                    "{:<48} {:<16} {:>8} {:>12.3} {:>10.1} {:>10.1}\n",
+                    name,
+                    kind.label(),
+                    s.calls,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e3,
+                    s.mean_ns() as f64 / 1e3,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Distinct event-kind names captured across all PEs (paired spans
+    /// count once), handy for coverage assertions.
+    pub fn event_kind_names(&self) -> BTreeSet<&'static str> {
+        let mut names = BTreeSet::new();
+        for t in &self.pes {
+            for ev in &t.events {
+                names.insert(ev.kind.name());
+            }
+        }
+        names
+    }
+
+    /// Check event well-formedness: per PE, timestamps must be
+    /// non-decreasing and every begin must be immediately followed by its
+    /// matching end (the recorder pushes pairs back-to-back; a ring wrap
+    /// may leave at most one orphan end, and only as the first event).
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.pes {
+            let pe = t.perf.pe;
+            let evs = &t.events;
+            let mut last = 0u64;
+            let mut i = 0usize;
+            while let Some(ev) = evs.get(i) {
+                if ev.ts_ns < last {
+                    return Err(format!(
+                        "PE {pe}: timestamp went backwards at event {i} ({} < {last})",
+                        ev.ts_ns
+                    ));
+                }
+                last = ev.ts_ns;
+                match &ev.kind {
+                    EventKind::EntryBegin { ctype, kind } => match evs.get(i + 1) {
+                        Some(n)
+                            if n.kind
+                                == (EventKind::EntryEnd {
+                                    ctype: *ctype,
+                                    kind: *kind,
+                                })
+                                && n.ts_ns >= ev.ts_ns =>
+                        {
+                            last = n.ts_ns;
+                            i += 2;
+                            continue;
+                        }
+                        _ => {
+                            return Err(format!(
+                                "PE {pe}: EntryBegin at event {i} lacks an adjacent matching EntryEnd"
+                            ));
+                        }
+                    },
+                    EventKind::IdleBegin => match evs.get(i + 1) {
+                        Some(n) if n.kind == EventKind::IdleEnd && n.ts_ns >= ev.ts_ns => {
+                            last = n.ts_ns;
+                            i += 2;
+                            continue;
+                        }
+                        _ => {
+                            return Err(format!(
+                                "PE {pe}: IdleBegin at event {i} lacks an adjacent IdleEnd"
+                            ));
+                        }
+                    },
+                    EventKind::EntryEnd { .. } | EventKind::IdleEnd => {
+                        if i != 0 {
+                            return Err(format!(
+                                "PE {pe}: orphan end event at {i} (only allowed at the ring cut)"
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn span(ts: u64, dur: u64, ctype: u32) -> [Event; 2] {
+        [
+            Event {
+                ts_ns: ts,
+                kind: EventKind::EntryBegin {
+                    ctype,
+                    kind: EntryKind::Receive,
+                },
+            },
+            Event {
+                ts_ns: ts + dur,
+                kind: EventKind::EntryEnd {
+                    ctype,
+                    kind: EntryKind::Receive,
+                },
+            },
+        ]
+    }
+
+    fn one_pe(events: Vec<Event>) -> TraceReport {
+        TraceReport {
+            pes: vec![PeTrace {
+                perf: PePerf {
+                    pe: 0,
+                    wall_ns: 1_000_000,
+                    ..PePerf::default()
+                },
+                entries: Vec::new(),
+                events,
+                enabled: true,
+                captured: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_paired_monotone() {
+        let mut evs: Vec<Event> = span(100, 50, 1).to_vec();
+        evs.push(Event {
+            ts_ns: 200,
+            kind: EventKind::MsgSend {
+                bytes: 16,
+                remote: true,
+            },
+        });
+        evs.extend(span(300, 10, 1));
+        assert!(one_pe(evs).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_backwards_time() {
+        let mut evs: Vec<Event> = span(500, 10, 1).to_vec();
+        evs.push(Event {
+            ts_ns: 10,
+            kind: EventKind::RedContribute,
+        });
+        assert!(one_pe(evs).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unpaired_begin() {
+        let evs = vec![Event {
+            ts_ns: 1,
+            kind: EventKind::IdleBegin,
+        }];
+        assert!(one_pe(evs).validate().is_err());
+    }
+
+    #[test]
+    fn validate_allows_orphan_end_at_ring_cut_only() {
+        let mut evs = vec![Event {
+            ts_ns: 5,
+            kind: EventKind::IdleEnd,
+        }];
+        evs.extend(span(10, 5, 2));
+        assert!(one_pe(evs.clone()).validate().is_ok());
+        evs.push(Event {
+            ts_ns: 100,
+            kind: EventKind::IdleEnd,
+        });
+        assert!(one_pe(evs).validate().is_err());
+    }
+
+    #[test]
+    fn chrome_json_parses_and_names_tracks() {
+        let mut evs: Vec<Event> = span(1_000, 2_000, 3).to_vec();
+        evs.push(Event {
+            ts_ns: 4_000,
+            kind: EventKind::Mark {
+                label: "weird \"label\"\n<T>".into(),
+            },
+        });
+        let mut rep = one_pe(evs);
+        rep.pes[0].entries.push(EntrySummary {
+            ctype: 3,
+            name: "demo::Chare".into(),
+            kind: EntryKind::Receive,
+            stat: EntryStat::default(),
+        });
+        let doc = parse(&rep.chrome_json()).expect("exporter emits valid JSON");
+        let arr = doc.as_arr().expect("top level is an array");
+        // Metadata: process name + one thread_name per PE.
+        let tracks: Vec<&Value> = arr
+            .iter()
+            .filter(|o| o.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .collect();
+        assert_eq!(tracks.len(), 1);
+        // The entry span resolved its chare name and is a complete event.
+        assert!(arr.iter().any(|o| {
+            o.get("ph").and_then(Value::as_str) == Some("X")
+                && o.get("name").and_then(Value::as_str) == Some("demo::Chare::receive")
+                && o.get("dur").and_then(Value::as_f64) == Some(2.0)
+        }));
+        // The nasty mark label survived the escaping round trip.
+        assert!(arr
+            .iter()
+            .any(|o| { o.get("name").and_then(Value::as_str) == Some("weird \"label\"\n<T>") }));
+    }
+
+    #[test]
+    fn summary_mentions_entries_and_pes() {
+        let mut rep = one_pe(Vec::new());
+        rep.pes[0].entries.push(EntrySummary {
+            ctype: 0,
+            name: "demo::Chare".into(),
+            kind: EntryKind::Reduced,
+            stat: {
+                let mut s = EntryStat::default();
+                s.record(1_500);
+                s
+            },
+        });
+        let text = rep.summary();
+        assert!(text.contains("demo::Chare"));
+        assert!(text.contains("reduced"));
+        assert!(text.contains("wall_ms"));
+    }
+
+    #[test]
+    fn event_kind_names_collects_distinct() {
+        let mut evs: Vec<Event> = span(0, 1, 0).to_vec();
+        evs.push(Event {
+            ts_ns: 2,
+            kind: EventKind::RedContribute,
+        });
+        evs.push(Event {
+            ts_ns: 3,
+            kind: EventKind::RedDeliver,
+        });
+        let names = one_pe(evs).event_kind_names();
+        assert!(names.contains("entry_begin") && names.contains("red_deliver"));
+        assert_eq!(names.len(), 4);
+    }
+}

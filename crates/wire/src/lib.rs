@@ -72,10 +72,12 @@ impl Codec {
         pool: &mut EncodePool,
         value: &T,
     ) -> Result<WireBytes> {
-        match self {
+        let b = match self {
             Codec::Fast => fast::to_shared(pool, value),
             Codec::Pickle => pickle::to_shared(pool, value),
-        }
+        }?;
+        pool.record_encoded(b.len());
+        Ok(b)
     }
 
     /// Decode a `T` from `bytes` under this codec, consuming all input.

@@ -31,6 +31,7 @@ pub struct EncodePool {
     free: Vec<Vec<u8>>,
     hits: u64,
     misses: u64,
+    bytes: u64,
 }
 
 impl EncodePool {
@@ -40,6 +41,7 @@ impl EncodePool {
             free: Vec::new(),
             hits: 0,
             misses: 0,
+            bytes: 0,
         }
     }
 
@@ -79,6 +81,17 @@ impl EncodePool {
     /// Takes that had to allocate.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Count `n` bytes of encoded payload produced through this pool
+    /// (called by the shared-encode path; read by the trace report).
+    pub fn record_encoded(&mut self, n: usize) {
+        self.bytes += n as u64;
+    }
+
+    /// Total encoded payload bytes produced through this pool.
+    pub fn bytes_encoded(&self) -> u64 {
+        self.bytes
     }
 
     /// Fraction of takes satisfied without allocating (0.0 when unused).
