@@ -359,11 +359,16 @@ fn allowed(lines: &[MaskedLine], idx: usize, rule: Rule) -> bool {
     // already validated; `allow(trace-hook, "...")` is an umbrella key that
     // suppresses the panic and blocking rules for such instrumentation
     // lines without widening either rule's general budget.
+    // `allow(recovery-hook, "...")` is the same umbrella for the
+    // fault-tolerance paths (checkpoint encode, injected kills, restore
+    // bootstrap), where a panic is either deliberate or pre-validated.
     let umbrella = matches!(rule, Rule::Panic | Rule::Blocking);
     let hit = |l: &MaskedLine| {
-        parse_allows(&l.comment)
-            .iter()
-            .any(|a| a.has_reason && (a.rule == rule.key() || (umbrella && a.rule == "trace-hook")))
+        parse_allows(&l.comment).iter().any(|a| {
+            a.has_reason
+                && (a.rule == rule.key()
+                    || (umbrella && (a.rule == "trace-hook" || a.rule == "recovery-hook")))
+        })
     };
     if hit(&lines[idx]) {
         return true;
@@ -390,6 +395,7 @@ fn allowed(lines: &[MaskedLine], idx: usize, rule: Rule) -> bool {
 fn check_annotations(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
     let mut valid: Vec<&str> = Rule::all().iter().map(|r| r.key()).collect();
     valid.push("trace-hook");
+    valid.push("recovery-hook");
     for (i, l) in lines.iter().enumerate() {
         for a in parse_allows(&l.comment) {
             if !valid.contains(&a.rule.as_str()) {
@@ -733,6 +739,14 @@ pub fn self_test() -> Result<Vec<Finding>, Vec<Rule>> {
     // instrumentation lines.
     let hooked = "fn hot(v: &[u8]) -> u8 {\n    // analyze: allow(trace-hook, \"depth probe; the slot was validated by the dispatch above\")\n    v[0]\n}\n";
     if lint_source("crates/core/src/pe.rs", hooked)
+        .iter()
+        .any(|f| f.rule == Rule::Panic)
+    {
+        missed.push(Rule::Annotation);
+    }
+    // Likewise the recovery-hook umbrella for the fault-tolerance paths.
+    let recovery = "fn die() {\n    // analyze: allow(recovery-hook, \"injected PE failure the supervisor catches\")\n    panic!(\"boom\");\n}\n";
+    if lint_source("crates/core/src/pe.rs", recovery)
         .iter()
         .any(|f| f.rule == Rule::Panic)
     {

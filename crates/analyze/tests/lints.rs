@@ -152,6 +152,30 @@ fn trace_hook_does_not_suppress_payload_copy() {
 }
 
 #[test]
+fn recovery_hook_suppresses_panic_and_blocking() {
+    let kill = "fn f() {\n    // analyze: allow(recovery-hook, \"injected PE failure the restart supervisor catches\")\n    panic!(\"injected PE failure\");\n}\n";
+    assert!(!rules(&lint_source(HOT, kill)).contains(&Rule::Panic));
+    let sleep = "fn f() {\n    // analyze: allow(recovery-hook, \"grace wait for straggler PEs to report salvage\")\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(!rules(&lint_source(HOT, sleep)).contains(&Rule::Blocking));
+}
+
+#[test]
+fn recovery_hook_is_a_known_key_but_needs_a_reason() {
+    let with_reason = "// analyze: allow(recovery-hook, \"why\")\nfn f() {}\n";
+    assert!(lint_source(HOT, with_reason).is_empty());
+    let bare = "fn f() {\n    panic!(\"x\"); // analyze: allow(recovery-hook)\n}\n";
+    let got = rules(&lint_source(HOT, bare));
+    assert!(got.contains(&Rule::Annotation));
+    assert!(got.contains(&Rule::Panic));
+}
+
+#[test]
+fn recovery_hook_does_not_suppress_payload_copy() {
+    let src = "fn f(b: &WireBytes) -> Vec<u8> {\n    // analyze: allow(recovery-hook, \"not a recovery path at all\")\n    b.to_vec()\n}\n";
+    assert!(rules(&lint_source("crates/wire/src/buffer.rs", src)).contains(&Rule::PayloadCopy));
+}
+
+#[test]
 fn self_test_detects_every_seeded_violation() {
     let findings = self_test().expect("linter must catch every seeded violation");
     for r in Rule::all() {

@@ -45,7 +45,9 @@ use crate::ids::{ChareId, Pe};
 /// re-parked envelopes); untraced envelopes are exempt from accounting.
 #[derive(Debug, Clone, Default)]
 pub struct EnvTrace {
-    /// Globally unique envelope id: `(pe + 1) << 40 | seq`.
+    /// Globally unique envelope id:
+    /// `epoch << 56 | (pe + 1) << 40 | seq` (epoch 0 — no recovery yet —
+    /// keeps the original `(pe + 1) << 40 | seq` layout).
     pub id: u64,
     /// Sender's vector clock (length = npes) at the moment of send.
     pub clock: Vec<u64>,
@@ -91,19 +93,38 @@ impl std::fmt::Debug for FaultProbe {
 }
 
 /// Network-layer fault injected by the sim driver (tests only): the Nth
-/// (0-based) QD-counted envelope shipped is duplicated or dropped.
+/// (0-based) QD-counted envelope shipped is duplicated or dropped — or a
+/// whole PE is killed on its Nth delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectFault {
     /// Deliver the Nth application envelope twice.
     DuplicateNth(u64),
     /// Silently drop the Nth application envelope.
     DropNth(u64),
+    /// Kill PE `pe` just as it is about to handle its `after_nth` (0-based)
+    /// QD-counted envelope: under the sim backend the PE's state is
+    /// discarded and that envelope lost; under the threads backend the PE
+    /// thread panics (caught by the supervisor via `catch_unwind`). The
+    /// fault fires only in the first incarnation, so the recovery attempt
+    /// is not re-killed.
+    KillPe {
+        /// Victim PE.
+        pe: Pe,
+        /// 0-based count of QD-counted envelopes the victim handles first.
+        after_nth: u64,
+    },
 }
 
 /// Per-PE happens-before state: a vector clock plus send/deliver
 /// accounting. One lives inside every `PeState` when the feature is on.
 pub struct Detector {
     pe: Pe,
+    /// Recovery epoch this detector audits. Embedded in every minted id;
+    /// a delivered id minted under a different epoch is a violation (the
+    /// scheduler must have discarded it as stale before the detector sees
+    /// it). Restarts build fresh detectors, so epoch-0 ids keep the
+    /// original `(pe + 1) << 40 | seq` format.
+    epoch: u64,
     clock: Vec<u64>,
     next_seq: u64,
     sent: HashSet<u64>,
@@ -115,9 +136,10 @@ pub struct Detector {
 }
 
 impl Detector {
-    pub fn new(pe: Pe, npes: usize, probe: Option<FaultProbe>) -> Detector {
+    pub fn new(pe: Pe, npes: usize, epoch: u64, probe: Option<FaultProbe>) -> Detector {
         Detector {
             pe,
+            epoch,
             clock: vec![0; npes],
             next_seq: 0,
             sent: HashSet::new(),
@@ -141,7 +163,7 @@ impl Detector {
     pub fn on_send(&mut self) -> EnvTrace {
         self.clock[self.pe] += 1;
         self.next_seq += 1;
-        let id = ((self.pe as u64 + 1) << 40) | self.next_seq;
+        let id = (self.epoch << 56) | ((self.pe as u64 + 1) << 40) | self.next_seq;
         self.sent.insert(id);
         EnvTrace {
             id,
@@ -149,10 +171,22 @@ impl Detector {
         }
     }
 
-    /// A delivery event: dedup-check, per-channel FIFO check, clock join.
+    /// A delivery event: epoch check, dedup-check, per-channel FIFO check,
+    /// clock join.
     pub fn on_deliver(&mut self, src: Pe, trace: &EnvTrace) {
         if trace.id == 0 {
             return; // untraced (bootstrap / re-parked)
+        }
+        if trace.id >> 56 != self.epoch {
+            self.violation(format!(
+                "stale-epoch envelope {:#x} (epoch {}) delivered on PE {} running epoch {} — \
+                 the scheduler must discard pre-recovery traffic",
+                trace.id,
+                trace.id >> 56,
+                self.pe,
+                self.epoch
+            ));
+            return;
         }
         if !self.delivered.insert(trace.id) {
             self.violation(format!(

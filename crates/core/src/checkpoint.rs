@@ -9,13 +9,22 @@
 //! which re-kicks the application (e.g. re-broadcasts its Start message
 //! with the saved iteration number).
 //!
+//! On top of the manual protocol sits Charm++-style *double in-memory
+//! (buddy) checkpointing*: with `Runtime::auto_checkpoint(every, store)`
+//! armed, the runtime snapshots every PE at a quiescence cadence and each
+//! PE's image is also held in memory by its buddy `(pe+1) % npes`, so the
+//! supervisor can rebuild a dead PE's state from the surviving copy. Every
+//! image carries a monotonically increasing recovery `epoch`; restores only
+//! accept a set of files that agree on it.
+//!
 //! Requirements, as in Charm++'s double checkpointing: all chare types are
 //! registered migratable, and the checkpoint is taken at an application
 //! sync point with no messages in flight and no suspended coroutines
-//! (quiescence detection is the easy way to guarantee this). Futures and
-//! coroutine stacks are *not* checkpointed.
+//! (quiescence detection is the easy way to guarantee this — the automatic
+//! cadence piggybacks on it). Futures and coroutine stacks are *not*
+//! checkpointed.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +32,7 @@ use crate::collections::CollSpec;
 use crate::ids::{CollectionId, FutureId, Index};
 
 /// One serialized chare in a checkpoint.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct CkptChare {
     /// Its collection.
     pub coll: CollectionId,
@@ -41,30 +50,178 @@ pub struct CkptChare {
 }
 
 /// One PE's checkpoint file.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct CkptFile {
     /// Format version.
     pub version: u32,
     /// Number of PEs at checkpoint time.
     pub npes: u64,
+    /// Recovery epoch: strictly increases with every checkpoint taken, and
+    /// keeps increasing across restarts. A restore requires every file in
+    /// the set to agree on it.
+    pub epoch: u64,
     /// Collection metadata known to this PE.
     pub specs: Vec<CollSpec>,
     /// This PE's local chares.
     pub chares: Vec<CkptChare>,
 }
 
-/// Current checkpoint format version.
-pub const CKPT_VERSION: u32 = 1;
+/// Current checkpoint format version (2 added the recovery epoch).
+pub const CKPT_VERSION: u32 = 2;
+
+/// Where automatic checkpoints (`Runtime::auto_checkpoint`) are kept.
+#[derive(Debug, Clone)]
+pub enum Store {
+    /// Per-generation subdirectories `ckpt-<epoch>/` under this root, each
+    /// written atomically; survives process death and allows restoring onto
+    /// a different PE count via [`latest_complete_dir`].
+    Disk(PathBuf),
+    /// Charm++-style double in-memory checkpointing: each PE keeps its own
+    /// image plus a copy of its buddy's (`(pe+1) % npes` holds PE `pe`'s).
+    /// No filesystem traffic; recovery is same-process only.
+    Memory,
+}
+
+/// Everything that can go wrong reading or writing a checkpoint set.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure at `path`.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// A file's bytes did not decode as a checkpoint image.
+    Decode { pe: usize, msg: String },
+    /// Format version skew.
+    Version {
+        pe: usize,
+        found: u32,
+        expected: u32,
+    },
+    /// A `pe<N>.ckpt.tmp` survives in the directory: a writer crashed
+    /// mid-checkpoint and the set cannot be trusted.
+    TmpLeftover { path: PathBuf },
+    /// No checkpoint files at all.
+    Empty { dir: PathBuf },
+    /// `pe<N>.ckpt` missing from a set whose files record `expected` PEs.
+    Gap { pe: usize, expected: usize },
+    /// A file for a PE beyond the recorded PE count.
+    Stray { pe: usize, expected: usize },
+    /// Files disagree about how many PEs took the checkpoint.
+    NpesMismatch {
+        pe: usize,
+        found: u64,
+        expected: u64,
+    },
+    /// Files come from different checkpoint generations.
+    EpochMismatch {
+        pe: usize,
+        found: u64,
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io { path, source } => {
+                write!(f, "checkpoint I/O error at {}: {source}", path.display())
+            }
+            CkptError::Decode { pe, msg } => {
+                write!(f, "checkpoint file for PE {pe} is corrupt: {msg}")
+            }
+            CkptError::Version {
+                pe,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint file for PE {pe} has version {found} (expected {expected})"
+            ),
+            CkptError::TmpLeftover { path } => write!(
+                f,
+                "leftover temporary checkpoint file {} — a checkpoint was interrupted; \
+                 the set is untrustworthy",
+                path.display()
+            ),
+            CkptError::Empty { dir } => {
+                write!(f, "no checkpoint files found in {}", dir.display())
+            }
+            CkptError::Gap { pe, expected } => write!(
+                f,
+                "checkpoint set is missing pe{pe}.ckpt (files record {expected} PEs)"
+            ),
+            CkptError::Stray { pe, expected } => write!(
+                f,
+                "checkpoint set has pe{pe}.ckpt but files record only {expected} PEs"
+            ),
+            CkptError::NpesMismatch {
+                pe,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint file for PE {pe} records {found} PEs but PE 0's records {expected}"
+            ),
+            CkptError::EpochMismatch {
+                pe,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint file for PE {pe} is from epoch {found} but PE 0's is from {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CkptError {
+    CkptError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
 
 /// Path of one PE's checkpoint file in `dir`.
-pub fn pe_file(dir: &Path, pe: usize) -> std::path::PathBuf {
+pub fn pe_file(dir: &Path, pe: usize) -> PathBuf {
     dir.join(format!("pe{pe}.ckpt"))
+}
+
+/// Encode a checkpoint image into a shareable byte buffer (the same wire
+/// format the files use). Used for the in-memory buddy copies, which travel
+/// as refcounted payloads instead of touching the filesystem.
+pub fn encode_image(file: &CkptFile) -> Result<charm_wire::WireBytes, String> {
+    charm_wire::Codec::Fast
+        .encode_shared(file)
+        .map_err(|e| e.to_string())
+}
+
+/// Decode a checkpoint image produced by [`encode_image`] or read from a
+/// `pe<N>.ckpt` file.
+pub fn decode_image(bytes: &[u8]) -> Result<CkptFile, String> {
+    charm_wire::Codec::Fast
+        .decode(bytes)
+        .map_err(|e| e.to_string())
 }
 
 /// Write one PE's checkpoint, returning the image size in bytes. The
 /// serialized image goes through the thread's pooled scratch buffer, so
 /// repeated checkpoints reuse one high-water allocation instead of growing
 /// a fresh `Vec` each time.
+///
+/// The write is atomic and torn-file-proof: bytes land in
+/// `pe<N>.ckpt.tmp`, are fsynced, and only then renamed into place. A crash
+/// mid-write leaves the `.tmp` behind, which [`read_all`] rejects rather
+/// than decoding garbage.
 pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<u64> {
     std::fs::create_dir_all(dir)?;
     charm_wire::pool::with_pool(|pool| {
@@ -72,40 +229,145 @@ pub fn write_file(dir: &Path, pe: usize, file: &CkptFile) -> std::io::Result<u64
         let encoded = charm_wire::Codec::Fast
             .encode_into(&mut buf, file)
             .map_err(|e| std::io::Error::other(format!("checkpoint encode: {e}")));
-        let result = encoded.and_then(|()| std::fs::write(pe_file(dir, pe), &buf));
+        let result = encoded.and_then(|()| write_atomic(dir, pe, &buf));
         let n = buf.len() as u64;
         pool.put(buf);
         result.map(|()| n)
     })
 }
 
-/// Read every PE checkpoint file in `dir` (pe0..peN until a gap).
-pub fn read_all(dir: &Path) -> std::io::Result<Vec<CkptFile>> {
-    let mut out = Vec::new();
-    for pe in 0.. {
+fn write_atomic(dir: &Path, pe: usize, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = dir.join(format!("pe{pe}.ckpt.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, pe_file(dir, pe))
+}
+
+/// Read and validate a complete checkpoint set from `dir`.
+///
+/// Strict by design: any leftover `.tmp` file fails the whole set (a writer
+/// died mid-checkpoint); every present file must decode at the current
+/// format version; and the set must contain exactly `pe0..peN` where `N` is
+/// the PE count recorded *inside* the files — a missing `pe1` with `pe0` and
+/// `pe2` present is a [`CkptError::Gap`], not a silent truncation. All
+/// files must agree on `npes` and on the recovery epoch.
+pub fn read_all(dir: &Path) -> Result<Vec<CkptFile>, CkptError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    let mut present: Vec<usize> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".ckpt.tmp") {
+            return Err(CkptError::TmpLeftover { path: entry.path() });
+        }
+        if let Some(pe) = name
+            .strip_prefix("pe")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            present.push(pe);
+        }
+    }
+    if present.is_empty() {
+        return Err(CkptError::Empty {
+            dir: dir.to_path_buf(),
+        });
+    }
+    present.sort_unstable();
+    present.dedup();
+
+    let mut files: Vec<(usize, CkptFile)> = Vec::with_capacity(present.len());
+    for &pe in &present {
         let path = pe_file(dir, pe);
-        if !path.exists() {
-            break;
-        }
-        let bytes = std::fs::read(&path)?;
-        let file: CkptFile = charm_wire::Codec::Fast
-            .decode(&bytes)
-            .map_err(|e| std::io::Error::other(format!("checkpoint decode: {e}")))?;
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let file: CkptFile =
+            charm_wire::Codec::Fast
+                .decode(&bytes)
+                .map_err(|e| CkptError::Decode {
+                    pe,
+                    msg: e.to_string(),
+                })?;
         if file.version != CKPT_VERSION {
-            return Err(std::io::Error::other(format!(
-                "checkpoint version {} unsupported (expected {CKPT_VERSION})",
-                file.version
-            )));
+            return Err(CkptError::Version {
+                pe,
+                found: file.version,
+                expected: CKPT_VERSION,
+            });
         }
-        out.push(file);
+        files.push((pe, file));
     }
-    if out.is_empty() {
-        return Err(std::io::Error::other(format!(
-            "no checkpoint files found in {}",
-            dir.display()
-        )));
+
+    let expected_npes = files[0].1.npes;
+    let expected_epoch = files[0].1.epoch;
+    for (pe, file) in &files {
+        if file.npes != expected_npes {
+            return Err(CkptError::NpesMismatch {
+                pe: *pe,
+                found: file.npes,
+                expected: expected_npes,
+            });
+        }
+        if file.epoch != expected_epoch {
+            return Err(CkptError::EpochMismatch {
+                pe: *pe,
+                found: file.epoch,
+                expected: expected_epoch,
+            });
+        }
     }
-    Ok(out)
+    let expected = expected_npes as usize;
+    for want in 0..expected {
+        if !present.contains(&want) {
+            return Err(CkptError::Gap { pe: want, expected });
+        }
+    }
+    if let Some(&stray) = present.iter().find(|&&p| p >= expected) {
+        return Err(CkptError::Stray {
+            pe: stray,
+            expected,
+        });
+    }
+    Ok(files.into_iter().map(|(_, f)| f).collect())
+}
+
+/// Automatic disk checkpoints land in per-generation subdirectories of the
+/// configured root; this names one.
+pub fn epoch_dir(root: &Path, epoch: u64) -> PathBuf {
+    root.join(format!("ckpt-{epoch}"))
+}
+
+/// Find the newest *complete* automatic checkpoint under `root`: the
+/// highest-epoch `ckpt-<epoch>/` subdirectory whose file set passes
+/// [`read_all`] validation. Incomplete generations (a crash mid-save) are
+/// skipped, so a torn newest checkpoint falls back to the previous one.
+pub fn latest_complete_dir(root: &Path) -> Result<(u64, PathBuf), CkptError> {
+    let entries = std::fs::read_dir(root).map_err(|e| io_err(root, e))?;
+    let mut gens: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(root, e))?;
+        let name = entry.file_name();
+        if let Some(epoch) = name
+            .to_string_lossy()
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            gens.push((epoch, entry.path()));
+        }
+    }
+    gens.sort_by_key(|(e, _)| std::cmp::Reverse(*e));
+    for (epoch, path) in gens {
+        if read_all(&path).is_ok() {
+            return Ok((epoch, path));
+        }
+    }
+    Err(CkptError::Empty {
+        dir: root.to_path_buf(),
+    })
 }
 
 #[cfg(test)]
@@ -114,10 +376,11 @@ mod tests {
     use crate::collections::{CollKind, Placement};
     use crate::ids::ChareTypeId;
 
-    fn sample() -> CkptFile {
+    fn sample(npes: u64, epoch: u64) -> CkptFile {
         CkptFile {
             version: CKPT_VERSION,
-            npes: 4,
+            npes,
+            epoch,
             specs: vec![CollSpec {
                 id: CollectionId { creator: 0, seq: 1 },
                 ctype: ChareTypeId(2),
@@ -135,31 +398,166 @@ mod tests {
         }
     }
 
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
     #[test]
     fn file_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("ckpt-test-{}", std::process::id()));
-        write_file(&dir, 0, &sample()).unwrap();
-        write_file(&dir, 1, &sample()).unwrap();
+        let dir = tmpdir("roundtrip");
+        write_file(&dir, 0, &sample(2, 5)).unwrap();
+        write_file(&dir, 1, &sample(2, 5)).unwrap();
         let files = read_all(&dir).unwrap();
         assert_eq!(files.len(), 2);
         assert_eq!(files[0].chares.len(), 1);
         assert_eq!(files[0].chares[0].red_seq, 7);
+        assert_eq!(files[0].epoch, 5);
         assert!(files[0].specs[0].use_lb);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
+    fn image_roundtrip_matches_file_format() {
+        let dir = tmpdir("image");
+        let f = sample(1, 9);
+        let image = encode_image(&f).unwrap();
+        let back = decode_image(&image).unwrap();
+        assert_eq!(back.epoch, 9);
+        assert_eq!(back.chares[0].data, vec![1, 2, 3]);
+        // The in-memory image is byte-identical to what lands on disk.
+        write_file(&dir, 0, &f).unwrap();
+        let on_disk = std::fs::read(pe_file(&dir, 0)).unwrap();
+        assert_eq!(&on_disk[..], &image[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn missing_dir_errors() {
-        assert!(read_all(Path::new("/nonexistent-ckpt-dir-xyz")).is_err());
+        assert!(matches!(
+            read_all(Path::new("/nonexistent-ckpt-dir-xyz")),
+            Err(CkptError::Io { .. })
+        ));
     }
 
     #[test]
     fn version_mismatch_errors() {
-        let dir = std::env::temp_dir().join(format!("ckpt-ver-{}", std::process::id()));
-        let mut f = sample();
+        let dir = tmpdir("ver");
+        let mut f = sample(1, 0);
         f.version = 999;
         write_file(&dir, 0, &f).unwrap();
-        assert!(read_all(&dir).is_err());
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::Version {
+                pe: 0,
+                found: 999,
+                ..
+            })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(pe_file(&dir, 0), b"not a checkpoint").unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::Decode { pe: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let dir = tmpdir("trunc");
+        write_file(&dir, 0, &sample(1, 0)).unwrap();
+        let full = std::fs::read(pe_file(&dir, 0)).unwrap();
+        std::fs::write(pe_file(&dir, 0), &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::Decode { pe: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_rejects_the_set() {
+        let dir = tmpdir("tmpfile");
+        write_file(&dir, 0, &sample(1, 0)).unwrap();
+        std::fs::write(dir.join("pe0.ckpt.tmp"), b"torn").unwrap();
+        assert!(matches!(read_all(&dir), Err(CkptError::TmpLeftover { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gap_in_set_is_detected() {
+        let dir = tmpdir("gap");
+        write_file(&dir, 0, &sample(3, 0)).unwrap();
+        write_file(&dir, 2, &sample(3, 0)).unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::Gap { pe: 1, expected: 3 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_file_beyond_npes_is_detected() {
+        let dir = tmpdir("stray");
+        write_file(&dir, 0, &sample(1, 0)).unwrap();
+        write_file(&dir, 1, &sample(1, 0)).unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::Stray { pe: 1, expected: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn npes_disagreement_is_detected() {
+        let dir = tmpdir("npes");
+        write_file(&dir, 0, &sample(2, 0)).unwrap();
+        write_file(&dir, 1, &sample(3, 0)).unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::NpesMismatch {
+                pe: 1,
+                found: 3,
+                expected: 2
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_disagreement_is_detected() {
+        let dir = tmpdir("epoch");
+        write_file(&dir, 0, &sample(2, 4)).unwrap();
+        write_file(&dir, 1, &sample(2, 5)).unwrap();
+        assert!(matches!(
+            read_all(&dir),
+            Err(CkptError::EpochMismatch {
+                pe: 1,
+                found: 5,
+                expected: 4
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_complete_skips_torn_generations() {
+        let root = tmpdir("gens");
+        // Epoch 1: complete. Epoch 2: torn (gap).
+        write_file(&epoch_dir(&root, 1), 0, &sample(2, 1)).unwrap();
+        write_file(&epoch_dir(&root, 1), 1, &sample(2, 1)).unwrap();
+        write_file(&epoch_dir(&root, 2), 0, &sample(2, 2)).unwrap();
+        let (epoch, path) = latest_complete_dir(&root).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(path, epoch_dir(&root, 1));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -59,7 +59,10 @@ pub struct Placements {
 impl Placements {
     /// Register a placement function, returning the handle to pass at array
     /// creation.
-    pub fn register(&mut self, f: impl Fn(&Index, usize) -> Pe + Send + Sync + 'static) -> Placement {
+    pub fn register(
+        &mut self,
+        f: impl Fn(&Index, usize) -> Pe + Send + Sync + 'static,
+    ) -> Placement {
         let id = self.fns.len() as u32;
         self.fns.push(Arc::new(f));
         Placement::Custom(id)

@@ -31,6 +31,8 @@ pub(crate) struct CtxSeed {
     pub pe: Pe,
     pub npes: usize,
     pub codec: Codec,
+    /// Machine incarnation (0 until a recovery has happened).
+    pub epoch: u64,
     pub fut_seq: Arc<AtomicU64>,
     pub coll_seq: Arc<AtomicU32>,
     pub registry: Arc<crate::chare::Registry>,
@@ -173,6 +175,13 @@ impl Ctx {
     /// Identity of the chare this handler runs on (`None` at top level).
     pub fn this_id(&self) -> Option<ChareId> {
         self.this
+    }
+
+    /// The machine's recovery epoch: 0 in a fault-free run, incremented by
+    /// the supervisor on every automatic restart. Lets recovery entry
+    /// closures distinguish the first incarnation from a re-run.
+    pub fn recovery_epoch(&self) -> u64 {
+        self.seed.epoch
     }
 
     /// Index of the current chare within its collection (`thisIndex`).

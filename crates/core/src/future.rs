@@ -53,7 +53,13 @@ impl<V: Message> Copy for Future<V> {}
 
 impl<V: Message> fmt::Debug for Future<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Future<{}>({}.{})", std::any::type_name::<V>(), self.id.pe, self.id.seq)
+        write!(
+            f,
+            "Future<{}>({}.{})",
+            std::any::type_name::<V>(),
+            self.id.pe,
+            self.id.seq
+        )
     }
 }
 

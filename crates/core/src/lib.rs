@@ -55,6 +55,7 @@ pub mod runtime;
 pub mod tree;
 
 pub use chare::{Chare, MsgGuard, Registry};
+pub use checkpoint::{CkptError, Store};
 pub use collections::Placement;
 pub use coro::Co;
 pub use ctx::{ArrayOpts, Ctx};
@@ -64,7 +65,7 @@ pub use lb::{LbChareStat, LbStats, LbStrategy};
 pub use msg::Message;
 pub use proxy::{Proxy, Section};
 pub use reduction::{RedData, RedTarget, Reducer};
-pub use runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
+pub use runtime::{Backend, DispatchMode, Main, RunError, RunReport, Runtime};
 pub use tree::TreeShape;
 
 // Tracing & metrics (DESIGN.md §7) — the subsystem lives in `charm-trace`;
@@ -75,6 +76,7 @@ pub use charm_trace::{PePerf, PeTrace, TraceConfig, TraceLevel, TraceReport};
 pub mod prelude {
     pub use crate::chare::Chare;
     pub use crate::chare::MsgGuard;
+    pub use crate::checkpoint::{CkptError, Store};
     pub use crate::collections::Placement;
     pub use crate::coro::Co;
     pub use crate::ctx::{ArrayOpts, Ctx};
@@ -84,7 +86,7 @@ pub mod prelude {
     pub use crate::msg::Message;
     pub use crate::proxy::{Proxy, Section};
     pub use crate::reduction::{RedData, RedTarget, Reducer};
-    pub use crate::runtime::{Backend, DispatchMode, Main, RunReport, Runtime};
+    pub use crate::runtime::{Backend, DispatchMode, Main, RunError, RunReport, Runtime};
     pub use crate::tree::TreeShape;
     pub use charm_trace::{TraceConfig, TraceLevel};
 }

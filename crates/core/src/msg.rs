@@ -48,14 +48,17 @@ impl Payload {
     /// Recover a typed value: downcast if local, decode if serialized.
     pub fn take<V: Message>(self, codec: Codec) -> V {
         match self {
-            Payload::Local(b) => *b
-                .downcast::<V>()
+            Payload::Local(b) => *b.downcast::<V>().unwrap_or_else(|_| {
                 // analyze: allow(panic, "sender and receiver can disagree on an entry's message type only via a registration bug; surfaced loudly on first use")
-                .unwrap_or_else(|_| panic!("payload type mismatch for {}", std::any::type_name::<V>())),
-            Payload::Wire(bytes) => codec
-                .decode::<V>(&bytes)
+                panic!("payload type mismatch for {}", std::any::type_name::<V>())
+            }),
+            Payload::Wire(bytes) => codec.decode::<V>(&bytes).unwrap_or_else(|e| {
                 // analyze: allow(panic, "bytes were produced by this codec's own encoder; decode failure is a codec bug")
-                .unwrap_or_else(|e| panic!("payload decode failed for {}: {e}", std::any::type_name::<V>())),
+                panic!(
+                    "payload decode failed for {}: {e}",
+                    std::any::type_name::<V>()
+                )
+            }),
         }
     }
 }
@@ -124,6 +127,11 @@ pub struct Envelope {
     pub src: Pe,
     /// What the message is.
     pub kind: EnvKind,
+    /// Recovery epoch (machine incarnation) this envelope belongs to. A
+    /// scheduler discards envelopes stamped with an epoch other than its
+    /// own, so in-flight pre-failure traffic can never double-deliver into
+    /// post-restore state.
+    pub epoch: u64,
     /// Happens-before trace (id + sender vector clock) for the dynamic
     /// race detector. Only present with `--features analyze`.
     #[cfg(feature = "analyze")]
@@ -133,10 +141,14 @@ pub struct Envelope {
 impl Envelope {
     /// Build an envelope; the trace (when the `analyze` feature is on)
     /// starts untraced and is stamped by the sending scheduler's detector.
+    /// The epoch starts at 0 (the first incarnation); schedulers stamp
+    /// their own epoch on emission, and drivers re-stamp the bootstrap
+    /// envelope of a recovery attempt.
     pub fn new(src: Pe, kind: EnvKind) -> Envelope {
         Envelope {
             src,
             kind,
+            epoch: 0,
             #[cfg(feature = "analyze")]
             trace: crate::analyze::EnvTrace::default(),
         }
@@ -150,6 +162,7 @@ impl Envelope {
         Some(Envelope {
             src: self.src,
             kind: self.kind.try_clone()?,
+            epoch: self.epoch,
             trace: self.trace.clone(),
         })
     }
@@ -328,11 +341,32 @@ pub enum EnvKind {
         /// PEs covered.
         pes: u64,
     },
-    /// Save a checkpoint of this PE's chares into `dir` (initiated by the
-    /// PE that called `ctx.checkpoint`).
+    /// Save a checkpoint of this PE's chares (initiated by the PE that
+    /// called `ctx.checkpoint`, or by PE 0 at the automatic cadence).
     CkptSave {
-        /// Target directory.
-        dir: String,
+        /// Target directory; `None` keeps the image purely in memory
+        /// (`Store::Memory` buddy checkpointing).
+        dir: Option<String>,
+        /// Checkpoint generation being taken.
+        epoch: u64,
+        /// Whether to push an in-memory copy to the buddy PE.
+        buddy: bool,
+    },
+    /// An in-memory checkpoint image pushed to the owner's buddy PE
+    /// (`(owner+1) % npes`), which acks the initiator once it holds it.
+    CkptBuddy {
+        /// The PE whose state this is.
+        owner: Pe,
+        /// The PE coordinating the checkpoint (receives the ack).
+        initiator: Pe,
+        /// Checkpoint generation.
+        epoch: u64,
+        /// Chares in the image (forwarded with the ack).
+        saved: u64,
+        /// The encoded [`crate::checkpoint::CkptFile`] image; refcounted,
+        /// so the owner's local copy and the buddy copy share bytes until
+        /// the envelope crosses a PE boundary.
+        image: WireBytes,
     },
     /// A PE finished writing its checkpoint file (back to the initiator).
     CkptAck {
@@ -357,6 +391,10 @@ pub enum EnvKind {
     Bootstrap,
     /// Shut the runtime down.
     Exit,
+    /// Supervisor-initiated teardown of a failed incarnation: stop the
+    /// scheduler loop without treating it as an application exit. Unlike
+    /// every other kind, `Halt` is honored regardless of its epoch stamp.
+    Halt,
 }
 
 impl EnvKind {
@@ -457,6 +495,7 @@ impl EnvKind {
             EnvKind::MigrateChare { data, buffered, .. } => {
                 HDR + data.len() + buffered.iter().map(|(b, ..)| b.len() + 16).sum::<usize>()
             }
+            EnvKind::CkptBuddy { image, .. } => HDR + image.len(),
             EnvKind::LbStats { stats, .. } => HDR + stats.len() * 48,
             EnvKind::LbDoMigrate { moves, .. } => HDR + moves.len() * 40,
             _ => HDR,

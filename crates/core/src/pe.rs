@@ -18,7 +18,7 @@ use charm_trace::{EntryKind, EventKind, PeTracer, TraceConfig, WorkClass};
 use charm_wire::{Codec, EncodePool, WireBytes};
 
 use crate::chare::{MsgGuards, Registry};
-use crate::checkpoint::{self, CkptChare, CkptFile};
+use crate::checkpoint::{self, CkptChare, CkptFile, Store};
 use crate::collections::{CollKind, CollSpec, CollState, CollTable, Placements};
 use crate::coro::{CoroHandle, CoroInput, CoroSide, CoroYield, WaitKind};
 use crate::ctx::{Ctx, CtxSeed, Op};
@@ -46,8 +46,19 @@ pub(crate) struct SchedCfg {
     /// Machine model (sim backend only) for the dynamic-dispatch overhead.
     pub sim_model: Option<MachineModel>,
     pub is_sim: bool,
-    /// Restore a checkpoint from this directory at bootstrap (PE 0).
-    pub restore_dir: Option<std::path::PathBuf>,
+    /// Restore a checkpoint at bootstrap (PE 0).
+    pub restore: Option<RestoreFrom>,
+    /// Recovery epoch (machine incarnation): 0 on first launch, bumped by
+    /// the supervisor on every restart. Stamped into each emitted envelope;
+    /// `PeState::handle` discards mismatches as stale pre-failure traffic.
+    pub epoch: u64,
+    /// First checkpoint-generation number this incarnation may mint —
+    /// strictly above every generation already committed, so fresh images
+    /// never alias the one just restored from.
+    pub ckpt_seq_start: u64,
+    /// Automatic checkpointing `(every, store)`: PE 0 snapshots the machine
+    /// at every `every`-th completed quiescence round.
+    pub auto_ckpt: Option<(u64, Store)>,
     /// Registered per-message when-conditions.
     pub msg_guards: Arc<MsgGuards>,
     /// Tracing level + ring capacity for every PE's tracer.
@@ -57,8 +68,94 @@ pub(crate) struct SchedCfg {
     pub analyze_probe: Option<crate::analyze::FaultProbe>,
 }
 
+/// Where PE 0's bootstrap restores the machine from.
+#[derive(Clone)]
+pub(crate) enum RestoreFrom {
+    /// A directory of `pe<N>.ckpt` files (the `run_restored` path).
+    Dir(std::path::PathBuf),
+    /// Decoded images assembled by the restart supervisor from the PEs' own
+    /// and buddy-held in-memory copies.
+    Images(Vec<CkptFile>),
+}
+
 /// Launcher type for coroutines (the boxed closure spawned on a thread).
 pub(crate) type CoroLauncher = Box<dyn FnOnce(CoroSide) + Send + 'static>;
+
+/// An in-progress machine-wide checkpoint tracked on the initiating PE.
+enum CkptPending {
+    /// `ctx.checkpoint(dir)`: completes the caller's future with the total
+    /// chare count once every PE has acked.
+    Manual {
+        fid: FutureId,
+        left: usize,
+        total: u64,
+    },
+    /// Automatic checkpoint taken at quiescence (PE 0): the quiescence
+    /// waiters are held until every PE has committed, so the application
+    /// only resumes against fully saved state.
+    Auto { left: usize, waiters: Vec<FutureId> },
+}
+
+/// In-memory checkpoint images one PE holds under `Store::Memory` buddy
+/// checkpointing: its own images plus the copies it keeps for its buddy
+/// (PE `self - 1 mod npes`). The last two generations are retained, so a
+/// failure mid-generation `e` still finds generation `e - 1` complete.
+#[derive(Default)]
+pub(crate) struct CkptStore {
+    own: Vec<(u64, WireBytes)>,
+    held: Vec<(Pe, u64, WireBytes)>,
+}
+
+impl CkptStore {
+    /// Generations retained per slot (current + previous).
+    const KEEP: usize = 2;
+
+    fn store_own(&mut self, epoch: u64, image: WireBytes) {
+        self.own.retain(|(e, _)| *e != epoch);
+        self.own.push((epoch, image));
+        self.own.sort_by_key(|(e, _)| *e);
+        while self.own.len() > Self::KEEP {
+            self.own.remove(0);
+        }
+    }
+
+    fn store_held(&mut self, owner: Pe, epoch: u64, image: WireBytes) {
+        self.held.retain(|(o, e, _)| *o != owner || *e != epoch);
+        self.held.push((owner, epoch, image));
+        self.held.sort_by_key(|(_, e, _)| *e);
+        while self.held.iter().filter(|(o, _, _)| *o == owner).count() > Self::KEEP {
+            if let Some(i) = self.held.iter().position(|(o, _, _)| *o == owner) {
+                self.held.remove(i);
+            }
+        }
+    }
+
+    /// This PE's own image for generation `epoch`.
+    pub(crate) fn own_at(&self, epoch: u64) -> Option<&WireBytes> {
+        self.own.iter().find(|(e, _)| *e == epoch).map(|(_, b)| b)
+    }
+
+    /// The copy held on behalf of `owner` for generation `epoch`.
+    pub(crate) fn held_at(&self, owner: Pe, epoch: u64) -> Option<&WireBytes> {
+        self.held
+            .iter()
+            .find(|(o, e, _)| *o == owner && *e == epoch)
+            .map(|(_, _, b)| b)
+    }
+
+    /// Every generation this store has any image for, ascending.
+    pub(crate) fn epochs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .own
+            .iter()
+            .map(|(e, _)| *e)
+            .chain(self.held.iter().map(|(_, e, _)| *e))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
 
 /// A when-guard-deferred message.
 struct Buffered {
@@ -134,9 +231,15 @@ pub(crate) struct PeState {
 
     lb: LbPeState,
     lb_central: LbCentral,
-    /// In-progress checkpoint initiated on this PE: (future, acks left,
-    /// chares saved so far).
-    ckpt: Option<(FutureId, usize, u64)>,
+    /// In-progress checkpoint initiated on this PE.
+    ckpt: Option<CkptPending>,
+    /// In-memory images (own + buddy-held) under `Store::Memory`; salvaged
+    /// by the restart supervisor after a PE failure.
+    pub ckpt_store: CkptStore,
+    /// Next checkpoint generation this PE mints when it initiates one.
+    next_ckpt_epoch: u64,
+    /// PE 0: completed quiescence rounds (drives the auto-ckpt cadence).
+    qd_completions: u64,
     qd_pe: QdPeState,
     qd_central: QdCentral,
 
@@ -194,13 +297,15 @@ impl PeState {
             pe,
             npes,
             codec: cfg.codec,
+            epoch: cfg.epoch,
             fut_seq: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU32::new(0)),
             registry: Arc::clone(&registry),
         };
         #[cfg(feature = "analyze")]
-        let det = crate::analyze::Detector::new(pe, npes, cfg.analyze_probe.clone());
+        let det = crate::analyze::Detector::new(pe, npes, cfg.epoch, cfg.analyze_probe.clone());
         let cfg_trace = cfg.trace;
+        let cfg_seq_start = cfg.ckpt_seq_start;
         PeState {
             pe,
             npes,
@@ -222,6 +327,9 @@ impl PeState {
             lb: LbPeState::default(),
             lb_central: LbCentral::default(),
             ckpt: None,
+            ckpt_store: CkptStore::default(),
+            next_ckpt_epoch: cfg_seq_start,
+            qd_completions: 0,
             qd_pe: QdPeState::default(),
             qd_central: QdCentral::default(),
             outbox: Vec::new(),
@@ -281,8 +389,8 @@ impl PeState {
                 );
             }
         }
-        #[allow(unused_mut)]
         let mut env = Envelope::new(self.pe, kind);
+        env.epoch = self.cfg.epoch;
         #[cfg(feature = "analyze")]
         {
             env.trace = self.det.on_send();
@@ -307,6 +415,19 @@ impl PeState {
     // =====================================================================
 
     pub fn handle(&mut self, env: Envelope) {
+        // Stale-epoch guard: an envelope from a previous incarnation (in
+        // flight when a PE died and the machine restored) must never reach
+        // post-recovery state — discard before any accounting, so neither
+        // the QD counters nor the detector ever see it. `Halt` is the
+        // supervisor's teardown signal and is honored regardless.
+        if env.epoch != self.cfg.epoch && !matches!(env.kind, EnvKind::Halt) {
+            self.tracer.stale_discarded += 1;
+            if self.tracer.full() {
+                let now = self.now_ns();
+                self.tracer.push(now, charm_trace::EventKind::StaleDrop);
+            }
+            return;
+        }
         if env.kind.counts_for_qd() {
             self.tracer.counters.processed += 1;
         }
@@ -540,7 +661,14 @@ impl PeState {
                 }
                 self.lb_resume_local();
             }
-            EnvKind::CkptSave { dir } => self.ckpt_save(src, &dir),
+            EnvKind::CkptSave { dir, epoch, buddy } => self.ckpt_save(src, dir, epoch, buddy),
+            EnvKind::CkptBuddy {
+                owner,
+                initiator,
+                epoch,
+                saved,
+                image,
+            } => self.ckpt_buddy(owner, initiator, epoch, saved, image),
             EnvKind::CkptAck { saved } => self.ckpt_ack(saved),
             EnvKind::RestoreColl { spec, root } => self.restore_coll(spec, root),
             EnvKind::QdProbe { round, root } => self.qd_probe(round, root),
@@ -555,14 +683,25 @@ impl PeState {
             EnvKind::Exit => {
                 self.exited = true;
             }
+            EnvKind::Halt => {
+                // Supervisor teardown of a failed incarnation: stop the
+                // scheduler loop; the driver salvages state for recovery.
+                self.exited = true;
+            }
         }
     }
 
+    /// Re-wrap a kind for local parking, stamped with this PE's epoch so it
+    /// stays valid when later re-dispatched.
+    fn wrap(&self, kind: EnvKind) -> Envelope {
+        let mut env = Envelope::new(self.pe, kind);
+        env.epoch = self.cfg.epoch;
+        env
+    }
+
     fn park_unknown_coll(&mut self, coll: CollectionId, kind: EnvKind) {
-        self.pending_coll
-            .entry(coll)
-            .or_default()
-            .push(Envelope::new(self.pe, kind));
+        let env = self.wrap(kind);
+        self.pending_coll.entry(coll).or_default().push(env);
     }
 
     fn local_members(&self, coll: CollectionId) -> Vec<ChareId> {
@@ -641,19 +780,15 @@ impl PeState {
                     },
                 );
             }
-            Route::BufferHere => self
-                .pending_chare
-                .entry(to)
-                .or_default()
-                .push(Envelope::new(
-                    self.pe,
-                    EnvKind::Entry {
-                        to,
-                        payload,
-                        reply,
-                        guard,
-                    },
-                )),
+            Route::BufferHere => {
+                let env = self.wrap(EnvKind::Entry {
+                    to,
+                    payload,
+                    reply,
+                    guard,
+                });
+                self.pending_chare.entry(to).or_default().push(env);
+            }
             Route::UnknownColl => self.park_unknown_coll(
                 to.coll,
                 EnvKind::Entry {
@@ -670,14 +805,10 @@ impl PeState {
         match self.route_of(&to) {
             Route::Local => self.invoke(to, Invoke::Reduced(tag, data)),
             Route::Remote(pe) => self.emit(pe, EnvKind::RedDeliver { to, tag, data }),
-            Route::BufferHere => self
-                .pending_chare
-                .entry(to)
-                .or_default()
-                .push(Envelope::new(
-                    self.pe,
-                    EnvKind::RedDeliver { to, tag, data },
-                )),
+            Route::BufferHere => {
+                let env = self.wrap(EnvKind::RedDeliver { to, tag, data });
+                self.pending_chare.entry(to).or_default().push(env);
+            }
             Route::UnknownColl => {
                 self.park_unknown_coll(to.coll, EnvKind::RedDeliver { to, tag, data })
             }
@@ -1203,9 +1334,22 @@ impl PeState {
                 }
                 Op::Checkpoint { dir, fid } => {
                     assert!(self.ckpt.is_none(), "checkpoint already in progress");
-                    self.ckpt = Some((fid, self.npes, 0));
+                    self.ckpt = Some(CkptPending::Manual {
+                        fid,
+                        left: self.npes,
+                        total: 0,
+                    });
+                    let epoch = self.next_ckpt_epoch;
+                    self.next_ckpt_epoch += 1;
                     for pe in 0..self.npes {
-                        self.emit(pe, EnvKind::CkptSave { dir: dir.clone() });
+                        self.emit(
+                            pe,
+                            EnvKind::CkptSave {
+                                dir: Some(dir.clone()),
+                                epoch,
+                                buddy: false,
+                            },
+                        );
                     }
                 }
                 Op::Exit => {
@@ -2273,20 +2417,17 @@ impl PeState {
                 // Root evaluates.
                 if self.qd_central.round_complete(sent, done) {
                     self.qd_central.active = false;
+                    self.qd_completions += 1;
                     let waiters = std::mem::take(&mut self.qd_central.waiters);
-                    for fid in waiters {
-                        let dst = fid.pe as usize;
-                        let payload = OutPayload::new(())
-                            .into_payload(
-                                dst == self.pe,
-                                self.cfg.same_pe_byref,
-                                self.cfg.codec,
-                                &mut self.encode_pool,
-                            )
-                            // analyze: allow(panic, "encoding the unit value fails only on a codec bug")
-                            .expect("() failed to encode");
-                        self.emit(dst, EnvKind::FutureValue { fid, payload });
+                    if self.auto_ckpt_due() {
+                        // The machine is quiescent — exactly when a
+                        // consistent image exists. Hold the quiescence
+                        // waiters until every PE commits, so the app only
+                        // resumes against fully saved state.
+                        self.start_auto_ckpt(waiters);
+                        return;
                     }
+                    self.complete_qd_waiters(waiters);
                 } else {
                     self.qd_start_round();
                 }
@@ -2294,11 +2435,80 @@ impl PeState {
         }
     }
 
+    /// Complete every pending quiescence future with `()`.
+    fn complete_qd_waiters(&mut self, waiters: Vec<FutureId>) {
+        for fid in waiters {
+            let dst = fid.pe as usize;
+            let payload = OutPayload::new(())
+                .into_payload(
+                    dst == self.pe,
+                    self.cfg.same_pe_byref,
+                    self.cfg.codec,
+                    &mut self.encode_pool,
+                )
+                // analyze: allow(panic, "encoding the unit value fails only on a codec bug")
+                .expect("() failed to encode");
+            self.emit(dst, EnvKind::FutureValue { fid, payload });
+        }
+    }
+
+    /// Whether this quiescence completion should trigger an automatic
+    /// checkpoint (PE 0; cadence from `Runtime::auto_checkpoint`). The
+    /// restore gate's own quiescence round never checkpoints — the machine
+    /// is still re-installing chares at that point.
+    fn auto_ckpt_due(&self) -> bool {
+        match &self.cfg.auto_ckpt {
+            Some((every, _)) => {
+                *every > 0
+                    && self.ckpt.is_none()
+                    && self.entry_gate.is_none()
+                    && self.qd_completions % *every == 0
+            }
+            None => false,
+        }
+    }
+
+    /// PE 0: broadcast `CkptSave` for the next generation, parking the
+    /// quiescence waiters until every PE acks ([`Self::ckpt_ack`]).
+    fn start_auto_ckpt(&mut self, waiters: Vec<FutureId>) {
+        let store = match &self.cfg.auto_ckpt {
+            Some((_, store)) => store.clone(),
+            None => return,
+        };
+        let epoch = self.next_ckpt_epoch;
+        self.next_ckpt_epoch += 1;
+        self.ckpt = Some(CkptPending::Auto {
+            left: self.npes,
+            waiters,
+        });
+        let (dir, buddy) = match &store {
+            Store::Disk(root) => (
+                Some(
+                    checkpoint::epoch_dir(root, epoch)
+                        .to_string_lossy()
+                        .into_owned(),
+                ),
+                false,
+            ),
+            Store::Memory => (None, true),
+        };
+        for pe in 0..self.npes {
+            self.emit(
+                pe,
+                EnvKind::CkptSave {
+                    dir: dir.clone(),
+                    epoch,
+                    buddy,
+                },
+            );
+        }
+    }
+
     // =====================================================================
     // Checkpoint / restart
     // =====================================================================
 
-    fn ckpt_save(&mut self, initiator: Pe, dir: &str) {
+    fn ckpt_save(&mut self, initiator: Pe, dir: Option<String>, epoch: u64, buddy: bool) {
         let main_coll = main_chare_id().coll;
         let specs: Vec<CollSpec> = self
             .colls
@@ -2365,12 +2575,39 @@ impl PeState {
         let file = CkptFile {
             version: checkpoint::CKPT_VERSION,
             npes: self.npes as u64,
+            epoch,
             specs,
             chares,
         };
-        let bytes = checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
-            // analyze: allow(panic, "an unwritable checkpoint directory is an unrecoverable operator error; fail loudly rather than silently drop the checkpoint")
-            .unwrap_or_else(|e| panic!("checkpoint write failed on PE {}: {e}", self.pe));
+        let mut bytes = 0u64;
+        if let Some(dir) = &dir {
+            bytes += checkpoint::write_file(std::path::Path::new(dir), self.pe, &file)
+                // analyze: allow(panic, "an unwritable checkpoint directory is an unrecoverable operator error; fail loudly rather than silently drop the checkpoint")
+                .unwrap_or_else(|e| panic!("checkpoint write failed on PE {}: {e}", self.pe));
+        }
+        if buddy {
+            let image = checkpoint::encode_image(&file).unwrap_or_else(|e| {
+                // analyze: allow(recovery-hook, "encoding the in-memory checkpoint image fails only on a codec bug; without the image there is nothing to recover from")
+                panic!("checkpoint image encode failed on PE {}: {e}", self.pe)
+            });
+            bytes += image.len() as u64;
+            self.ckpt_store.store_own(epoch, image.clone());
+            // Ship a copy to the buddy; the buddy acks the initiator on our
+            // behalf, so a committed generation implies buddy coverage.
+            let buddy_pe = (self.pe + 1) % self.npes;
+            self.emit(
+                buddy_pe,
+                EnvKind::CkptBuddy {
+                    owner: self.pe,
+                    initiator,
+                    epoch,
+                    saved,
+                    image,
+                },
+            );
+        } else {
+            self.emit(initiator, EnvKind::CkptAck { saved });
+        }
         if self.tracer.enabled() {
             self.tracer.ckpt_bytes += bytes;
             if self.tracer.full() {
@@ -2379,6 +2616,13 @@ impl PeState {
                     .push(now, charm_trace::EventKind::Ckpt { bytes });
             }
         }
+    }
+
+    /// Buddy half of in-memory double checkpointing: hold `owner`'s image
+    /// so its death can be recovered from this PE's copy, then ack the
+    /// initiator on the owner's behalf.
+    fn ckpt_buddy(&mut self, owner: Pe, initiator: Pe, epoch: u64, saved: u64, image: WireBytes) {
+        self.ckpt_store.store_held(owner, epoch, image);
         self.emit(initiator, EnvKind::CkptAck { saved });
     }
 
@@ -2386,25 +2630,45 @@ impl PeState {
         // A late or duplicate ack after the checkpoint window closed is a
         // peer-protocol anomaly, not a local invariant violation: drop it
         // rather than bringing the PE down.
-        let Some((fid, left, total)) = self.ckpt.take() else {
+        let Some(pending) = self.ckpt.take() else {
             return;
         };
-        let total = total + saved;
-        if left > 1 {
-            self.ckpt = Some((fid, left - 1, total));
-            return;
+        match pending {
+            CkptPending::Manual { fid, left, total } => {
+                let total = total + saved;
+                if left > 1 {
+                    self.ckpt = Some(CkptPending::Manual {
+                        fid,
+                        left: left - 1,
+                        total,
+                    });
+                    return;
+                }
+                let dst = fid.pe as usize;
+                let payload = OutPayload::new(total as i64)
+                    .into_payload(
+                        dst == self.pe,
+                        self.cfg.same_pe_byref,
+                        self.cfg.codec,
+                        &mut self.encode_pool,
+                    )
+                    // analyze: allow(panic, "encoding the checkpoint count fails only on a codec bug")
+                    .expect("checkpoint count failed to encode");
+                self.emit(dst, EnvKind::FutureValue { fid, payload });
+            }
+            CkptPending::Auto { left, waiters } => {
+                if left > 1 {
+                    self.ckpt = Some(CkptPending::Auto {
+                        left: left - 1,
+                        waiters,
+                    });
+                    return;
+                }
+                // Generation committed on every PE: release the quiescence
+                // waiters that were parked when the checkpoint started.
+                self.complete_qd_waiters(waiters);
+            }
         }
-        let dst = fid.pe as usize;
-        let payload = OutPayload::new(total as i64)
-            .into_payload(
-                dst == self.pe,
-                self.cfg.same_pe_byref,
-                self.cfg.codec,
-                &mut self.encode_pool,
-            )
-            // analyze: allow(panic, "encoding the checkpoint count fails only on a codec bug")
-            .expect("checkpoint count failed to encode");
-        self.emit(dst, EnvKind::FutureValue { fid, payload });
     }
 
     fn restore_coll(&mut self, spec: CollSpec, root: Pe) {
@@ -2440,13 +2704,10 @@ impl PeState {
         }
     }
 
-    /// PE 0, at bootstrap with a restore directory: read every checkpoint
-    /// file, re-install the collections, and redistribute the chares by
-    /// their placement policy onto the *current* PE count.
-    fn restore_from(&mut self, dir: &std::path::Path) {
-        let files = checkpoint::read_all(dir)
-            // analyze: allow(panic, "restore from an unreadable or corrupt checkpoint cannot proceed; fail loudly")
-            .unwrap_or_else(|e| panic!("checkpoint restore failed: {e}"));
+    /// PE 0, at bootstrap with a restore source: re-install the collections
+    /// and redistribute the chares by their placement policy onto the
+    /// *current* PE count (which may differ from the checkpoint's).
+    fn restore_from_files(&mut self, files: Vec<CkptFile>) {
         let mut seen = std::collections::HashSet::new();
         let mut specs = Vec::new();
         for f in &files {
@@ -2500,11 +2761,17 @@ impl PeState {
 
     fn bootstrap(&mut self) {
         debug_assert_eq!(self.pe, 0, "bootstrap on non-zero PE");
-        if let Some(dir) = self.cfg.restore_dir.clone() {
+        if let Some(restore) = &self.cfg.restore {
             // Re-install the checkpoint, then hold the entry coroutine
             // until quiescence confirms every restored chare has landed —
             // otherwise the entry's first broadcast could race migrants.
-            self.restore_from(&dir);
+            let files = match restore {
+                RestoreFrom::Dir(dir) => checkpoint::read_all(dir)
+                    // analyze: allow(recovery-hook, "the driver pre-validates the restore directory; a failure here means it was ripped out from under a running restore")
+                    .unwrap_or_else(|e| panic!("checkpoint restore failed: {e}")),
+                RestoreFrom::Images(files) => files.clone(),
+            };
+            self.restore_from_files(files);
             let fid = FutureId {
                 pe: self.pe as u32,
                 seq: self

@@ -205,7 +205,13 @@ impl<T: Chare> Eq for Proxy<T> {}
 impl<T: Chare> fmt::Debug for Proxy<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.index {
-            Some(ix) => write!(f, "Proxy<{}>[{}{}]", std::any::type_name::<T>(), self.coll, ix),
+            Some(ix) => write!(
+                f,
+                "Proxy<{}>[{}{}]",
+                std::any::type_name::<T>(),
+                self.coll,
+                ix
+            ),
             None => write!(f, "Proxy<{}>[{}]", std::any::type_name::<T>(), self.coll),
         }
     }
@@ -237,7 +243,6 @@ impl<'de, T: Chare> Deserialize<'de> for Proxy<T> {
         })
     }
 }
-
 
 /// A section: an explicit subset of a collection's members, used for
 /// multicast (Charm++ array sections). Serializable like a proxy, so it can

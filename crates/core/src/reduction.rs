@@ -275,7 +275,6 @@ pub struct RedState {
     pub target: Option<RedTarget>,
 }
 
-
 /// Map of in-flight reductions on a PE.
 pub type RedTable = HashMap<(CollectionId, u64), RedState>;
 
@@ -287,11 +286,19 @@ mod tests {
     fn scalar_reducers() {
         let c = CustomReducers::default();
         assert_eq!(
-            combine(Reducer::Sum, vec![RedData::I64(1), RedData::I64(2), RedData::I64(3)], &c),
+            combine(
+                Reducer::Sum,
+                vec![RedData::I64(1), RedData::I64(2), RedData::I64(3)],
+                &c
+            ),
             RedData::I64(6)
         );
         assert_eq!(
-            combine(Reducer::Product, vec![RedData::F64(2.0), RedData::F64(4.0)], &c),
+            combine(
+                Reducer::Product,
+                vec![RedData::F64(2.0), RedData::F64(4.0)],
+                &c
+            ),
             RedData::F64(8.0)
         );
         assert_eq!(
@@ -299,7 +306,11 @@ mod tests {
             RedData::I64(3)
         );
         assert_eq!(
-            combine(Reducer::Min, vec![RedData::F64(1.5), RedData::F64(-2.5)], &c),
+            combine(
+                Reducer::Min,
+                vec![RedData::F64(1.5), RedData::F64(-2.5)],
+                &c
+            ),
             RedData::F64(-2.5)
         );
     }
@@ -308,11 +319,19 @@ mod tests {
     fn boolean_reducers() {
         let c = CustomReducers::default();
         assert_eq!(
-            combine(Reducer::And, vec![RedData::Bool(true), RedData::Bool(false)], &c),
+            combine(
+                Reducer::And,
+                vec![RedData::Bool(true), RedData::Bool(false)],
+                &c
+            ),
             RedData::Bool(false)
         );
         assert_eq!(
-            combine(Reducer::Or, vec![RedData::Bool(false), RedData::Bool(true)], &c),
+            combine(
+                Reducer::Or,
+                vec![RedData::Bool(false), RedData::Bool(true)],
+                &c
+            ),
             RedData::Bool(true)
         );
     }

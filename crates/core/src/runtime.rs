@@ -1,4 +1,5 @@
-//! Runtime configuration, the two execution backends and the run report.
+//! Runtime configuration, the two execution backends, the restart
+//! supervisor and the run report.
 //!
 //! `charm.start(main)` in CharmPy becomes:
 //!
@@ -21,6 +22,13 @@
 //!   substitution for the paper's Blue Waters/Cori testbeds: handler
 //!   execution is metered and charged to per-PE virtual clocks, so parallel
 //!   performance (the figures) is read off virtual time.
+//!
+//! With [`Runtime::auto_checkpoint`] + [`Runtime::recover_with`] armed,
+//! both drivers become restart supervisors (DESIGN.md §8): a PE death (a
+//! panicked thread, an injected sim kill) or an idle-timeout hang bumps the
+//! recovery epoch, restores every chare from the newest complete
+//! buddy/disk checkpoint, re-runs the recovery entry, and discards
+//! in-flight envelopes stamped with the stale epoch.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,13 +38,14 @@ use charm_trace::{PePerf, PeTrace, TraceConfig, TraceReport};
 use charm_wire::Codec;
 
 use crate::chare::{Chare, MsgGuard, MsgGuards, Registry};
+use crate::checkpoint::{self, CkptError, CkptFile, Store};
 use crate::collections::{Placement, Placements};
 use crate::coro::{install_quiet_shutdown_hook, run_coroutine, Co};
 use crate::ctx::Ctx;
 use crate::ids::Pe;
 use crate::lb::LbStrategy;
 use crate::msg::{EnvKind, Envelope};
-use crate::pe::{PeState, SchedCfg};
+use crate::pe::{CkptStore, PeState, RestoreFrom, SchedCfg};
 use crate::reduction::{CustomReducers, RedData, Reducer};
 use crate::tree::TreeShape;
 
@@ -71,6 +80,75 @@ impl Chare for Main {
     fn receive(&mut self, _: (), _: &mut Ctx) {}
 }
 
+/// Why a run could not complete ([`Runtime::try_run`]).
+#[derive(Debug)]
+pub enum RunError {
+    /// Threads backend: a PE saw no message for `idle` and restart recovery
+    /// was not armed — the application is presumed hung.
+    Hang {
+        /// The PE that timed out first.
+        pe: Pe,
+        /// How long it sat idle.
+        idle: Duration,
+    },
+    /// Threads backend: a PE thread panicked and restart recovery was not
+    /// armed.
+    PePanic {
+        /// The PE whose scheduler died.
+        pe: Pe,
+        /// The panic message.
+        msg: String,
+    },
+    /// The checkpoint handed to [`Runtime::run_restored`] failed validation.
+    Restore(CkptError),
+    /// A PE failed, recovery was armed, but no restore source exists (e.g.
+    /// no checkpoint generation had committed yet, or the buddy copies died
+    /// with their holders).
+    RecoveryImpossible {
+        /// Why recovery could not proceed.
+        reason: String,
+        /// The failure that triggered the recovery attempt.
+        failure: String,
+    },
+    /// More PE failures than [`Runtime::max_restarts`] allows.
+    RestartsExhausted {
+        /// Restarts performed before giving up.
+        attempts: u64,
+        /// The final failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Hang { pe, idle } => {
+                write!(f, "PE {pe} idle for {idle:?} — application hang?")
+            }
+            RunError::PePanic { pe, msg } => write!(f, "PE {pe} panicked: {msg}"),
+            RunError::Restore(e) => write!(f, "restore failed: {e}"),
+            RunError::RecoveryImpossible { reason, failure } => {
+                write!(f, "cannot recover from \"{failure}\": {reason}")
+            }
+            RunError::RestartsExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "gave up after {attempts} restart(s); last failure: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Aggregate results of one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -89,10 +167,13 @@ pub struct RunReport {
     pub migrations: u64,
     /// Load-balancing epochs completed.
     pub lb_epochs: u64,
+    /// Restart recoveries performed (PE failures survived).
+    pub recoveries: u64,
     /// Whether the run ended via `exit()` (vs. running out of messages).
     pub clean_exit: bool,
     /// Per-PE message counts, bytes moved, and (above `TraceLevel::Off`)
-    /// the busy/idle/overhead decomposition. Always populated.
+    /// the busy/idle/overhead decomposition. Always populated. After a
+    /// recovery this covers the final incarnation.
     pub pe_stats: Vec<PePerf>,
     /// Full trace (per-entry stats + event rings under full capture);
     /// `None` when tracing was configured off.
@@ -114,6 +195,9 @@ pub struct Runtime {
     reducers: CustomReducers,
     placements: Placements,
     restore_dir: Option<std::path::PathBuf>,
+    auto_ckpt: Option<(u64, Store)>,
+    recover: Option<Arc<dyn Fn(&mut Co<Main>) + Send + Sync>>,
+    max_restarts: u64,
     msg_guards: MsgGuards,
     trace: TraceConfig,
     /// Sim backend: jitter message delivery order with this seed (FIFO
@@ -145,6 +229,9 @@ impl Runtime {
             reducers: CustomReducers::default(),
             placements: Placements::default(),
             restore_dir: None,
+            auto_ckpt: None,
+            recover: None,
+            max_restarts: 3,
             msg_guards: MsgGuards::default(),
             trace: default_trace(),
             permute: None,
@@ -177,8 +264,10 @@ impl Runtime {
         (self, probe)
     }
 
-    /// Inject a network fault on the sim backend (tests): the detector must
-    /// report it through the returned probe.
+    /// Inject a fault (tests): network duplicates/drops under the sim
+    /// backend, or a PE kill under either backend. The detector must
+    /// report network faults through the returned probe; PE kills drive
+    /// the restart supervisor.
     #[cfg(feature = "analyze")]
     pub fn analyze_inject(
         mut self,
@@ -251,9 +340,40 @@ impl Runtime {
     }
 
     /// Threaded backend: how long a PE may sit idle before the run is
-    /// declared hung (test safety net).
+    /// declared hung. With recovery armed the hang becomes a restart;
+    /// otherwise [`Runtime::try_run`] returns [`RunError::Hang`].
     pub fn idle_timeout(mut self, t: Duration) -> Self {
         self.idle_timeout = t;
+        self
+    }
+
+    /// Arm automatic checkpointing: at every `every`-th completed
+    /// quiescence round, PE 0 snapshots the whole machine into `store` —
+    /// buddy in-memory copies ([`Store::Memory`]), or atomic per-generation
+    /// directories on disk ([`Store::Disk`]). The snapshot is taken while
+    /// the machine is quiescent, so it is globally consistent; quiescence
+    /// waiters resume only after every PE commits. Combine with
+    /// [`Runtime::recover_with`] for automatic restart-recovery.
+    pub fn auto_checkpoint(mut self, every: u64, store: Store) -> Self {
+        assert!(every > 0, "auto_checkpoint cadence must be at least 1");
+        self.auto_ckpt = Some((every, store));
+        self
+    }
+
+    /// Entry kick used by restart recovery: after the supervisor restores
+    /// the newest complete checkpoint generation, this runs as the new main
+    /// coroutine (the original `run` entry was consumed by the first
+    /// incarnation). It should re-kick the application — e.g. re-broadcast
+    /// the driving message — discovering progress from restored chare
+    /// state, exactly like the `run_restored` entry.
+    pub fn recover_with(mut self, f: impl Fn(&mut Co<Main>) + Send + Sync + 'static) -> Self {
+        self.recover = Some(Arc::new(f));
+        self
+    }
+
+    /// Cap on automatic restarts per run (default 3).
+    pub fn max_restarts(mut self, n: u64) -> Self {
+        self.max_restarts = n;
         self
     }
 
@@ -307,10 +427,11 @@ impl Runtime {
         self.placements.register(f)
     }
 
-    /// Start the runtime from a checkpoint written by `Ctx::checkpoint`:
-    /// collections and chares are restored (redistributed by placement if
-    /// the PE count changed) before `entry` runs; `entry` re-kicks the
-    /// application, e.g. by re-broadcasting its start message.
+    /// Start the runtime from a checkpoint written by `Ctx::checkpoint` or
+    /// an automatic [`Store::Disk`] generation: collections and chares are
+    /// restored (redistributed by placement if the PE count changed) before
+    /// `entry` runs; `entry` re-kicks the application, e.g. by
+    /// re-broadcasting its start message.
     pub fn run_restored(
         mut self,
         dir: impl Into<std::path::PathBuf>,
@@ -322,8 +443,23 @@ impl Runtime {
 
     /// Start the runtime: `entry` runs as an automatically-threaded main
     /// coroutine on PE 0 (paper §II-B). Returns when `exit()` is called (or,
-    /// under sim, when no messages remain).
-    pub fn run(mut self, entry: impl FnOnce(&mut Co<Main>) + Send + 'static) -> RunReport {
+    /// under sim, when no messages remain). Panics on [`RunError`] — use
+    /// [`Runtime::try_run`] to handle failures structurally.
+    pub fn run(self, entry: impl FnOnce(&mut Co<Main>) + Send + 'static) -> RunReport {
+        match self.try_run(entry) {
+            Ok(report) => report,
+            // analyze: allow(panic, "run() is the panicking convenience wrapper; try_run returns failures structurally")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Runtime::run`], but a PE hang, an unrecovered PE death or an
+    /// invalid restore source comes back as a typed [`RunError`] instead of
+    /// a panic.
+    pub fn try_run(
+        mut self,
+        entry: impl FnOnce(&mut Co<Main>) + Send + 'static,
+    ) -> Result<RunReport, RunError> {
         install_quiet_shutdown_hook();
         self.registry.register::<Main>();
         let codec = match self.dispatch {
@@ -334,51 +470,89 @@ impl Runtime {
             Backend::Threads => (false, None),
             Backend::Sim(m) => (true, Some(m.clone())),
         };
-        let restore_dir = self.restore_dir.take();
-        let cfg = Arc::new(SchedCfg {
-            codec,
-            dynamic: self.dispatch == DispatchMode::Dynamic,
-            same_pe_byref: self.same_pe_byref,
-            tree: self.tree,
-            lb: self.lb.clone(),
-            meter: self.meter,
-            compute_scale: self.compute_scale,
-            sim_model: sim_model.clone(),
-            is_sim,
-            restore_dir,
-            msg_guards: Arc::new(self.msg_guards.clone()),
-            trace: self.trace,
-            #[cfg(feature = "analyze")]
-            analyze_probe: self.probe.clone(),
-        });
+        // Pre-validate a directory restore — a bad set is a typed error
+        // here, not a panic mid-bootstrap — and start fresh checkpoint
+        // generations strictly after the restored one.
+        let mut ckpt_seq_start = 1;
+        let restore = match self.restore_dir.take() {
+            Some(dir) => {
+                let files = checkpoint::read_all(&dir).map_err(RunError::Restore)?;
+                ckpt_seq_start = files[0].epoch + 1;
+                Some(RestoreFrom::Dir(dir))
+            }
+            None => None,
+        };
         let registry = Arc::new(std::mem::take(&mut self.registry));
         let placements = Arc::new(self.placements.clone());
         let reducers = Arc::new(self.reducers.clone());
         let entry_fn: crate::pe::CoroLauncher =
             Box::new(move |side| run_coroutine::<Main>(side, entry));
-
         let start = Instant::now();
-        let mk_pe = |pe: Pe, entry: Option<crate::pe::CoroLauncher>| {
-            PeState::new(
-                pe,
-                self.npes,
-                Arc::clone(&cfg),
-                Arc::clone(&registry),
-                Arc::clone(&placements),
-                Arc::clone(&reducers),
-                start,
-                entry,
-            )
+
+        // The restart supervisor rebuilds the scheduler config per
+        // incarnation (new epoch, new restore source), so the pieces are
+        // captured once here.
+        let mk_cfg: Box<dyn Fn(u64, Option<RestoreFrom>, u64) -> Arc<SchedCfg>> = {
+            let dynamic = self.dispatch == DispatchMode::Dynamic;
+            let same_pe_byref = self.same_pe_byref;
+            let tree = self.tree;
+            let lb = self.lb.clone();
+            let meter = self.meter;
+            let compute_scale = self.compute_scale;
+            let sim_model = sim_model.clone();
+            let auto_ckpt = self.auto_ckpt.clone();
+            let msg_guards = Arc::new(self.msg_guards.clone());
+            let trace = self.trace;
+            #[cfg(feature = "analyze")]
+            let probe = self.probe.clone();
+            Box::new(move |epoch, restore, ckpt_seq_start| {
+                Arc::new(SchedCfg {
+                    codec,
+                    dynamic,
+                    same_pe_byref,
+                    tree,
+                    lb: lb.clone(),
+                    meter,
+                    compute_scale,
+                    sim_model: sim_model.clone(),
+                    is_sim,
+                    restore,
+                    epoch,
+                    ckpt_seq_start,
+                    auto_ckpt: auto_ckpt.clone(),
+                    msg_guards: Arc::clone(&msg_guards),
+                    trace,
+                    #[cfg(feature = "analyze")]
+                    analyze_probe: probe.clone(),
+                })
+            })
+        };
+        let launch = Launch {
+            npes: self.npes,
+            registry,
+            placements,
+            reducers,
+            start,
+            mk_cfg,
+            auto: self.auto_ckpt.clone(),
+            recover: self.recover.clone(),
+            max_restarts: self.max_restarts,
+            restore,
+            ckpt_seq_start,
         };
 
         match self.backend {
-            Backend::Threads => run_threads(self.npes, self.idle_timeout, mk_pe, entry_fn, start),
-            Backend::Sim(model) => run_sim(
-                self.npes,
-                model,
-                mk_pe,
+            Backend::Threads => run_threads(
+                launch,
+                self.idle_timeout,
                 entry_fn,
-                start,
+                #[cfg(feature = "analyze")]
+                self.inject,
+            ),
+            Backend::Sim(model) => run_sim(
+                launch,
+                model,
+                entry_fn,
                 self.permute,
                 #[cfg(feature = "analyze")]
                 self.inject,
@@ -387,84 +561,343 @@ impl Runtime {
     }
 }
 
-fn run_threads(
+/// Everything needed to (re)build a machine incarnation; the restart
+/// supervisors re-launch from this after a PE failure.
+struct Launch {
     npes: usize,
-    idle_timeout: Duration,
-    mk_pe: impl Fn(Pe, Option<crate::pe::CoroLauncher>) -> PeState,
-    entry_fn: crate::pe::CoroLauncher,
+    registry: Arc<Registry>,
+    placements: Arc<Placements>,
+    reducers: Arc<CustomReducers>,
     start: Instant,
-) -> RunReport {
+    mk_cfg: Box<dyn Fn(u64, Option<RestoreFrom>, u64) -> Arc<SchedCfg>>,
+    auto: Option<(u64, Store)>,
+    recover: Option<Arc<dyn Fn(&mut Co<Main>) + Send + Sync>>,
+    max_restarts: u64,
+    /// Restore source for the *first* incarnation (`run_restored`).
+    restore: Option<RestoreFrom>,
+    /// First checkpoint generation the first incarnation may mint.
+    ckpt_seq_start: u64,
+}
+
+impl Launch {
+    fn mk_pe(
+        &self,
+        pe: Pe,
+        entry: Option<crate::pe::CoroLauncher>,
+        cfg: &Arc<SchedCfg>,
+    ) -> PeState {
+        PeState::new(
+            pe,
+            self.npes,
+            Arc::clone(cfg),
+            Arc::clone(&self.registry),
+            Arc::clone(&self.placements),
+            Arc::clone(&self.reducers),
+            self.start,
+            entry,
+        )
+    }
+
+    /// Fresh launcher for the recovery entry (it is a reusable `Fn`, unlike
+    /// the `FnOnce` consumed by the first incarnation).
+    fn recovery_entry(&self) -> Option<crate::pe::CoroLauncher> {
+        let f = Arc::clone(self.recover.as_ref()?);
+        Some(Box::new(move |side| {
+            run_coroutine::<Main>(side, move |co: &mut Co<Main>| f(co))
+        }))
+    }
+
+    /// Whether a PE failure can even be turned into a restart.
+    fn recovery_armed(&self) -> bool {
+        self.auto.is_some() && self.recover.is_some()
+    }
+
+    /// Locate the newest complete checkpoint generation after a failure:
+    /// the highest intact `ckpt-<epoch>/` directory under [`Store::Disk`],
+    /// or a full image set assembled from the salvaged in-memory stores
+    /// under [`Store::Memory`] (a PE's own image when its store survived,
+    /// the buddy-held copy otherwise). Returns `(generation, source)`.
+    fn recovery_source(&self, stores: &[Option<CkptStore>]) -> Result<(u64, RestoreFrom), String> {
+        let store = match &self.auto {
+            Some((_, s)) => s,
+            None => return Err("automatic checkpointing is not armed".into()),
+        };
+        match store {
+            Store::Disk(root) => checkpoint::latest_complete_dir(root)
+                .map(|(epoch, dir)| (epoch, RestoreFrom::Dir(dir)))
+                .map_err(|e| e.to_string()),
+            Store::Memory => {
+                let mut epochs: Vec<u64> =
+                    stores.iter().flatten().flat_map(|s| s.epochs()).collect();
+                epochs.sort_unstable();
+                epochs.dedup();
+                for &epoch in epochs.iter().rev() {
+                    if let Some(files) = assemble_images(stores, self.npes, epoch) {
+                        return Ok((epoch, RestoreFrom::Images(files)));
+                    }
+                }
+                Err("no complete in-memory checkpoint generation survives the failure".into())
+            }
+        }
+    }
+}
+
+/// Assemble one checkpoint generation from per-PE salvage: PE `i`'s image
+/// comes from its own store when that survived, else from the buddy copy
+/// held on PE `(i+1) % npes`. `None` unless every PE's image is present
+/// and decodes.
+fn assemble_images(stores: &[Option<CkptStore>], npes: usize, epoch: u64) -> Option<Vec<CkptFile>> {
+    let mut files = Vec::with_capacity(npes);
+    for pe in 0..npes {
+        let own = stores[pe].as_ref().and_then(|s| s.own_at(epoch));
+        let held = stores[(pe + 1) % npes]
+            .as_ref()
+            .and_then(|s| s.held_at(pe, epoch));
+        let image = own.or(held)?;
+        files.push(checkpoint::decode_image(image).ok()?);
+    }
+    Some(files)
+}
+
+/// How one PE thread's scheduler loop ended.
+enum PeEnd {
+    /// Clean `Exit`/`Halt`, or channel disconnect.
+    Done,
+    /// The scheduler loop panicked (an entry method, or an injected kill).
+    Panicked(String),
+    /// No message arrived within the idle timeout.
+    Hung(Duration),
+}
+
+/// The failure that brought an incarnation down.
+enum Failure {
+    Panic(String),
+    Hang(Duration),
+}
+
+impl Failure {
+    fn describe(&self, pe: Pe) -> String {
+        match self {
+            Failure::Panic(msg) => format!("PE {pe} panicked: {msg}"),
+            Failure::Hang(idle) => format!("PE {pe} idle for {idle:?}"),
+        }
+    }
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_threads(
+    mut launch: Launch,
+    idle_timeout: Duration,
+    entry_fn: crate::pe::CoroLauncher,
+    #[cfg(feature = "analyze")] inject: Option<crate::analyze::InjectFault>,
+) -> Result<RunReport, RunError> {
     use crossbeam::channel;
 
-    let mut senders = Vec::with_capacity(npes);
-    let mut receivers = Vec::with_capacity(npes);
-    for _ in 0..npes {
-        let (tx, rx) = channel::unbounded::<Envelope>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    senders[0]
-        .send(Envelope::new(0, EnvKind::Bootstrap))
-        .expect("bootstrap send failed");
-
+    let npes = launch.npes;
     let mut entry_slot = Some(entry_fn);
-    let handles: Vec<_> = receivers
-        .into_iter()
-        .enumerate()
-        .map(|(pe, rx)| {
-            let mut state = mk_pe(pe, if pe == 0 { entry_slot.take() } else { None });
+    let mut restore = launch.restore.take();
+    let mut seq_start = launch.ckpt_seq_start;
+    let mut recoveries = 0u64;
+
+    for epoch in 0u64.. {
+        let cfg = (launch.mk_cfg)(epoch, restore.take(), seq_start);
+        // First incarnation runs the user's entry; restarts run the
+        // recovery entry (the supervisor checked it exists before looping).
+        let mut entry = match entry_slot.take() {
+            Some(e) => Some(e),
+            None => launch.recovery_entry(),
+        };
+        // An injected PE kill fires only in the first incarnation.
+        #[cfg(feature = "analyze")]
+        let kill = match inject {
+            Some(crate::analyze::InjectFault::KillPe { pe, after_nth }) if epoch == 0 => {
+                Some((pe, after_nth))
+            }
+            _ => None,
+        };
+
+        let mut senders = Vec::with_capacity(npes);
+        let mut receivers = Vec::with_capacity(npes);
+        for _ in 0..npes {
+            let (tx, rx) = channel::unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut boot = Envelope::new(0, EnvKind::Bootstrap);
+        boot.epoch = epoch;
+        senders[0].send(boot).expect("bootstrap send failed");
+
+        type Status = (Pe, PeEnd, PeTrace, u64, CkptStore);
+        let (status_tx, status_rx) = channel::unbounded::<Status>();
+        for (pe, rx) in receivers.into_iter().enumerate() {
+            let mut state = launch.mk_pe(pe, if pe == 0 { entry.take() } else { None }, &cfg);
+            if pe == 0 && epoch > 0 && state.tracer.full() {
+                let now = state.now_ns();
+                state
+                    .tracer
+                    .push(now, charm_trace::EventKind::Recovery { epoch });
+            }
             let senders = senders.clone();
+            let status_tx = status_tx.clone();
             std::thread::Builder::new()
                 .name(format!("pe-{pe}"))
                 .spawn(move || {
-                    loop {
-                        // Time spent waiting on the channel is the threaded
-                        // backend's idle time.
-                        let idle_from = if state.tracer.enabled() {
-                            Some(state.now_ns())
-                        } else {
-                            None
-                        };
-                        let env = match rx.recv_timeout(idle_timeout) {
-                            Ok(env) => env,
-                            Err(channel::RecvTimeoutError::Timeout) => {
-                                panic!("PE {pe} idle for {idle_timeout:?} — application hang?");
+                    #[cfg(feature = "analyze")]
+                    let mut qd_handled = 0u64;
+                    // The scheduler loop runs under `catch_unwind` so a
+                    // dying PE reports its end (and its salvageable buddy
+                    // images) instead of taking the process down.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        loop {
+                            // Time spent waiting on the channel is the
+                            // threaded backend's idle time.
+                            let idle_from = if state.tracer.enabled() {
+                                Some(state.now_ns())
+                            } else {
+                                None
+                            };
+                            let env = match rx.recv_timeout(idle_timeout) {
+                                Ok(env) => env,
+                                Err(channel::RecvTimeoutError::Timeout) => {
+                                    return Some(idle_timeout);
+                                }
+                                Err(channel::RecvTimeoutError::Disconnected) => return None,
+                            };
+                            if let Some(t0) = idle_from {
+                                let t1 = state.now_ns();
+                                state.tracer.idle(t0, t1);
                             }
-                            Err(channel::RecvTimeoutError::Disconnected) => break,
-                        };
-                        if let Some(t0) = idle_from {
-                            let t1 = state.now_ns();
-                            state.tracer.idle(t0, t1);
+                            #[cfg(feature = "analyze")]
+                            if let Some((victim, after_nth)) = kill {
+                                if victim == pe && env.kind.counts_for_qd() && env.epoch == 0 {
+                                    let n = qd_handled;
+                                    qd_handled += 1;
+                                    if n == after_nth {
+                                        // analyze: allow(recovery-hook, "the injected PE failure is a deliberate panic the restart supervisor must catch and recover from")
+                                        panic!(
+                                            "injected PE failure on PE {pe} (after {after_nth} deliveries)"
+                                        );
+                                    }
+                                }
+                            }
+                            state.handle(env);
+                            for (dst, env) in state.outbox.drain(..) {
+                                // A send failing means the destination
+                                // already exited — the message is moot.
+                                let _ = senders[dst].send(env);
+                            }
+                            if state.exited {
+                                return None;
+                            }
                         }
-                        state.handle(env);
-                        for (dst, env) in state.outbox.drain(..) {
-                            // A send failing means the destination already
-                            // exited — the message is moot.
-                            let _ = senders[dst].send(env);
-                        }
-                        if state.exited {
-                            break;
-                        }
-                    }
-                    (state.finish_trace(), state.lb_epochs())
+                    }));
+                    let end = match outcome {
+                        Ok(Some(idle)) => PeEnd::Hung(idle),
+                        Ok(None) => PeEnd::Done,
+                        Err(p) => PeEnd::Panicked(panic_msg(p)),
+                    };
+                    let trace = state.finish_trace();
+                    let lb = state.lb_epochs();
+                    let store = std::mem::take(&mut state.ckpt_store);
+                    let _ = status_tx.send((pe, end, trace, lb, store));
                 })
-                .expect("failed to spawn PE thread")
-        })
-        .collect();
-
-    let mut traces = Vec::with_capacity(npes);
-    let mut lb_epochs = 0;
-    for h in handles {
-        match h.join() {
-            Ok((t, lb)) => {
-                traces.push(t);
-                lb_epochs += lb;
-            }
-            Err(p) => std::panic::resume_unwind(p),
+                .expect("failed to spawn PE thread");
         }
+        drop(status_tx);
+
+        // Collect every PE's end. On the first failure, broadcast `Halt` so
+        // surviving PEs stop and report their salvage; from then on wait at
+        // most a grace period — an unresponsive thread (stuck inside a
+        // handler) is leaked, and the buddy copies cover its images.
+        let mut traces: Vec<Option<PeTrace>> = (0..npes).map(|_| None).collect();
+        let mut stores: Vec<Option<CkptStore>> = (0..npes).map(|_| None).collect();
+        let mut lb_total = 0u64;
+        let mut dead: Option<(Pe, Failure)> = None;
+        let mut deadline: Option<Instant> = None;
+        let mut got = 0usize;
+        while got < npes {
+            let received = match deadline {
+                None => status_rx.recv().ok(),
+                Some(d) => status_rx
+                    .recv_timeout(d.saturating_duration_since(Instant::now()))
+                    .ok(),
+            };
+            let Some((pe, end, trace, lb, store)) = received else {
+                break;
+            };
+            got += 1;
+            traces[pe] = Some(trace);
+            lb_total += lb;
+            let failure = match end {
+                PeEnd::Done => {
+                    stores[pe] = Some(store);
+                    None
+                }
+                // A panicked PE is dead: its memory is gone in the machine
+                // model, so its salvage is dropped and recovery must come
+                // from the buddy copy (or disk).
+                PeEnd::Panicked(msg) => Some(Failure::Panic(msg)),
+                PeEnd::Hung(idle) => {
+                    stores[pe] = Some(store);
+                    Some(Failure::Hang(idle))
+                }
+            };
+            if let Some(f) = failure {
+                if dead.is_none() {
+                    dead = Some((pe, f));
+                    deadline = Some(Instant::now() + idle_timeout + Duration::from_secs(2));
+                    for tx in &senders {
+                        let mut halt = Envelope::new(0, EnvKind::Halt);
+                        halt.epoch = epoch;
+                        let _ = tx.send(halt);
+                    }
+                }
+            }
+        }
+        drop(senders);
+
+        let Some((dead_pe, fail)) = dead else {
+            let wall = launch.start.elapsed();
+            let traces: Vec<PeTrace> = traces.into_iter().flatten().collect();
+            return Ok(finish_report(
+                wall, wall, lb_total, recoveries, true, traces,
+            ));
+        };
+        if !launch.recovery_armed() {
+            return Err(match fail {
+                Failure::Panic(msg) => RunError::PePanic { pe: dead_pe, msg },
+                Failure::Hang(idle) => RunError::Hang { pe: dead_pe, idle },
+            });
+        }
+        if recoveries >= launch.max_restarts {
+            return Err(RunError::RestartsExhausted {
+                attempts: recoveries,
+                last: fail.describe(dead_pe),
+            });
+        }
+        let (generation, src) = match launch.recovery_source(&stores) {
+            Ok(x) => x,
+            Err(reason) => {
+                return Err(RunError::RecoveryImpossible {
+                    reason,
+                    failure: fail.describe(dead_pe),
+                });
+            }
+        };
+        recoveries += 1;
+        restore = Some(src);
+        seq_start = generation + 1;
     }
-    let wall = start.elapsed();
-    finish_report(wall, wall, lb_epochs, true, traces)
+    unreachable!("restart loop returns from within");
 }
 
 /// Fold the per-PE traces into the run report (shared by both backends).
@@ -472,6 +905,7 @@ fn finish_report(
     wall: Duration,
     time: Duration,
     lb_epochs: u64,
+    recoveries: u64,
     clean_exit: bool,
     pes: Vec<PeTrace>,
 ) -> RunReport {
@@ -495,6 +929,7 @@ fn finish_report(
         entries,
         migrations,
         lb_epochs,
+        recoveries,
         clean_exit,
         pe_stats,
         trace: enabled.then(|| TraceReport { pes }),
@@ -502,20 +937,27 @@ fn finish_report(
 }
 
 fn run_sim(
-    npes: usize,
+    mut launch: Launch,
     model: MachineModel,
-    mk_pe: impl Fn(Pe, Option<crate::pe::CoroLauncher>) -> PeState,
     entry_fn: crate::pe::CoroLauncher,
-    start: Instant,
     permute: Option<u64>,
     #[cfg(feature = "analyze")] inject: Option<crate::analyze::InjectFault>,
-) -> RunReport {
+) -> Result<RunReport, RunError> {
+    let npes = launch.npes;
+    // The epoch/cfg/recovery state only changes on an injected PE kill,
+    // which exists under `analyze` alone — hence the gated `mut`s.
+    #[cfg_attr(not(feature = "analyze"), allow(unused_mut))]
+    let mut cur_epoch = 0u64;
+    #[cfg_attr(not(feature = "analyze"), allow(unused_mut))]
+    let mut cfg = (launch.mk_cfg)(cur_epoch, launch.restore.take(), launch.ckpt_seq_start);
     let mut entry_slot = Some(entry_fn);
     let mut pes: Vec<PeState> = (0..npes)
-        .map(|pe| mk_pe(pe, if pe == 0 { entry_slot.take() } else { None }))
+        .map(|pe| launch.mk_pe(pe, if pe == 0 { entry_slot.take() } else { None }, &cfg))
         .collect();
     let mut events: EventQueue<(Pe, Envelope)> = EventQueue::new();
     events.push(VTime::ZERO, (0, Envelope::new(0, EnvKind::Bootstrap)));
+    #[cfg_attr(not(feature = "analyze"), allow(unused_mut))]
+    let mut recoveries = 0u64;
 
     // Schedule permutation: deterministic per-seed jitter on delivery
     // times, preserving per-channel FIFO (the ordering real networks and
@@ -528,12 +970,91 @@ fn run_sim(
     #[cfg(feature = "analyze")]
     let mut last_arrival: std::collections::HashMap<(Pe, Pe), u64> =
         std::collections::HashMap::new();
-    // Fault injection: (fault, count of QD-counted envelopes shipped).
+    // Network fault injection: (fault, count of QD-counted envelopes shipped).
     #[cfg(feature = "analyze")]
-    let mut inject_state = inject.map(|f| (f, 0u64));
+    let mut inject_state = match inject {
+        Some(crate::analyze::InjectFault::KillPe { .. }) | None => None,
+        Some(f) => Some((f, 0u64)),
+    };
+    // PE-kill injection: (victim, after_nth, deliveries seen). Armed only
+    // until it fires, so the recovery attempt is not re-killed.
+    #[cfg(feature = "analyze")]
+    let mut kill = match inject {
+        Some(crate::analyze::InjectFault::KillPe { pe, after_nth }) => Some((pe, after_nth, 0u64)),
+        _ => None,
+    };
 
     let mut clean_exit = false;
     while let Some((t, (pe, env))) = events.pop() {
+        #[cfg(feature = "analyze")]
+        {
+            let mut fire = false;
+            if let Some((victim, after_nth, count)) = &mut kill {
+                if *victim == pe && env.kind.counts_for_qd() && env.epoch == cur_epoch {
+                    let n = *count;
+                    *count += 1;
+                    fire = n == *after_nth;
+                }
+            }
+            if fire {
+                // The victim dies just as it would handle this envelope:
+                // its state (with its own checkpoint images) is discarded,
+                // the envelope is lost with it, and the machine restarts
+                // from the newest complete generation. Everything else in
+                // the event queue is pre-failure traffic that the epoch
+                // guard will discard on delivery.
+                kill = None;
+                let victim = pe;
+                let failure = format!("injected failure of PE {victim}");
+                if !launch.recovery_armed() {
+                    return Err(RunError::RecoveryImpossible {
+                        reason: "automatic checkpointing or the recovery entry is not armed".into(),
+                        failure,
+                    });
+                }
+                if recoveries >= launch.max_restarts {
+                    return Err(RunError::RestartsExhausted {
+                        attempts: recoveries,
+                        last: failure,
+                    });
+                }
+                let stores: Vec<Option<CkptStore>> = pes
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, p)| (i != victim).then(|| std::mem::take(&mut p.ckpt_store)))
+                    .collect();
+                let (generation, src) = match launch.recovery_source(&stores) {
+                    Ok(x) => x,
+                    Err(reason) => {
+                        return Err(RunError::RecoveryImpossible { reason, failure });
+                    }
+                };
+                recoveries += 1;
+                cur_epoch += 1;
+                cfg = (launch.mk_cfg)(cur_epoch, Some(src), generation + 1);
+                let t_ns = t.as_nanos();
+                let mut entry = launch.recovery_entry();
+                pes = (0..npes)
+                    .map(|p| {
+                        let mut st =
+                            launch.mk_pe(p, if p == 0 { entry.take() } else { None }, &cfg);
+                        // The new incarnation continues on the same virtual
+                        // timeline.
+                        st.clock_ns = t_ns;
+                        st
+                    })
+                    .collect();
+                if pes[0].tracer.full() {
+                    pes[0]
+                        .tracer
+                        .push(t_ns, charm_trace::EventKind::Recovery { epoch: cur_epoch });
+                }
+                let mut boot = Envelope::new(0, EnvKind::Bootstrap);
+                boot.epoch = cur_epoch;
+                events.push(t, (0, boot));
+                continue;
+            }
+        }
         let state = &mut pes[pe];
         // An arrival past this PE's clock means the PE sat idle for the gap.
         let t_ns = t.as_nanos();
@@ -594,6 +1115,8 @@ fn run_sim(
 
     // Send/deliver accounting must balance once the machine is quiescent:
     // a drained queue with sent ids never delivered means lost envelopes.
+    // (After a recovery, the accounting covers the final incarnation —
+    // stale-epoch envelopes are discarded before the detector sees them.)
     #[cfg(feature = "analyze")]
     crate::analyze::check_balance(
         pes.iter().map(|p| p.det_summary()).collect(),
@@ -618,13 +1141,14 @@ fn run_sim(
     let makespan = pes.iter().map(|p| p.clock_ns).max().unwrap_or(0);
     let lb_epochs = pes[0].lb_epochs();
     let traces: Vec<PeTrace> = pes.iter_mut().map(|p| p.finish_trace()).collect();
-    finish_report(
-        start.elapsed(),
+    Ok(finish_report(
+        launch.start.elapsed(),
         Duration::from_nanos(makespan),
         lb_epochs,
+        recoveries,
         clean_exit,
         traces,
-    )
+    ))
 }
 
 /// Default tracing level: cheap counters, or full event capture when the

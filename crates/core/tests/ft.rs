@@ -1,0 +1,418 @@
+//! Fault-tolerance tests (`--features analyze`, DESIGN.md §8): buddy
+//! checkpointing, PE-failure injection and automatic restart-recovery.
+//!
+//! The workhorse is a ring stencil whose result is schedule-independent:
+//! each round every element ships its value to its right neighbor and
+//! combines the value arriving from the left, with a quiescence wait
+//! between rounds. Killing a PE mid-stencil and recovering from the buddy
+//! checkpoint must reproduce the fault-free run bit for bit — including
+//! each element's full per-round history.
+
+#![cfg(feature = "analyze")]
+
+use std::sync::{Arc, Mutex};
+
+use charm_core::analyze::InjectFault;
+use charm_core::prelude::*;
+use charm_core::{CollectionId, RunError, Store};
+use charm_sim::MachineModel;
+use serde::{Deserialize, Serialize};
+
+const N: i32 = 8;
+const NPES: usize = 4;
+const ROUNDS: i64 = 6;
+
+// ---------------------------------------------------------------------------
+// The ring stencil chare.
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct Ring {
+    cur: i64,
+    rounds_done: i64,
+    hist: Vec<i64>,
+    sent: bool,
+    recv: Option<i64>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum RingMsg {
+    /// One stencil round: ship `cur` to the right neighbor.
+    DoRound,
+    /// The left neighbor's pre-round value.
+    Shift(i64),
+    /// Reply with the number of completed rounds.
+    RoundsDone,
+    /// Reply with the committed per-round history.
+    Hist,
+}
+
+impl Chare for Ring {
+    type Msg = RingMsg;
+    type Init = ();
+    fn create(_: (), ctx: &mut Ctx) -> Self {
+        Ring {
+            cur: ctx.my_index().first() as i64 + 1,
+            rounds_done: 0,
+            hist: Vec::new(),
+            sent: false,
+            recv: None,
+        }
+    }
+    fn receive(&mut self, msg: RingMsg, ctx: &mut Ctx) {
+        match msg {
+            RingMsg::DoRound => {
+                let right = ((ctx.my_index().first() + 1) % N) as usize;
+                let arr = ctx.this_proxy::<Ring>();
+                arr.elem(right).send(ctx, RingMsg::Shift(self.cur));
+                self.sent = true;
+            }
+            RingMsg::Shift(v) => self.recv = Some(v),
+            RingMsg::RoundsDone => ctx.reply(self.rounds_done),
+            RingMsg::Hist => {
+                let h = self.hist.clone();
+                ctx.reply(h);
+            }
+        }
+        // A round commits only once this element has both shipped its own
+        // value and received the neighbor's — so the result is independent
+        // of the DoRound/Shift arrival order within the round.
+        if self.sent {
+            if let Some(v) = self.recv.take() {
+                self.sent = false;
+                self.cur = self.cur * 3 + v;
+                self.rounds_done += 1;
+                self.hist.push(self.cur);
+            }
+        }
+    }
+}
+
+/// What the stencil must compute, derived sequentially on the host.
+fn expected_hists(rounds: i64) -> Vec<Vec<i64>> {
+    let n = N as usize;
+    let mut cur: Vec<i64> = (0..n).map(|i| i as i64 + 1).collect();
+    let mut hists = vec![Vec::new(); n];
+    for _ in 0..rounds {
+        let prev = cur.clone();
+        for (i, h) in hists.iter_mut().enumerate() {
+            cur[i] = prev[i] * 3 + prev[(i + n - 1) % n];
+            h.push(cur[i]);
+        }
+    }
+    hists
+}
+
+/// Drive rounds `from..ROUNDS` (QD between rounds), then collect every
+/// element's history into `out` and exit. Used both by the first
+/// incarnation (from 0) and by the recovery entry (from wherever the
+/// restored checkpoint left off).
+fn drive(co: &mut Co<Main>, arr: &Proxy<Ring>, from: i64, out: &Arc<Mutex<Vec<Vec<i64>>>>) {
+    for _ in from..ROUNDS {
+        arr.send(co.ctx(), RingMsg::DoRound);
+        let q = co.ctx().create_future::<()>();
+        co.ctx().start_quiescence(&q);
+        co.get(&q);
+    }
+    let mut hists = Vec::new();
+    for i in 0..N as usize {
+        let f = arr.elem(i).call::<Vec<i64>>(co.ctx(), RingMsg::Hist);
+        hists.push(co.get(&f));
+    }
+    *out.lock().unwrap() = hists;
+    co.ctx().exit();
+}
+
+fn restored_ring() -> Proxy<Ring> {
+    // The first (and only) collection created by PE 0.
+    Proxy::<Ring>::restored(CollectionId { creator: 0, seq: 0 })
+}
+
+/// One sim stencil run; `kill` injects a PE-1 failure, `seed` permutes the
+/// delivery schedule. Returns (histories, report, stale-discard total,
+/// probe findings).
+fn stencil_run(kill: bool, seed: Option<u64>) -> (Vec<Vec<i64>>, RunReport, u64, Vec<String>) {
+    let rt = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register_migratable::<Ring>()
+        .auto_checkpoint(1, Store::Memory);
+    let (mut rt, probe) = if kill {
+        // PE 1 hosts elements 2 and 3 (Block placement) and sees two
+        // QD-counted deliveries per round plus two inserts, so the 11th
+        // delivery lands mid-round with several committed generations
+        // behind it.
+        rt.analyze_inject(InjectFault::KillPe {
+            pe: 1,
+            after_nth: 10,
+        })
+    } else {
+        rt.analyze_probe()
+    };
+    if let Some(s) = seed {
+        rt = rt.permute_schedule(s);
+    }
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    let rt = rt.recover_with(move |co| {
+        let arr = restored_ring();
+        // Discover progress from restored chare state — coroutine stacks
+        // (the first incarnation's driver) are not recovered.
+        let f = arr.elem(0usize).call::<i64>(co.ctx(), RingMsg::RoundsDone);
+        let from = co.get(&f);
+        drive(co, &arr, from, &sink);
+    });
+    let sink = Arc::clone(&out);
+    let report = rt.run(move |co| {
+        let arr = co.ctx().create_array::<Ring>(&[N], ());
+        drive(co, &arr, 0, &sink);
+    });
+    let stale: u64 = report.pe_stats.iter().map(|p| p.stale_discarded).sum();
+    let hists = out.lock().unwrap().clone();
+    (hists, report, stale, probe.findings())
+}
+
+/// The acceptance test: a PE killed mid-stencil under 16 permuted delivery
+/// schedules (plus the unpermuted one) recovers from the buddy checkpoint
+/// and finishes bit-identical to the fault-free run. No stale-epoch
+/// envelope may reach a chare (the detector would flag it), but some must
+/// have been discarded — the kill strands the dead round's traffic.
+#[test]
+fn killed_pe_recovers_bit_identical_under_permuted_schedules() {
+    let expected = expected_hists(ROUNDS);
+    let (hists, report, stale, findings) = stencil_run(false, None);
+    assert!(findings.is_empty(), "fault-free findings: {findings:?}");
+    assert_eq!(report.recoveries, 0);
+    assert_eq!(stale, 0, "no recovery, so nothing to discard");
+    assert_eq!(hists, expected, "fault-free baseline diverged");
+
+    for seed in [None].into_iter().chain((1..=16).map(Some)) {
+        let (hists, report, stale, findings) = stencil_run(true, seed);
+        assert!(
+            findings.is_empty(),
+            "seed {seed:?}: detector findings after recovery: {findings:?}"
+        );
+        assert_eq!(report.recoveries, 1, "seed {seed:?}: expected one restart");
+        assert!(report.clean_exit, "seed {seed:?}: no clean exit");
+        assert!(
+            stale > 0,
+            "seed {seed:?}: the kill must strand pre-recovery traffic"
+        );
+        assert_eq!(
+            hists, expected,
+            "seed {seed:?}: recovered run diverged from the fault-free result"
+        );
+    }
+}
+
+/// Killing a PE without checkpointing armed is a typed error, not a panic.
+#[test]
+fn kill_without_checkpointing_is_recovery_impossible() {
+    let (rt, _probe) = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register_migratable::<Ring>()
+        .analyze_inject(InjectFault::KillPe {
+            pe: 1,
+            after_nth: 0,
+        });
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    let err = rt
+        .try_run(move |co| {
+            let arr = co.ctx().create_array::<Ring>(&[N], ());
+            drive(co, &arr, 0, &sink);
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, RunError::RecoveryImpossible { .. }),
+        "unexpected error: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Threads backend: a panicking PE thread is caught and recovered.
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct Bump {
+    total: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum BumpMsg {
+    Add(i64),
+    Total,
+}
+
+impl Chare for Bump {
+    type Msg = BumpMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Bump { total: 0 }
+    }
+    fn receive(&mut self, msg: BumpMsg, ctx: &mut Ctx) {
+        match msg {
+            BumpMsg::Add(v) => self.total += v,
+            BumpMsg::Total => ctx.reply(self.total),
+        }
+    }
+}
+
+fn restored_bump(seq: u32) -> Proxy<Bump> {
+    Proxy::<Bump>::restored(CollectionId { creator: 0, seq }).elem(Index::SINGLE)
+}
+
+/// Threads backend: phase 1 touches only PEs 0/2/3 with point-to-point
+/// sends and checkpoints at quiescence; phase 2's first delivery on PE 1
+/// (an injected kill with `after_nth: 0`) panics that PE's thread. The
+/// supervisor must catch it, restore phase-1 state from the buddy images
+/// (PE 1's own store died with it; PE 2 holds its copy) and run the
+/// recovery entry — without the process dying.
+#[test]
+fn threads_pe_panic_recovers_from_buddy_checkpoint() {
+    let (rt, probe) = Runtime::new(NPES)
+        .register_migratable::<Bump>()
+        .auto_checkpoint(1, Store::Memory)
+        .analyze_inject(InjectFault::KillPe {
+            pe: 1,
+            after_nth: 0,
+        });
+    let done = Arc::new(Mutex::new(false));
+    let flag = Arc::clone(&done);
+    let rt = rt.recover_with(move |co| {
+        // Phase-1 state must have survived via the buddy images.
+        for (seq, want) in [(0, 10), (1, 12), (2, 13)] {
+            let c = restored_bump(seq);
+            let f = c.call::<i64>(co.ctx(), BumpMsg::Total);
+            assert_eq!(co.get(&f), want, "chare seq {seq} lost its state");
+        }
+        // Re-do phase 2; the kill only fires in the first incarnation.
+        let d = co.ctx().create_chare::<Bump>((), Some(1));
+        d.send(co.ctx(), BumpMsg::Add(5));
+        let f = d.call::<i64>(co.ctx(), BumpMsg::Total);
+        assert_eq!(co.get(&f), 5);
+        *flag.lock().unwrap() = true;
+        co.ctx().exit();
+    });
+    let report = rt.run(|co| {
+        // Phase 1: point-to-point only, so PE 1 sees no QD-counted
+        // delivery before the checkpoint commits.
+        for pe in [0usize, 2, 3] {
+            let c = co.ctx().create_chare::<Bump>((), Some(pe));
+            c.send(co.ctx(), BumpMsg::Add(10 + pe as i64));
+        }
+        let q = co.ctx().create_future::<()>();
+        co.ctx().start_quiescence(&q);
+        co.get(&q);
+        // Phase 2: the first QD-counted delivery on PE 1 is this insert —
+        // and the injected kill.
+        let d = co.ctx().create_chare::<Bump>((), Some(1));
+        d.send(co.ctx(), BumpMsg::Add(5));
+        let f = d.call::<i64>(co.ctx(), BumpMsg::Total);
+        co.get(&f);
+        co.ctx().exit();
+    });
+    assert_eq!(report.recoveries, 1, "expected exactly one restart");
+    assert!(report.clean_exit);
+    assert!(
+        *done.lock().unwrap(),
+        "the recovery entry never ran to completion"
+    );
+    let findings = probe.findings();
+    assert!(findings.is_empty(), "detector findings: {findings:?}");
+}
+
+/// A hung PE (idle past the timeout) without recovery armed is a typed
+/// error, not a thread panic that kills the process.
+#[test]
+fn hang_is_a_typed_error_when_recovery_is_unarmed() {
+    let err = Runtime::new(2)
+        .idle_timeout(std::time::Duration::from_millis(100))
+        .try_run(|co| {
+            let f = co.ctx().create_future::<()>();
+            co.get(&f); // never fulfilled
+            co.ctx().exit();
+        })
+        .unwrap_err();
+    assert!(matches!(err, RunError::Hang { .. }), "unexpected: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Disk generations: automatic Store::Disk checkpoints restore onto a
+// different PE count.
+// ---------------------------------------------------------------------------
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("charmrs-ft-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Every 4th quiescence writes an epoch-numbered directory; a fresh
+/// runtime on a different PE count restores the newest complete generation
+/// (here: rounds 0–3 done), finishes the remaining rounds and matches the
+/// expected result exactly.
+#[test]
+fn disk_generations_restore_onto_different_pe_count() {
+    let root = tmpdir("disk");
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register_migratable::<Ring>()
+        .auto_checkpoint(4, Store::Disk(root.clone()))
+        .run(move |co| {
+            let arr = co.ctx().create_array::<Ring>(&[N], ());
+            drive(co, &arr, 0, &sink);
+        });
+    assert_eq!(out.lock().unwrap().clone(), expected_hists(ROUNDS));
+
+    // 6 QD rounds at cadence 4 → one generation, minted at the 4th
+    // quiescence with rounds 0–3 committed.
+    let (epoch, dir) =
+        charm_core::checkpoint::latest_complete_dir(&root).expect("no complete generation");
+    assert_eq!(epoch, 1);
+
+    // Tamper with a *newer* torn generation: restore must skip it.
+    let torn = root.join("ckpt-9");
+    std::fs::create_dir_all(&torn).unwrap();
+    std::fs::write(torn.join("pe0.ckpt"), b"garbage").unwrap();
+    let (epoch2, _) = charm_core::checkpoint::latest_complete_dir(&root).unwrap();
+    assert_eq!(epoch2, 1, "a torn newer generation must be skipped");
+
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    Runtime::new(5)
+        .simulated(MachineModel::local(5))
+        .meter_compute(false)
+        .register_migratable::<Ring>()
+        .run_restored(dir, move |co| {
+            let arr = restored_ring();
+            let f = arr.elem(0usize).call::<i64>(co.ctx(), RingMsg::RoundsDone);
+            let from = co.get(&f);
+            assert_eq!(from, 4, "the generation snapshots rounds 0-3");
+            drive(co, &arr, from, &sink);
+        });
+    assert_eq!(
+        out.lock().unwrap().clone(),
+        expected_hists(ROUNDS),
+        "restore onto 5 PEs must preserve every element's history"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// A corrupt checkpoint fails the run up front with the typed restore
+/// error (surfaced through `run`'s panic message here).
+#[test]
+#[should_panic(expected = "restore failed")]
+fn corrupt_checkpoint_fails_restore_with_typed_error() {
+    let dir = tmpdir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("pe0.ckpt"), b"not a checkpoint").unwrap();
+    Runtime::new(1)
+        .simulated(MachineModel::local(1))
+        .register_migratable::<Ring>()
+        .run_restored(dir, |co| co.ctx().exit());
+}

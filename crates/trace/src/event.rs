@@ -72,6 +72,11 @@ pub enum EventKind {
     LbEpoch { dur_ns: u64 },
     /// Checkpoint file written for this PE.
     Ckpt { bytes: u64 },
+    /// The supervisor restarted the machine from a checkpoint; `epoch` is
+    /// the new incarnation number.
+    Recovery { epoch: u64 },
+    /// An in-flight envelope from a previous incarnation was discarded.
+    StaleDrop,
     /// User annotation recorded via `Ctx::trace_mark`.
     Mark { label: String },
 }
@@ -95,6 +100,8 @@ impl EventKind {
             EventKind::MigrateIn { .. } => "migrate_in",
             EventKind::LbEpoch { .. } => "lb_epoch",
             EventKind::Ckpt { .. } => "ckpt",
+            EventKind::Recovery { .. } => "recovery",
+            EventKind::StaleDrop => "stale_drop",
             EventKind::Mark { .. } => "mark",
         }
     }

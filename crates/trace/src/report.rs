@@ -54,6 +54,8 @@ pub struct PePerf {
     pub bcast_relays: u64,
     /// Checkpoint bytes written.
     pub ckpt_bytes: u64,
+    /// Envelopes from a previous recovery epoch discarded by this PE.
+    pub stale_discarded: u64,
     /// Events overwritten in the full-capture ring.
     pub events_dropped: u64,
 }
@@ -269,6 +271,18 @@ impl TraceReport {
                             ev.ts_ns,
                             &format!(r#""bytes":{bytes}"#),
                         ));
+                    }
+                    EventKind::Recovery { epoch } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "ckpt",
+                            ev.ts_ns,
+                            &format!(r#""epoch":{epoch}"#),
+                        ));
+                    }
+                    EventKind::StaleDrop => {
+                        objs.push(instant(pe, ev.kind.name(), "ckpt", ev.ts_ns, ""));
                     }
                     EventKind::Mark { label } => {
                         objs.push(instant(pe, label, "mark", ev.ts_ns, ""));

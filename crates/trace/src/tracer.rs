@@ -110,6 +110,10 @@ pub struct PeTracer {
     pub bcast_relays: u64,
     /// Checkpoint bytes written by this PE.
     pub ckpt_bytes: u64,
+    /// Envelopes from a previous recovery epoch discarded by this PE.
+    /// Maintained unconditionally (like [`Counters`]): recovery audits
+    /// need it even at trace level off.
+    pub stale_discarded: u64,
     busy_ns: u64,
     idle_ns: u64,
     overhead_ns: u64,
@@ -139,6 +143,7 @@ impl Default for PeTracer {
             red_delivers: 0,
             bcast_relays: 0,
             ckpt_bytes: 0,
+            stale_discarded: 0,
             busy_ns: 0,
             idle_ns: 0,
             overhead_ns: 0,
@@ -305,6 +310,7 @@ impl PeTracer {
             red_delivers: self.red_delivers,
             bcast_relays: self.bcast_relays,
             ckpt_bytes: self.ckpt_bytes,
+            stale_discarded: self.stale_discarded,
             events_dropped: dropped,
         };
         let entries = self
