@@ -1,0 +1,197 @@
+//! TRAM-style aggregation ablation (DESIGN.md §9): messages-per-second of
+//! fine-grained traffic with per-destination coalescing off vs batch-size
+//! 8 / 64 / 512, on both backends.
+//!
+//! Two workloads, both dominated by small cross-PE envelopes:
+//!   * `ping_ring` — many concurrent tokens hopping PE-to-PE around a group
+//!     ring, the pure per-message-overhead case aggregation targets;
+//!   * `histo` — the histogram-sort mini-app, whose key-exchange phase is a
+//!     fine-grained all-to-all.
+//!
+//! Throughput is reported in logical messages (ring hops / keys moved), so
+//! a higher number means aggregation amortized per-envelope cost, not that
+//! fewer messages were delivered.
+
+use charm_apps::histo::{run_histo, HistoParams};
+use charm_core::prelude::*;
+use charm_sim::MachineModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+const NPES: usize = 4;
+const TOKENS: u32 = 64;
+const HOPS_PER_TOKEN: u32 = 128;
+
+/// The four ablation points; `None` is the aggregation-off baseline.
+fn agg_points() -> [(&'static str, Option<AggCfg>); 4] {
+    [
+        ("off", None),
+        ("batch8", Some(AggCfg::count(8))),
+        ("batch64", Some(AggCfg::count(64))),
+        ("batch512", Some(AggCfg::count(512))),
+    ]
+}
+
+fn make_rt(sim: bool, agg: Option<AggCfg>) -> Runtime {
+    let mut rt = if sim {
+        Runtime::new(NPES)
+            .backend(Backend::Sim(MachineModel::local(NPES)))
+            .meter_compute(false)
+    } else {
+        Runtime::new(NPES)
+    };
+    if let Some(cfg) = agg {
+        rt = rt.aggregation(cfg);
+    }
+    rt
+}
+
+// ---------------------------------------------------------------------------
+// Ping-ring: TOKENS tokens each make HOPS_PER_TOKEN hops around the PE ring.
+// ---------------------------------------------------------------------------
+
+struct Collector {
+    got: u32,
+    expect: u32,
+    notify: Option<Future<()>>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum CollectorMsg {
+    Arm { expect: u32, notify: Future<()> },
+    Done,
+}
+
+impl Chare for Collector {
+    type Msg = CollectorMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Collector {
+            got: 0,
+            expect: u32::MAX,
+            notify: None,
+        }
+    }
+    fn receive(&mut self, msg: CollectorMsg, ctx: &mut Ctx) {
+        match msg {
+            CollectorMsg::Arm { expect, notify } => {
+                self.expect = expect;
+                self.notify = Some(notify);
+            }
+            CollectorMsg::Done => self.got += 1,
+        }
+        if self.got == self.expect {
+            if let Some(f) = self.notify.take() {
+                ctx.send_future(&f, ());
+            }
+        }
+    }
+}
+
+struct Hop;
+
+#[derive(Serialize, Deserialize)]
+enum HopMsg {
+    Token {
+        hops_left: u32,
+        collector: Proxy<Collector>,
+    },
+}
+
+impl Chare for Hop {
+    type Msg = HopMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Hop
+    }
+    fn receive(&mut self, msg: HopMsg, ctx: &mut Ctx) {
+        let HopMsg::Token {
+            hops_left,
+            collector,
+        } = msg;
+        if hops_left == 0 {
+            collector.send(ctx, CollectorMsg::Done);
+        } else {
+            let next = (ctx.my_pe() + 1) % ctx.num_pes();
+            ctx.this_proxy::<Hop>().elem(next).send(
+                ctx,
+                HopMsg::Token {
+                    hops_left: hops_left - 1,
+                    collector,
+                },
+            );
+        }
+    }
+}
+
+fn run_ping_ring(rt: Runtime) {
+    rt.register::<Hop>().register::<Collector>().run(|co| {
+        let ring = co.ctx().create_group::<Hop>(());
+        let collector = co.ctx().create_chare::<Collector>((), Some(0));
+        let done = co.ctx().create_future::<()>();
+        collector.send(
+            co.ctx(),
+            CollectorMsg::Arm {
+                expect: TOKENS,
+                notify: done,
+            },
+        );
+        for t in 0..TOKENS {
+            ring.elem((t as usize) % co.ctx().num_pes()).send(
+                co.ctx(),
+                HopMsg::Token {
+                    hops_left: HOPS_PER_TOKEN,
+                    collector: collector.clone(),
+                },
+            );
+        }
+        co.get(&done);
+        co.ctx().exit();
+    });
+}
+
+fn ping_ring_benches(c: &mut Criterion) {
+    for (backend, sim) in [("sim", true), ("threads", false)] {
+        let mut g = c.benchmark_group(format!("agg_ping_ring_{backend}"));
+        g.throughput(Throughput::Elements(u64::from(TOKENS * HOPS_PER_TOKEN)));
+        for (name, agg) in agg_points() {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &agg, |b, &agg| {
+                b.iter(|| run_ping_ring(make_rt(sim, agg)))
+            });
+        }
+        g.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram sort: fine-grained all-to-all key exchange.
+// ---------------------------------------------------------------------------
+
+fn histo_benches(c: &mut Criterion) {
+    let params = HistoParams::small();
+    let keys = params.chares as u64 * params.keys_per_chare as u64;
+    for (backend, sim) in [("sim", true), ("threads", false)] {
+        let mut g = c.benchmark_group(format!("agg_histo_{backend}"));
+        g.throughput(Throughput::Elements(keys));
+        for (name, agg) in agg_points() {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &agg, |b, &agg| {
+                b.iter(|| {
+                    let r = run_histo(params.clone(), make_rt(sim, agg));
+                    assert!(r.sorted);
+                    r.key_sum
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = ping_ring_benches, histo_benches
+}
+criterion_main!(benches);

@@ -41,9 +41,15 @@ use crate::ids::{ChareId, Pe};
 
 /// Per-envelope trace: unique id + the sender's vector clock at send time.
 ///
-/// `id == 0` marks an untraced envelope (the bootstrap event and internally
-/// re-parked envelopes); untraced envelopes are exempt from accounting.
-#[derive(Debug, Clone, Default)]
+/// `id == 0` marks an untraced envelope (the bootstrap event, internally
+/// re-parked envelopes, and aggregation batch frames — whose constituents
+/// carry their own traces); untraced envelopes are exempt from accounting.
+///
+/// Serializable so batch records (`msg::push_batch_record`) can carry the
+/// constituent's trace through the wire frame: batching must be invisible
+/// to the detector, so the trace minted at emit time travels with the
+/// record and is restored verbatim on split.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct EnvTrace {
     /// Globally unique envelope id:
     /// `epoch << 56 | (pe + 1) << 40 | seq` (epoch 0 — no recovery yet —

@@ -23,6 +23,12 @@
 //! (quiescence detection is the easy way to guarantee this — the automatic
 //! cadence piggybacks on it). Futures and coroutine stacks are *not*
 //! checkpointed.
+//!
+//! With TRAM-style aggregation on (`Runtime::aggregation`), "no messages in
+//! flight" additionally requires that no message sits parked in a
+//! sender-side batch buffer: `PeState::ckpt_save` flushes every aggregation
+//! buffer before packing chares, so a snapshot never captures a world whose
+//! already-counted sends would die with the failed incarnation's buffers.
 
 use std::path::{Path, PathBuf};
 

@@ -65,7 +65,7 @@ pub use lb::{LbChareStat, LbStats, LbStrategy};
 pub use msg::Message;
 pub use proxy::{Proxy, Section};
 pub use reduction::{RedData, RedTarget, Reducer};
-pub use runtime::{Backend, DispatchMode, Main, RunError, RunReport, Runtime};
+pub use runtime::{AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime};
 pub use tree::TreeShape;
 
 // Tracing & metrics (DESIGN.md §7) — the subsystem lives in `charm-trace`;
@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::msg::Message;
     pub use crate::proxy::{Proxy, Section};
     pub use crate::reduction::{RedData, RedTarget, Reducer};
-    pub use crate::runtime::{Backend, DispatchMode, Main, RunError, RunReport, Runtime};
+    pub use crate::runtime::{AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime};
     pub use crate::tree::TreeShape;
     pub use charm_trace::{TraceConfig, TraceLevel};
 }

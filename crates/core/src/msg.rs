@@ -183,6 +183,22 @@ pub enum EnvKind {
         /// sender-side conditions).
         guard: Option<u32>,
     },
+    /// A TRAM-style aggregation frame: `count` coalesced small [`Entry`]
+    /// envelopes from one sender to one destination PE, packed into a
+    /// single length-prefixed wire frame (see [`push_batch_record`] /
+    /// [`split_batch`]). A batch is a transport artifact, not a delivery:
+    /// it is never QD-counted and never traced itself — its constituents
+    /// carry their own counts and happens-before traces, and the receiver
+    /// re-expands them in frame (= emission) order so per-channel FIFO is
+    /// preserved.
+    ///
+    /// [`Entry`]: EnvKind::Entry
+    Batch {
+        /// Number of coalesced entry messages in `frame`.
+        count: u32,
+        /// The record-framed constituents, one shared allocation.
+        frame: WireBytes,
+    },
     /// Invoke an entry method on every member of a collection; relayed down
     /// the PE spanning tree rooted at `root`.
     BroadcastEntry {
@@ -414,6 +430,21 @@ impl EnvKind {
         )
     }
 
+    /// How many QD-counted *deliveries* this envelope carries: `count` for
+    /// an aggregation batch (the batch itself is never QD-counted, but each
+    /// constituent is), 1 for ordinary application traffic, 0 for runtime
+    /// control messages. The PE-kill fault injector walks this weight so a
+    /// failure point expressed as "the Nth delivery" lands at the same
+    /// logical position whether or not aggregation is on.
+    #[cfg(feature = "analyze")]
+    pub fn qd_weight(&self) -> u64 {
+        match self {
+            EnvKind::Batch { count, .. } => u64::from(*count),
+            k if k.counts_for_qd() => 1,
+            _ => 0,
+        }
+    }
+
     /// Clone the kinds whose payloads are cheaply shareable (wire bytes,
     /// reduction data) — enough for the fault injector to duplicate any
     /// cross-PE application envelope. `Payload::Local` and control kinds
@@ -485,6 +516,7 @@ impl EnvKind {
         const HDR: usize = 32; // envelope header: ids, tags
         match self {
             EnvKind::Entry { payload, .. } => HDR + payload.wire_len(),
+            EnvKind::Batch { frame, .. } => HDR + frame.len(),
             EnvKind::BroadcastEntry { bytes, .. } => HDR + bytes.len(),
             EnvKind::CreateCollection { init, .. } => HDR + 64 + init.len(),
             EnvKind::InsertElem { init, .. } => HDR + init.wire_len(),
@@ -501,4 +533,97 @@ impl EnvKind {
             _ => HDR,
         }
     }
+}
+
+// =========================================================================
+// Batch frames (TRAM-style aggregation)
+// =========================================================================
+
+/// Per-record header inside an [`EnvKind::Batch`] frame: everything an
+/// `Entry` envelope carries besides its payload bytes. `src` and `epoch`
+/// are batch-level — one sender, one incarnation per frame.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BatchHdr {
+    to: ChareId,
+    reply: Option<FutureId>,
+    guard: Option<u32>,
+    /// The constituent's happens-before trace, minted at emit time and
+    /// carried through the frame so batching is invisible to the detector.
+    #[cfg(feature = "analyze")]
+    trace: crate::analyze::EnvTrace,
+}
+
+/// Append one entry record to a batch frame:
+/// `varint(hdr_len) ++ codec(BatchHdr) ++ varint(payload_len) ++ payload`.
+/// `scratch` is a caller-owned buffer reused across records so the header
+/// encode never allocates at steady state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn push_batch_record(
+    frame: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    codec: Codec,
+    to: ChareId,
+    reply: Option<FutureId>,
+    guard: Option<u32>,
+    #[cfg(feature = "analyze")] trace: crate::analyze::EnvTrace,
+    payload: &[u8],
+) -> charm_wire::Result<()> {
+    let hdr = BatchHdr {
+        to,
+        reply,
+        guard,
+        #[cfg(feature = "analyze")]
+        trace,
+    };
+    scratch.clear();
+    codec.encode_into(scratch, &hdr)?;
+    charm_wire::varint::write_u64(frame, scratch.len() as u64);
+    frame.extend_from_slice(scratch);
+    charm_wire::varint::write_u64(frame, payload.len() as u64);
+    frame.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Split a batch frame back into `Entry` envelopes, in frame (= emission)
+/// order. Payload bytes are copied out per record — the frame is one shared
+/// allocation and `WireBytes` exposes no sub-slice view; that copy is the
+/// per-message unpack cost the receiver pays (and the sim model charges).
+pub(crate) fn split_batch(
+    src: Pe,
+    epoch: u64,
+    frame: &[u8],
+    codec: Codec,
+) -> charm_wire::Result<Vec<Envelope>> {
+    use charm_wire::WireError;
+    let mut envs = Vec::new();
+    let mut off = 0usize;
+    while off < frame.len() {
+        // analyze: allow(panic, "the loop condition and the bounded get() below keep off <= frame.len(); a tail slice at the boundary is empty, not out of bounds")
+        let (hlen, used) = charm_wire::varint::read_u64(&frame[off..])?;
+        off += used;
+        let hdr_bytes = frame.get(off..off + hlen as usize).ok_or(WireError::Eof)?;
+        let hdr: BatchHdr = codec.decode(hdr_bytes)?;
+        off += hlen as usize;
+        // analyze: allow(panic, "off was bounded to frame.len() by the successful get() above; a tail slice at the boundary is empty, not out of bounds")
+        let (plen, used) = charm_wire::varint::read_u64(&frame[off..])?;
+        off += used;
+        let payload_bytes = frame.get(off..off + plen as usize).ok_or(WireError::Eof)?;
+        off += plen as usize;
+        let mut env = Envelope::new(
+            src,
+            EnvKind::Entry {
+                to: hdr.to,
+                payload: Payload::Wire(WireBytes::copy_from_slice(payload_bytes)),
+                reply: hdr.reply,
+                guard: hdr.guard,
+            },
+        );
+        env.epoch = epoch;
+        #[cfg(feature = "analyze")]
+        {
+            env.trace = hdr.trace;
+        }
+        envs.push(env);
+    }
+    Ok(envs)
 }

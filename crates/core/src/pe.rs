@@ -63,6 +63,8 @@ pub(crate) struct SchedCfg {
     pub msg_guards: Arc<MsgGuards>,
     /// Tracing level + ring capacity for every PE's tracer.
     pub trace: TraceConfig,
+    /// TRAM-style per-destination aggregation thresholds; `None` = off.
+    pub agg: Option<crate::runtime::AggCfg>,
     /// Sink for race-detector findings (tests); `None` panics on violation.
     #[cfg(feature = "analyze")]
     pub analyze_probe: Option<crate::analyze::FaultProbe>,
@@ -207,6 +209,19 @@ enum Invoke {
     ResumeFromSync,
 }
 
+/// One destination's pending aggregation buffer (TRAM-style coalescing,
+/// `SchedCfg::agg`): small outgoing entry messages accumulate here as
+/// length-prefixed records until a flush turns the frame into one
+/// [`EnvKind::Batch`] envelope. The frame `Vec` is cleared, never dropped,
+/// on flush, so its capacity is reused like an encode-pool buffer.
+#[derive(Default)]
+struct AggBuf {
+    /// Record-framed constituents (see `msg::push_batch_record`).
+    frame: Vec<u8>,
+    /// Number of records in `frame`.
+    count: u32,
+}
+
 pub(crate) struct PeState {
     pub pe: Pe,
     pub npes: usize,
@@ -228,6 +243,14 @@ pub(crate) struct PeState {
 
     /// Scratch buffers for message encodes on this PE's send path.
     encode_pool: EncodePool,
+    /// Per-destination aggregation buffers (`cfg.agg` on; empty when off).
+    agg_bufs: Vec<AggBuf>,
+    /// Reusable header-encode scratch for batch records.
+    agg_scratch: Vec<u8>,
+    /// Cached wall timestamp for the threads send path: refreshed once per
+    /// handled envelope instead of read (`Instant::now`) once per emitted
+    /// envelope — measurably hot under fine-grained fan-out.
+    now_cache_ns: u64,
 
     lb: LbPeState,
     lb_central: LbCentral,
@@ -306,6 +329,7 @@ impl PeState {
         let det = crate::analyze::Detector::new(pe, npes, cfg.epoch, cfg.analyze_probe.clone());
         let cfg_trace = cfg.trace;
         let cfg_seq_start = cfg.ckpt_seq_start;
+        let agg_on = cfg.agg.is_some();
         PeState {
             pe,
             npes,
@@ -324,6 +348,13 @@ impl PeState {
             next_coro: 0,
             reds: HashMap::new(),
             encode_pool: EncodePool::new(),
+            agg_bufs: if agg_on {
+                (0..npes).map(|_| AggBuf::default()).collect()
+            } else {
+                Vec::new()
+            },
+            agg_scratch: Vec::new(),
+            now_cache_ns: 0,
             lb: LbPeState::default(),
             lb_central: LbCentral::default(),
             ckpt: None,
@@ -366,7 +397,25 @@ impl PeState {
         Ctx::new(self.seed.clone(), self.now_ns(), this)
     }
 
+    /// Timestamp for send-path trace events. Under threads this reads the
+    /// cache refreshed once per handled envelope (`handle`) rather than
+    /// calling `Instant::now` per emitted envelope; the trace ring's
+    /// monotone clamp absorbs the sub-event coarseness.
+    fn send_ts_ns(&self) -> u64 {
+        if self.cfg.is_sim {
+            self.clock_ns + self.event_work_ns
+        } else {
+            self.now_cache_ns
+        }
+    }
+
     /// Queue an envelope for `dst` (counting for QD and traffic stats).
+    ///
+    /// All *logical* accounting happens here, per message — QD counts,
+    /// per-PE send counters, detector trace minting — regardless of whether
+    /// the envelope then travels alone or coalesced inside a batch frame,
+    /// so aggregation never perturbs `RunReport` message/byte totals or
+    /// quiescence arithmetic.
     fn emit(&mut self, dst: Pe, kind: EnvKind) {
         if kind.counts_for_qd() {
             self.tracer.counters.sent += 1;
@@ -379,7 +428,7 @@ impl PeState {
             }
             self.tracer.msg_send(sz, remote);
             if self.tracer.full() {
-                let now = self.now_ns();
+                let now = self.send_ts_ns();
                 self.tracer.push(
                     now,
                     charm_trace::EventKind::MsgSend {
@@ -395,7 +444,113 @@ impl PeState {
         {
             env.trace = self.det.on_send();
         }
+        self.push_out(dst, env);
+    }
+
+    /// Route an outgoing envelope to the outbox — or, with aggregation on,
+    /// coalesce it into the destination's batch buffer. Only small remote
+    /// wire-encoded `Entry` messages batch; anything else bound for a
+    /// destination with a pending buffer flushes that buffer first, so the
+    /// outbox order equals the emission order on every (src → dst) channel
+    /// and per-channel FIFO survives mixing batched and unbatched traffic.
+    fn push_out(&mut self, dst: Pe, env: Envelope) {
+        let agg = match self.cfg.agg {
+            Some(a) if dst != self.pe && !self.agg_bufs.is_empty() => a,
+            _ => {
+                self.outbox.push((dst, env));
+                return;
+            }
+        };
+        let batchable = matches!(
+            &env.kind,
+            EnvKind::Entry { payload: Payload::Wire(b), .. } if b.len() < agg.max_bytes
+        );
+        if !batchable {
+            self.flush_agg(dst);
+            self.outbox.push((dst, env));
+            return;
+        }
+        #[cfg(feature = "analyze")]
+        let Envelope { kind, trace, .. } = env;
+        #[cfg(not(feature = "analyze"))]
+        let Envelope { kind, .. } = env;
+        let EnvKind::Entry {
+            to,
+            payload: Payload::Wire(bytes),
+            reply,
+            guard,
+        } = kind
+        else {
+            // analyze: allow(panic, "the batchable match above admits exactly this shape")
+            unreachable!("push_out: non-batchable kind after batchable check");
+        };
+        // analyze: allow(panic, "agg_bufs is sized to npes at construction and dst is a routed PE index < npes")
+        let buf = &mut self.agg_bufs[dst];
+        crate::msg::push_batch_record(
+            &mut buf.frame,
+            &mut self.agg_scratch,
+            self.cfg.codec,
+            to,
+            reply,
+            guard,
+            #[cfg(feature = "analyze")]
+            trace,
+            &bytes,
+        )
+        // analyze: allow(panic, "encoding a batch record of an already-encoded entry fails only on a codec bug")
+        .expect("batch record failed to encode");
+        buf.count += 1;
+        if buf.count as usize >= agg.max_count || buf.frame.len() >= agg.max_bytes {
+            self.flush_agg(dst);
+        }
+    }
+
+    /// Flush `dst`'s aggregation buffer (if non-empty) into one
+    /// [`EnvKind::Batch`] envelope on the outbox. The batch itself is a
+    /// *physical* artifact: never QD-counted, never logically traced (trace
+    /// id 0, detector-exempt) — its constituents did all of that in `emit`.
+    fn flush_agg(&mut self, dst: Pe) {
+        // analyze: allow(panic, "agg_bufs is sized to npes at construction and dst is a routed PE index < npes")
+        let buf = &mut self.agg_bufs[dst];
+        if buf.count == 0 {
+            return;
+        }
+        let count = std::mem::take(&mut buf.count);
+        let frame = WireBytes::copy_from_slice(&buf.frame);
+        buf.frame.clear();
+        self.encode_pool.record_encoded(frame.len());
+        self.tracer.batch_flush(count as u64);
+        if self.tracer.full() {
+            let now = self.send_ts_ns();
+            self.tracer.push(
+                now,
+                charm_trace::EventKind::BatchFlush {
+                    msgs: count,
+                    bytes: frame.len().min(u32::MAX as usize) as u32,
+                },
+            );
+        }
+        let mut env = Envelope::new(self.pe, EnvKind::Batch { count, frame });
+        env.epoch = self.cfg.epoch;
         self.outbox.push((dst, env));
+    }
+
+    /// Flush every destination's pending aggregation buffer, in PE order
+    /// (deterministic under sim). Called on scheduler idle, on quiescence
+    /// probes (a parked message is sent-but-unprocessed, so QD could never
+    /// converge over it) and at checkpoint entry (a snapshot must not
+    /// capture a world where sent traffic sits in a sender-side buffer
+    /// that dies with the incarnation). Returns whether anything flushed.
+    pub fn flush_aggregation(&mut self) -> bool {
+        let mut any = false;
+        for dst in 0..self.agg_bufs.len() {
+            // analyze: allow(panic, "dst iterates 0..agg_bufs.len()")
+            if self.agg_bufs[dst].count > 0 {
+                self.flush_agg(dst);
+                any = true;
+            }
+        }
+        any
     }
 
     /// Charge compute to the current event (and, optionally, a chare),
@@ -415,16 +570,45 @@ impl PeState {
     // =====================================================================
 
     pub fn handle(&mut self, env: Envelope) {
+        // Refresh the send-path timestamp cache (threads backend, full
+        // capture): every MsgSend/BatchFlush stamped while this envelope is
+        // handled shares one `Instant::now` read instead of paying one per
+        // emitted envelope.
+        if !self.cfg.is_sim && self.tracer.full() {
+            self.now_cache_ns = self.start.elapsed().as_nanos() as u64;
+        }
         // Stale-epoch guard: an envelope from a previous incarnation (in
         // flight when a PE died and the machine restored) must never reach
         // post-recovery state — discard before any accounting, so neither
         // the QD counters nor the detector ever see it. `Halt` is the
         // supervisor's teardown signal and is honored regardless.
         if env.epoch != self.cfg.epoch && !matches!(env.kind, EnvKind::Halt) {
-            self.tracer.stale_discarded += 1;
+            // A stale batch strands every constituent it carries.
+            self.tracer.stale_discarded += match &env.kind {
+                EnvKind::Batch { count, .. } => *count as u64,
+                _ => 1,
+            };
             if self.tracer.full() {
                 let now = self.now_ns();
                 self.tracer.push(now, charm_trace::EventKind::StaleDrop);
+            }
+            return;
+        }
+        // A batch is a transport frame, not a delivery: split it back into
+        // its constituent entry envelopes and handle each in frame (=
+        // emission) order. All per-message accounting — QD processed
+        // counts, recv stats, detector delivery checks — happens in the
+        // recursive calls, exactly once per constituent; the split itself
+        // (one decode + copy per record, via the metered entry decode path
+        // downstream) is the per-message unpack cost of aggregation.
+        if let EnvKind::Batch { frame, .. } = env.kind {
+            let constituents = crate::msg::split_batch(env.src, env.epoch, &frame, self.cfg.codec)
+                .unwrap_or_else(|e| {
+                    // analyze: allow(panic, "the frame was produced by this runtime's own batch encoder; a split failure is a framing bug")
+                    panic!("batch frame split failed: {e}")
+                });
+            for constituent in constituents {
+                self.handle(constituent);
             }
             return;
         }
@@ -463,6 +647,10 @@ impl PeState {
                 reply,
                 guard,
             } => self.route_entry_from(src, to, payload, reply, guard),
+            EnvKind::Batch { .. } => {
+                // analyze: allow(panic, "handle() splits every batch before dispatch; reaching here is a scheduler bug")
+                unreachable!("batch envelope reached dispatch unsplit")
+            }
             EnvKind::BroadcastEntry { coll, bytes, root } => {
                 if !self.colls.contains_key(&coll) {
                     self.park_unknown_coll(coll, EnvKind::BroadcastEntry { coll, bytes, root });
@@ -2366,6 +2554,12 @@ impl PeState {
     }
 
     fn qd_probe(&mut self, round: u64, root: Pe) {
+        // Quiescence-entry flush: a message parked in an aggregation buffer
+        // is sent-but-unprocessed forever, so no `(sent, processed)` sample
+        // could ever balance over it. Flushing here puts the traffic in
+        // flight; the two-consecutive-identical-rounds rule then converges
+        // normally (just with extra rounds). See `QdCentral::round_complete`.
+        self.flush_aggregation();
         let children = self.cfg.tree.children(self.pe, root, self.npes);
         self.qd_pe = QdPeState {
             round,
@@ -2509,6 +2703,11 @@ impl PeState {
     // =====================================================================
 
     fn ckpt_save(&mut self, initiator: Pe, dir: Option<String>, epoch: u64, buddy: bool) {
+        // Checkpoint-entry flush: the snapshot must not capture a machine
+        // where already-counted sends sit in a sender-side aggregation
+        // buffer — the buffer dies with this incarnation, and a restore
+        // would then wait forever on traffic that no longer exists.
+        self.flush_aggregation();
         let main_coll = main_chare_id().coll;
         let specs: Vec<CollSpec> = self
             .colls

@@ -58,6 +58,49 @@ pub enum Backend {
     Sim(MachineModel),
 }
 
+/// TRAM-style per-destination message aggregation thresholds
+/// ([`Runtime::aggregation`], DESIGN.md §9).
+///
+/// With aggregation on, each PE coalesces small remote entry messages into
+/// one per-destination wire frame ([`EnvKind::Batch`]) instead of paying
+/// one channel send / one latency event per message. A destination's
+/// buffer flushes when either threshold below trips, when the scheduler
+/// goes idle, when a quiescence probe arrives (so QD send/deliver samples
+/// can converge), or when a checkpoint begins (so no snapshot captures a
+/// sender-side parked message).
+///
+/// [`EnvKind::Batch`]: crate::msg::EnvKind::Batch
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggCfg {
+    /// Flush a destination's buffer after this many coalesced messages.
+    pub max_count: usize,
+    /// Flush when the frame reaches this many bytes. Payloads at or above
+    /// this size bypass aggregation entirely — they are already cheap per
+    /// byte, and buffering them would only add latency.
+    pub max_bytes: usize,
+}
+
+impl AggCfg {
+    /// A count-threshold config with the default 64 KiB size cap — the
+    /// "batch size" knob used by the aggregation bench.
+    pub fn count(max_count: usize) -> AggCfg {
+        AggCfg {
+            max_count,
+            ..AggCfg::default()
+        }
+    }
+}
+
+impl Default for AggCfg {
+    /// Charm++ TRAM-ish defaults: 64 messages or 64 KiB per flush.
+    fn default() -> AggCfg {
+        AggCfg {
+            max_count: 64,
+            max_bytes: 64 * 1024,
+        }
+    }
+}
+
 /// How entry methods dispatch and serialize — the Charm++-vs-CharmPy axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchMode {
@@ -200,6 +243,9 @@ pub struct Runtime {
     max_restarts: u64,
     msg_guards: MsgGuards,
     trace: TraceConfig,
+    /// TRAM-style per-destination message aggregation; `None` = off
+    /// (bit-identical to previous releases).
+    agg: Option<AggCfg>,
     /// Sim backend: jitter message delivery order with this seed (FIFO
     /// per channel is preserved). Drives the schedule-permutation harness.
     permute: Option<u64>,
@@ -234,6 +280,7 @@ impl Runtime {
             max_restarts: 3,
             msg_guards: MsgGuards::default(),
             trace: default_trace(),
+            agg: None,
             permute: None,
             #[cfg(feature = "analyze")]
             inject: None,
@@ -385,6 +432,21 @@ impl Runtime {
         self
     }
 
+    /// Coalesce small remote entry messages into per-destination batches
+    /// (Charm++'s TRAM; see [`AggCfg`] for the flush triggers). Off by
+    /// default — without this call, behaviour is bit-identical to an
+    /// unaggregated runtime. Logical counters (`RunReport::msgs`,
+    /// `PePerf::msgs_sent`, QD accounting) are unaffected by batching;
+    /// the physical envelope count shows up in `PePerf::batches_sent`.
+    pub fn aggregation(mut self, cfg: AggCfg) -> Self {
+        assert!(
+            cfg.max_count >= 1 && cfg.max_bytes >= 1,
+            "aggregation thresholds must be at least 1"
+        );
+        self.agg = Some(cfg);
+        self
+    }
+
     /// Register a chare type (every type used must be registered).
     pub fn register<T: Chare>(mut self) -> Self {
         self.registry.register::<T>();
@@ -503,6 +565,7 @@ impl Runtime {
             let auto_ckpt = self.auto_ckpt.clone();
             let msg_guards = Arc::new(self.msg_guards.clone());
             let trace = self.trace;
+            let agg = self.agg;
             #[cfg(feature = "analyze")]
             let probe = self.probe.clone();
             Box::new(move |epoch, restore, ckpt_seq_start| {
@@ -522,6 +585,7 @@ impl Runtime {
                     auto_ckpt: auto_ckpt.clone(),
                     msg_guards: Arc::clone(&msg_guards),
                     trace,
+                    agg,
                     #[cfg(feature = "analyze")]
                     analyze_probe: probe.clone(),
                 })
@@ -758,30 +822,56 @@ fn run_threads(
                     // images) instead of taking the process down.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         loop {
-                            // Time spent waiting on the channel is the
-                            // threaded backend's idle time.
-                            let idle_from = if state.tracer.enabled() {
-                                Some(state.now_ns())
-                            } else {
-                                None
-                            };
-                            let env = match rx.recv_timeout(idle_timeout) {
+                            // Batched receive: drain the channel in bursts —
+                            // one `try_recv` per envelope while the queue is
+                            // hot, and the idle bookkeeping (two `now_ns`
+                            // reads) only on the transition to the blocking
+                            // wait, not per envelope.
+                            let env = match rx.try_recv() {
                                 Ok(env) => env,
-                                Err(channel::RecvTimeoutError::Timeout) => {
-                                    return Some(idle_timeout);
+                                Err(channel::TryRecvError::Disconnected) => return None,
+                                Err(channel::TryRecvError::Empty) => {
+                                    // Going idle: release anything parked in
+                                    // the aggregation buffers — nobody else
+                                    // will flush traffic we are sitting on.
+                                    if state.flush_aggregation() {
+                                        for (dst, env) in state.outbox.drain(..) {
+                                            let _ = senders[dst].send(env);
+                                        }
+                                    }
+                                    // Time spent waiting on the channel is
+                                    // the threaded backend's idle time.
+                                    let idle_from = if state.tracer.enabled() {
+                                        Some(state.now_ns())
+                                    } else {
+                                        None
+                                    };
+                                    let env = match rx.recv_timeout(idle_timeout) {
+                                        Ok(env) => env,
+                                        Err(channel::RecvTimeoutError::Timeout) => {
+                                            return Some(idle_timeout);
+                                        }
+                                        Err(channel::RecvTimeoutError::Disconnected) => {
+                                            return None;
+                                        }
+                                    };
+                                    if let Some(t0) = idle_from {
+                                        let t1 = state.now_ns();
+                                        state.tracer.idle(t0, t1);
+                                    }
+                                    env
                                 }
-                                Err(channel::RecvTimeoutError::Disconnected) => return None,
                             };
-                            if let Some(t0) = idle_from {
-                                let t1 = state.now_ns();
-                                state.tracer.idle(t0, t1);
-                            }
                             #[cfg(feature = "analyze")]
                             if let Some((victim, after_nth)) = kill {
-                                if victim == pe && env.kind.counts_for_qd() && env.epoch == 0 {
+                                // Weighted by constituent count so a batch
+                                // advances the delivery clock like the
+                                // messages it carries would have unbatched.
+                                let w = env.kind.qd_weight();
+                                if victim == pe && w > 0 && env.epoch == 0 {
                                     let n = qd_handled;
-                                    qd_handled += 1;
-                                    if n == after_nth {
+                                    qd_handled += w;
+                                    if n <= after_nth && after_nth < n + w {
                                         // analyze: allow(recovery-hook, "the injected PE failure is a deliberate panic the restart supervisor must catch and recover from")
                                         panic!(
                                             "injected PE failure on PE {pe} (after {after_nth} deliveries)"
@@ -936,6 +1026,65 @@ fn finish_report(
     }
 }
 
+/// Ship one PE's drained outbox into the sim event queue: per envelope,
+/// optionally inject a network fault, model the latency, apply the schedule
+/// permutation, and (under `analyze`) clamp per-channel arrivals FIFO. An
+/// aggregation batch passes through here as ONE envelope — one latency
+/// event for the whole frame is the modeled win of aggregation; the
+/// receiver then pays per-message unpack cost when it splits the frame.
+#[allow(clippy::too_many_arguments)]
+fn ship_outbox(
+    src: Pe,
+    now_ns: u64,
+    outbox: Vec<(Pe, Envelope)>,
+    model: &MachineModel,
+    permuter: &mut Option<charm_sim::PermuteSchedule>,
+    events: &mut EventQueue<(Pe, Envelope)>,
+    #[cfg(feature = "analyze")] inject_state: &mut Option<(crate::analyze::InjectFault, u64)>,
+    #[cfg(feature = "analyze")] last_arrival: &mut std::collections::HashMap<(Pe, Pe), u64>,
+) {
+    for (dst, env) in outbox {
+        #[cfg(feature = "analyze")]
+        let mut duplicate: Option<Envelope> = None;
+        #[cfg(feature = "analyze")]
+        if let Some((fault, count)) = inject_state {
+            if env.kind.counts_for_qd() {
+                let n = *count;
+                *count += 1;
+                match *fault {
+                    crate::analyze::InjectFault::DropNth(k) if k == n => continue,
+                    crate::analyze::InjectFault::DuplicateNth(k) if k == n => {
+                        duplicate = env.try_clone();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let delay = model.msg_delay(src, dst, env.kind.size_hint());
+        let mut at = VTime::from_nanos(now_ns) + delay;
+        if let Some(p) = permuter {
+            at = p.delivery_time(src, dst, at);
+        }
+        #[cfg(feature = "analyze")]
+        {
+            let last = last_arrival.entry((src, dst)).or_insert(0);
+            if at.as_nanos() <= *last {
+                at = VTime::from_nanos(*last + 1);
+            }
+            *last = at.as_nanos();
+        }
+        events.push(at, (dst, env));
+        #[cfg(feature = "analyze")]
+        if let Some(dup) = duplicate {
+            // The duplicate trails the original on the same channel,
+            // like a network-level retransmission.
+            let at2 = VTime::from_nanos(at.as_nanos() + 1);
+            last_arrival.insert((src, dst), at2.as_nanos());
+            events.push(at2, (dst, dup));
+        }
+    }
+}
+
 fn run_sim(
     mut launch: Launch,
     model: MachineModel,
@@ -985,15 +1134,51 @@ fn run_sim(
     };
 
     let mut clean_exit = false;
-    while let Some((t, (pe, env))) = events.pop() {
+    loop {
+        let Some((t, (pe, env))) = events.pop() else {
+            // The event queue drained — but with aggregation on, traffic
+            // may still be parked in sender-side buffers (nothing else in
+            // flight will flush them). This is the scheduler-idle flush
+            // trigger: release every PE's buffers at its own clock, in PE
+            // order (deterministic), and keep simulating. A quiescent
+            // machine with empty buffers falls through to the exit path.
+            let mut flushed = false;
+            for src in 0..npes {
+                if pes[src].flush_aggregation() {
+                    flushed = true;
+                    let now = pes[src].clock_ns;
+                    let outbox: Vec<(Pe, Envelope)> = pes[src].outbox.drain(..).collect();
+                    ship_outbox(
+                        src,
+                        now,
+                        outbox,
+                        &model,
+                        &mut permuter,
+                        &mut events,
+                        #[cfg(feature = "analyze")]
+                        &mut inject_state,
+                        #[cfg(feature = "analyze")]
+                        &mut last_arrival,
+                    );
+                }
+            }
+            if flushed {
+                continue;
+            }
+            break;
+        };
         #[cfg(feature = "analyze")]
         {
             let mut fire = false;
             if let Some((victim, after_nth, count)) = &mut kill {
-                if *victim == pe && env.kind.counts_for_qd() && env.epoch == cur_epoch {
+                // Weighted by constituent count so a batch advances the
+                // delivery clock like the messages it carries would have
+                // unbatched.
+                let w = env.kind.qd_weight();
+                if *victim == pe && w > 0 && env.epoch == cur_epoch {
                     let n = *count;
-                    *count += 1;
-                    fire = n == *after_nth;
+                    *count += w;
+                    fire = n <= *after_nth && *after_nth < n + w;
                 }
             }
             if fire {
@@ -1067,46 +1252,18 @@ fn run_sim(
         let now = state.clock_ns;
         let outbox: Vec<(Pe, Envelope)> = state.outbox.drain(..).collect();
         let exited = state.exited;
-        for (dst, env) in outbox {
+        ship_outbox(
+            pe,
+            now,
+            outbox,
+            &model,
+            &mut permuter,
+            &mut events,
             #[cfg(feature = "analyze")]
-            let mut duplicate: Option<Envelope> = None;
+            &mut inject_state,
             #[cfg(feature = "analyze")]
-            if let Some((fault, count)) = &mut inject_state {
-                if env.kind.counts_for_qd() {
-                    let n = *count;
-                    *count += 1;
-                    match *fault {
-                        crate::analyze::InjectFault::DropNth(k) if k == n => continue,
-                        crate::analyze::InjectFault::DuplicateNth(k) if k == n => {
-                            duplicate = env.try_clone();
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            let delay = model.msg_delay(pe, dst, env.kind.size_hint());
-            let mut at = VTime::from_nanos(now) + delay;
-            if let Some(p) = &mut permuter {
-                at = p.delivery_time(pe, dst, at);
-            }
-            #[cfg(feature = "analyze")]
-            {
-                let last = last_arrival.entry((pe, dst)).or_insert(0);
-                if at.as_nanos() <= *last {
-                    at = VTime::from_nanos(*last + 1);
-                }
-                *last = at.as_nanos();
-            }
-            events.push(at, (dst, env));
-            #[cfg(feature = "analyze")]
-            if let Some(dup) = duplicate {
-                // The duplicate trails the original on the same channel,
-                // like a network-level retransmission.
-                let at2 = VTime::from_nanos(at.as_nanos() + 1);
-                last_arrival.insert((pe, dst), at2.as_nanos());
-                events.push(at2, (dst, dup));
-            }
-        }
+            &mut last_arrival,
+        );
         if exited {
             clean_exit = true;
             break;

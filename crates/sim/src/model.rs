@@ -49,6 +49,13 @@ impl MachineModel {
     ///
     /// Same-PE messages are free here (the runtime bypasses the network for
     /// them entirely — the paper's §II-D optimization).
+    ///
+    /// This prices one *envelope*, whatever it carries: a TRAM aggregation
+    /// batch (`Runtime::aggregation`) therefore pays the fixed per-message
+    /// latency once for the whole frame plus bandwidth on the total frame
+    /// bytes — which is exactly the modeled benefit of coalescing; the
+    /// receiver then pays per-constituent unpack cost when it splits the
+    /// frame.
     pub fn msg_delay(&self, src: usize, dst: usize, bytes: usize) -> Duration {
         if src == dst {
             return Duration::ZERO;

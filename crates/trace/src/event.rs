@@ -48,6 +48,11 @@ pub enum EventKind {
     MsgSend { bytes: u32, remote: bool },
     /// Envelope handed to this PE's scheduler.
     MsgRecv { bytes: u32 },
+    /// A per-destination aggregation buffer was flushed into one batch
+    /// envelope: `msgs` coalesced messages, `bytes` of frame. The gap
+    /// between `MsgSend` counts and `BatchFlush` totals is the
+    /// logical-vs-physical send ratio.
+    BatchFlush { msgs: u32, bytes: u32 },
     /// Scheduler went idle (paired with the next `IdleEnd`).
     IdleBegin,
     /// Scheduler woke up.
@@ -89,6 +94,7 @@ impl EventKind {
             EventKind::EntryEnd { .. } => "entry_end",
             EventKind::MsgSend { .. } => "msg_send",
             EventKind::MsgRecv { .. } => "msg_recv",
+            EventKind::BatchFlush { .. } => "batch_flush",
             EventKind::IdleBegin => "idle_begin",
             EventKind::IdleEnd => "idle_end",
             EventKind::GuardBuffer { .. } => "guard_buffer",

@@ -56,6 +56,12 @@ pub struct PePerf {
     pub ckpt_bytes: u64,
     /// Envelopes from a previous recovery epoch discarded by this PE.
     pub stale_discarded: u64,
+    /// Aggregation batch frames flushed — physical envelopes, vs. the
+    /// logical per-message `sent_remote`/`msgs_sent` counts (which are
+    /// unaffected by batching).
+    pub batches_sent: u64,
+    /// Logical messages carried inside those batches.
+    pub batch_msgs: u64,
     /// Events overwritten in the full-capture ring.
     pub events_dropped: u64,
 }
@@ -67,6 +73,16 @@ impl PePerf {
             0.0
         } else {
             self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Mean coalesced messages per flushed aggregation batch (0 when no
+    /// batch was ever flushed, i.e. aggregation off or never triggered).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches_sent == 0 {
+            0.0
+        } else {
+            self.batch_msgs as f64 / self.batches_sent as f64
         }
     }
 }
@@ -224,6 +240,15 @@ impl TraceReport {
                             &format!(r#""bytes":{bytes}"#),
                         ));
                     }
+                    EventKind::BatchFlush { msgs, bytes } => {
+                        objs.push(instant(
+                            pe,
+                            ev.kind.name(),
+                            "msg",
+                            ev.ts_ns,
+                            &format!(r#""msgs":{msgs},"bytes":{bytes}"#),
+                        ));
+                    }
                     EventKind::GuardBuffer { depth } | EventKind::GuardDrain { depth } => {
                         objs.push(instant(
                             pe,
@@ -305,8 +330,18 @@ impl TraceReport {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>4}  {:>12} {:>7} {:>7} {:>7}  {:>8} {:>8}  {:>12} {:>8}\n",
-            "PE", "wall_ms", "busy%", "idle%", "ovhd%", "sent", "procd", "rem_bytes", "dropped"
+            "{:>4}  {:>12} {:>7} {:>7} {:>7}  {:>8} {:>8}  {:>12} {:>8} {:>6} {:>8}\n",
+            "PE",
+            "wall_ms",
+            "busy%",
+            "idle%",
+            "ovhd%",
+            "sent",
+            "procd",
+            "rem_bytes",
+            "batches",
+            "occ",
+            "dropped"
         ));
         for t in &self.pes {
             let p = &t.perf;
@@ -318,7 +353,7 @@ impl TraceReport {
                 }
             };
             out.push_str(&format!(
-                "{:>4}  {:>12.3} {:>7.1} {:>7.1} {:>7.1}  {:>8} {:>8}  {:>12} {:>8}\n",
+                "{:>4}  {:>12.3} {:>7.1} {:>7.1} {:>7.1}  {:>8} {:>8}  {:>12} {:>8} {:>6.1} {:>8}\n",
                 p.pe,
                 p.wall_ns as f64 / 1e6,
                 pct(p.busy_ns),
@@ -327,6 +362,8 @@ impl TraceReport {
                 p.msgs_sent,
                 p.msgs_processed,
                 p.bytes_sent_remote,
+                p.batches_sent,
+                p.batch_occupancy(),
                 p.events_dropped,
             ));
         }
@@ -582,6 +619,34 @@ mod tests {
         assert!(text.contains("demo::Chare"));
         assert!(text.contains("reduced"));
         assert!(text.contains("wall_ms"));
+    }
+
+    #[test]
+    fn batch_flush_exports_and_summarizes() {
+        let evs = vec![Event {
+            ts_ns: 10,
+            kind: EventKind::BatchFlush {
+                msgs: 64,
+                bytes: 4_096,
+            },
+        }];
+        let mut rep = one_pe(evs);
+        rep.pes[0].perf.batches_sent = 3;
+        rep.pes[0].perf.batch_msgs = 96;
+        rep.validate().expect("instant events validate");
+        let doc = parse(&rep.chrome_json()).expect("exporter emits valid JSON");
+        let arr = doc.as_arr().expect("top level is an array");
+        assert!(arr.iter().any(|o| {
+            o.get("name").and_then(Value::as_str) == Some("batch_flush")
+                && o.get("args")
+                    .and_then(|a| a.get("msgs"))
+                    .and_then(Value::as_f64)
+                    == Some(64.0)
+        }));
+        let text = rep.summary();
+        assert!(text.contains("batches"));
+        assert!(text.contains("occ"));
+        assert!((rep.pes[0].perf.batch_occupancy() - 32.0).abs() < 1e-9);
     }
 
     #[test]

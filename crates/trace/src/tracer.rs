@@ -114,6 +114,13 @@ pub struct PeTracer {
     /// Maintained unconditionally (like [`Counters`]): recovery audits
     /// need it even at trace level off.
     pub stale_discarded: u64,
+    /// Aggregation batch frames flushed by this PE — the *physical*
+    /// envelope count, next to the *logical* `sent_remote` (which counts
+    /// each coalesced message individually). Maintained unconditionally:
+    /// the batching tests audit it even at trace level off.
+    pub batches_sent: u64,
+    /// Logical messages carried inside those batches.
+    pub batch_msgs: u64,
     busy_ns: u64,
     idle_ns: u64,
     overhead_ns: u64,
@@ -144,6 +151,8 @@ impl Default for PeTracer {
             bcast_relays: 0,
             ckpt_bytes: 0,
             stale_discarded: 0,
+            batches_sent: 0,
+            batch_msgs: 0,
             busy_ns: 0,
             idle_ns: 0,
             overhead_ns: 0,
@@ -264,6 +273,15 @@ impl PeTracer {
         }
     }
 
+    /// Record one aggregation batch flush carrying `msgs` coalesced
+    /// messages. Unconditional, like [`Counters`] — the logical/physical
+    /// send ratio must be auditable at any trace level.
+    #[inline]
+    pub fn batch_flush(&mut self, msgs: u64) {
+        self.batches_sent += 1;
+        self.batch_msgs += msgs;
+    }
+
     /// Finish the PE: fold unattributed time into overhead and produce the
     /// per-PE trace. `name_of` resolves a chare type id to a display name.
     pub fn finish(
@@ -311,6 +329,8 @@ impl PeTracer {
             bcast_relays: self.bcast_relays,
             ckpt_bytes: self.ckpt_bytes,
             stale_discarded: self.stale_discarded,
+            batches_sent: self.batches_sent,
+            batch_msgs: self.batch_msgs,
             events_dropped: dropped,
         };
         let entries = self
@@ -405,6 +425,17 @@ mod tests {
         let p = t.finish(0, 200, 0, |_| String::new());
         let ts: Vec<u64> = p.events.iter().map(|e| e.ts_ns).collect();
         assert_eq!(ts, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn batch_flush_counts_survive_off_level() {
+        let mut t = PeTracer::new(&TraceConfig::off());
+        t.batch_flush(8);
+        t.batch_flush(3);
+        let p = t.finish(0, 100, 0, |_| String::new());
+        assert_eq!(p.perf.batches_sent, 2);
+        assert_eq!(p.perf.batch_msgs, 11);
+        assert!((p.perf.batch_occupancy() - 5.5).abs() < 1e-9);
     }
 
     #[test]
