@@ -11,9 +11,14 @@
 //! * [`histo`] — histogram sort, the canonical Charm++ example, added as a
 //!   third scenario exercising reductions, broadcasts and all-to-all key
 //!   exchange in one program.
+//! * [`taskbench`] — the Task Bench overhead benchmark: a `width × steps`
+//!   task grid under five dependency patterns with a tunable per-task
+//!   grain, used by `benches/metg.rs` to measure the runtime's minimum
+//!   effective task granularity.
 
 #![forbid(unsafe_code)]
 
 pub mod histo;
 pub mod leanmd;
 pub mod stencil3d;
+pub mod taskbench;

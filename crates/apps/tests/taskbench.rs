@@ -1,0 +1,101 @@
+//! Task Bench end-to-end: every dependency pattern against the sequential
+//! oracle, on both backends, both dispatch modes, fast paths on and off.
+
+use charm_apps::taskbench::{expected, run_taskbench, Pattern, TaskBenchParams};
+use charm_core::{Backend, DispatchMode, Runtime};
+use charm_sim::MachineModel;
+
+fn sim(npes: usize) -> Runtime {
+    Runtime::new(npes)
+        .backend(Backend::Sim(MachineModel::local(npes)))
+        .meter_compute(false)
+}
+
+#[test]
+fn every_pattern_matches_the_oracle_on_sim() {
+    for pattern in Pattern::ALL {
+        let params = TaskBenchParams::small_with(pattern);
+        let (sum, tasks) = expected(&params);
+        let r = run_taskbench(params, sim(4));
+        assert_eq!((r.checksum, r.tasks), (sum, tasks), "{pattern:?}");
+    }
+}
+
+#[test]
+fn threads_backend_matches_fast_on_and_off() {
+    for pattern in Pattern::ALL {
+        let mut params = TaskBenchParams::small_with(pattern);
+        params.grain_ns = 0; // threads charge real time; keep the test quick
+        let (sum, tasks) = expected(&params);
+        let on = run_taskbench(params.clone(), Runtime::new(3).fast_paths(true));
+        let off = run_taskbench(params.clone(), Runtime::new(3).fast_paths(false));
+        assert_eq!((on.checksum, on.tasks), (sum, tasks), "{pattern:?} fast on");
+        assert_eq!(
+            (off.checksum, off.tasks),
+            (sum, tasks),
+            "{pattern:?} fast off"
+        );
+    }
+}
+
+#[test]
+fn dynamic_dispatch_matches_the_oracle() {
+    let params = TaskBenchParams::small_with(Pattern::Fft);
+    let (sum, tasks) = expected(&params);
+    let r = run_taskbench(params, sim(2).dispatch(DispatchMode::Dynamic));
+    assert_eq!((r.checksum, r.tasks), (sum, tasks));
+}
+
+#[test]
+fn wider_random_grid_executes_every_task() {
+    let params = TaskBenchParams {
+        pattern: Pattern::Random,
+        width: 32,
+        steps: 10,
+        grain_ns: 500,
+        fanout: 4,
+        seed: 11,
+    };
+    let (sum, tasks) = expected(&params);
+    let r = run_taskbench(params, sim(4));
+    assert_eq!((r.checksum, r.tasks), (sum, tasks));
+    assert_eq!(tasks, 320);
+}
+
+#[test]
+fn fast_path_counters_show_up_in_pe_stats() {
+    let params = TaskBenchParams {
+        pattern: Pattern::Stencil,
+        width: 16,
+        steps: 8,
+        ..TaskBenchParams::small()
+    };
+    let r = run_taskbench(params, sim(4));
+    let inline: u64 = r.report.pe_stats.iter().map(|p| p.inline_payloads).sum();
+    let disp: u64 = r.report.pe_stats.iter().map(|p| p.dispatch_hits).sum();
+    // Dep payloads are tiny (two ints) and cross PEs: they must inline,
+    // and steady-state decode must hit the devirtualized cache.
+    assert!(inline > 0, "no payload inlined: {:?}", r.report.pe_stats);
+    assert!(
+        disp > 0,
+        "dispatch cache never hit: {:?}",
+        r.report.pe_stats
+    );
+
+    let off = run_taskbench(
+        TaskBenchParams {
+            pattern: Pattern::Stencil,
+            width: 16,
+            steps: 8,
+            ..TaskBenchParams::small()
+        },
+        sim(4).fast_paths(false),
+    );
+    let inline_off: u64 = off.report.pe_stats.iter().map(|p| p.inline_payloads).sum();
+    let disp_off: u64 = off.report.pe_stats.iter().map(|p| p.dispatch_hits).sum();
+    assert_eq!(
+        (inline_off, disp_off),
+        (0, 0),
+        "fast-paths-off still counted"
+    );
+}

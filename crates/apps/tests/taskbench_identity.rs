@@ -1,0 +1,76 @@
+//! Detector-armed bit-identity suite for the scheduler fast paths
+//! (`--features analyze`, DESIGN.md §10).
+//!
+//! The fast paths — small-payload inlining, slab publish, dispatch-cache
+//! devirtualization, the threaded receive ring — are pure representation
+//! changes: with them on or off, Task Bench must produce bit-identical
+//! checksums and identical logical counters under every dependency
+//! pattern, ≥16 permuted sim schedules and aggregation `{off, count(64)}`,
+//! with the dynamic race detector armed throughout.
+
+#![cfg(feature = "analyze")]
+
+use charm_apps::taskbench::{expected, run_taskbench, Pattern, TaskBenchParams};
+use charm_core::{AggCfg, Backend, Runtime};
+use charm_sim::MachineModel;
+
+const NPES: usize = 4;
+
+fn sim() -> Runtime {
+    Runtime::new(NPES)
+        .backend(Backend::Sim(MachineModel::local(NPES)))
+        .meter_compute(false)
+}
+
+#[test]
+fn taskbench_fast_paths_bit_identical_across_patterns_schedules_aggregation() {
+    for pattern in Pattern::ALL {
+        let params = TaskBenchParams::small_with(pattern);
+        let (oracle_sum, oracle_tasks) = expected(&params);
+
+        // Baseline: fast paths OFF (the pre-fast-path runtime), detector
+        // armed, no aggregation, natural schedule.
+        let (rt, probe) = sim().analyze_probe();
+        let base = run_taskbench(params.clone(), rt.fast_paths(false));
+        assert!(
+            probe.findings().is_empty(),
+            "{pattern:?} baseline findings: {:?}",
+            probe.findings()
+        );
+        assert_eq!(
+            (base.checksum, base.tasks),
+            (oracle_sum, oracle_tasks),
+            "{pattern:?}: fast-paths-off baseline diverged from the oracle"
+        );
+        let base_key = (base.report.entries, base.report.msgs);
+
+        for agg in [None, Some(AggCfg::count(64))] {
+            for seed in [None].into_iter().chain((1..=16).map(Some)) {
+                let (mut rt, probe) = sim().analyze_probe();
+                if let Some(cfg) = agg {
+                    rt = rt.aggregation(cfg);
+                }
+                if let Some(s) = seed {
+                    rt = rt.permute_schedule(s);
+                }
+                // Fast paths ON (the default, stated explicitly).
+                let r = run_taskbench(params.clone(), rt.fast_paths(true));
+                assert!(
+                    probe.findings().is_empty(),
+                    "{pattern:?} agg={agg:?} seed={seed:?}: findings: {:?}",
+                    probe.findings()
+                );
+                assert_eq!(
+                    (r.checksum, r.tasks),
+                    (base.checksum, base.tasks),
+                    "{pattern:?} agg={agg:?} seed={seed:?}: fast paths changed the result"
+                );
+                assert_eq!(
+                    (r.report.entries, r.report.msgs),
+                    base_key,
+                    "{pattern:?} agg={agg:?} seed={seed:?}: logical counters moved"
+                );
+            }
+        }
+    }
+}

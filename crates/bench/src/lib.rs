@@ -92,6 +92,60 @@ pub fn best_of(f: impl Fn() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
+// ---------------------------------------------------------------------------
+// METG (minimum effective task granularity, Task Bench) helpers
+// ---------------------------------------------------------------------------
+
+/// Halving grain series from `start_ns` down to (at least) `floor_ns`,
+/// largest first — the sweep order of `benches/metg.rs`.
+pub fn grain_series(start_ns: u64, floor_ns: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut g = start_ns.max(1);
+    loop {
+        v.push(g);
+        if g <= floor_ns.max(1) {
+            break;
+        }
+        g /= 2;
+    }
+    v
+}
+
+/// Task Bench efficiency: ideal time over actual. Ideal is the useful work
+/// spread perfectly over the PEs (`width · steps · grain / npes`); every
+/// nanosecond beyond it is runtime overhead.
+pub fn taskbench_efficiency(
+    grain_ns: u64,
+    width: u64,
+    steps: u64,
+    npes: u64,
+    actual_ns: u64,
+) -> f64 {
+    if actual_ns == 0 {
+        return 0.0;
+    }
+    let ideal = (width * steps * grain_ns) as f64 / npes as f64;
+    ideal / actual_ns as f64
+}
+
+/// A grain sweep: `(grain_ns, efficiency)` points, largest grain first.
+pub struct MetgSweep {
+    /// The sweep, as measured.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl MetgSweep {
+    /// The METG: smallest swept grain still reaching ≥ 50% efficiency
+    /// (Task Bench's definition), or `None` if no swept point did.
+    pub fn metg_ns(&self) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|&&(_, e)| e >= 0.5)
+            .map(|&(g, _)| g)
+            .min()
+    }
+}
+
 /// Where figure runs drop their trace files: the `CHARMRS_TRACE_DIR`
 /// directory, or `None` (the default — no trace run, no files).
 pub fn trace_dir() -> Option<std::path::PathBuf> {

@@ -65,6 +65,11 @@ pub(crate) struct SchedCfg {
     pub trace: TraceConfig,
     /// TRAM-style per-destination aggregation thresholds; `None` = off.
     pub agg: Option<crate::runtime::AggCfg>,
+    /// Per-message fast paths (on by default): small-payload inlining,
+    /// batched-record inline re-publish, dispatch-table caching and the
+    /// threaded backend's burst-drain receive ring. Off reproduces the
+    /// pre-fast-path runtime bit for bit (the ablation baseline).
+    pub fast_paths: bool,
     /// Sink for race-detector findings (tests); `None` panics on violation.
     #[cfg(feature = "analyze")]
     pub analyze_probe: Option<crate::analyze::FaultProbe>,
@@ -222,6 +227,57 @@ struct AggBuf {
     count: u32,
 }
 
+/// Per-PE devirtualized entry-dispatch cache (`DispatchMode::Native`).
+///
+/// Steady-state delivery used to pay a `colls` hash lookup plus a registry
+/// vtable indirection per decoded message just to rediscover a function
+/// pointer that never changes for a given collection. This caches the
+/// resolved `CollectionId → decode fn` pairs; with the handful of live
+/// collections a PE hosts, the linear probe over a dense vec is one or two
+/// compares on the hot path. Conservatively cleared whenever a collection
+/// spec lands (creation or post-recovery restore).
+struct DispatchCache {
+    slots: Vec<(CollectionId, fn(Codec, &[u8]) -> charm_wire::Result<BoxMsg>)>,
+    hits: u64,
+    misses: u64,
+    enabled: bool,
+}
+
+impl DispatchCache {
+    fn new(enabled: bool) -> DispatchCache {
+        DispatchCache {
+            slots: Vec::new(),
+            hits: 0,
+            misses: 0,
+            enabled,
+        }
+    }
+
+    #[inline]
+    fn lookup(
+        &mut self,
+        coll: CollectionId,
+    ) -> Option<fn(Codec, &[u8]) -> charm_wire::Result<BoxMsg>> {
+        for &(c, f) in &self.slots {
+            if c == coll {
+                self.hits += 1;
+                return Some(f);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, coll: CollectionId, f: fn(Codec, &[u8]) -> charm_wire::Result<BoxMsg>) {
+        self.slots.push((coll, f));
+    }
+
+    /// Drop every cached resolution (a collection spec just changed hands).
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
 pub(crate) struct PeState {
     pub pe: Pe,
     pub npes: usize,
@@ -243,6 +299,8 @@ pub(crate) struct PeState {
 
     /// Scratch buffers for message encodes on this PE's send path.
     encode_pool: EncodePool,
+    /// Devirtualized `CollectionId → decode fn` cache for native dispatch.
+    dispatch_cache: DispatchCache,
     /// Per-destination aggregation buffers (`cfg.agg` on; empty when off).
     agg_bufs: Vec<AggBuf>,
     /// Reusable header-encode scratch for batch records.
@@ -330,6 +388,11 @@ impl PeState {
         let cfg_trace = cfg.trace;
         let cfg_seq_start = cfg.ckpt_seq_start;
         let agg_on = cfg.agg.is_some();
+        let mut encode_pool = EncodePool::new();
+        encode_pool.set_inline(cfg.fast_paths);
+        // Devirtualization only pays off under native dispatch; dynamic
+        // (CharmPy-like) mode keeps the measured per-message lookup cost.
+        let dispatch_cache = DispatchCache::new(cfg.fast_paths && !cfg.dynamic);
         PeState {
             pe,
             npes,
@@ -347,7 +410,8 @@ impl PeState {
             coros: HashMap::new(),
             next_coro: 0,
             reds: HashMap::new(),
-            encode_pool: EncodePool::new(),
+            encode_pool,
+            dispatch_cache,
             agg_bufs: if agg_on {
                 (0..npes).map(|_| AggBuf::default()).collect()
             } else {
@@ -602,11 +666,17 @@ impl PeState {
         // (one decode + copy per record, via the metered entry decode path
         // downstream) is the per-message unpack cost of aggregation.
         if let EnvKind::Batch { frame, .. } = env.kind {
-            let constituents = crate::msg::split_batch(env.src, env.epoch, &frame, self.cfg.codec)
-                .unwrap_or_else(|e| {
-                    // analyze: allow(panic, "the frame was produced by this runtime's own batch encoder; a split failure is a framing bug")
-                    panic!("batch frame split failed: {e}")
-                });
+            let constituents = crate::msg::split_batch(
+                env.src,
+                env.epoch,
+                &frame,
+                self.cfg.codec,
+                self.cfg.fast_paths,
+            )
+            .unwrap_or_else(|e| {
+                // analyze: allow(panic, "the frame was produced by this runtime's own batch encoder; a split failure is a framing bug")
+                panic!("batch frame split failed: {e}")
+            });
             for constituent in constituents {
                 self.handle(constituent);
             }
@@ -1038,7 +1108,24 @@ impl PeState {
     /// payloads are owned once by the sender's shared buffer and every
     /// local member decodes from that borrow.
     fn decode_wire(&mut self, id: &ChareId, bytes: &[u8]) -> BoxMsg {
-        let decode_msg = {
+        // Devirtualized fast path: steady-state dispatch resolves the
+        // decode fn from the per-PE cache (one short linear probe) instead
+        // of the `colls` hash lookup + registry vtable walk per message.
+        let decode_msg = if self.dispatch_cache.enabled {
+            match self.dispatch_cache.lookup(id.coll) {
+                Some(f) => f,
+                None => {
+                    let cs = self
+                        .colls
+                        .get(&id.coll)
+                        // analyze: allow(panic, "delivery paths park messages until the collection spec arrives; decode runs only after it is known")
+                        .expect("decode for unknown collection");
+                    let f = self.registry.vtable(cs.spec.ctype).decode_msg;
+                    self.dispatch_cache.insert(id.coll, f);
+                    f
+                }
+            }
+        } else {
             let cs = self
                 .colls
                 .get(&id.coll)
@@ -1812,6 +1899,7 @@ impl PeState {
         };
         let spec = state.spec.clone();
         self.colls.insert(coll, state);
+        self.dispatch_cache.clear();
 
         // Construct locally-placed members (deterministic index order).
         let mine: Vec<Index> = match &spec.kind {
@@ -2468,9 +2556,17 @@ impl PeState {
         let wall = self.now_ns();
         let tracer = std::mem::take(&mut self.tracer);
         let registry = Arc::clone(&self.registry);
-        tracer.finish(self.pe, wall, self.encode_pool.bytes_encoded(), move |ct| {
+        let mut trace = tracer.finish(self.pe, wall, self.encode_pool.bytes_encoded(), move |ct| {
             registry.name_of(crate::ids::ChareTypeId(ct)).to_string()
-        })
+        });
+        // Fast-path counters live where the fast paths run (the encode
+        // pool and the dispatch cache); fold them into the report here.
+        trace.perf.slab_hits = self.encode_pool.hits();
+        trace.perf.slab_misses = self.encode_pool.misses();
+        trace.perf.inline_payloads = self.encode_pool.inline_count();
+        trace.perf.dispatch_hits = self.dispatch_cache.hits;
+        trace.perf.dispatch_misses = self.dispatch_cache.misses;
+        trace
     }
 
     /// QD counter totals for the end-of-run balance check.
@@ -2896,6 +2992,7 @@ impl PeState {
             red_broadcast_seen: 0,
             spec,
         });
+        self.dispatch_cache.clear();
         if let Some(parked) = self.pending_coll.remove(&coll) {
             for env in parked {
                 self.dispatch(env);

@@ -30,6 +30,7 @@
 //! buddy/disk checkpoint, re-runs the recovery entry, and discards
 //! in-flight envelopes stamped with the stale epoch.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -246,6 +247,10 @@ pub struct Runtime {
     /// TRAM-style per-destination message aggregation; `None` = off
     /// (bit-identical to previous releases).
     agg: Option<AggCfg>,
+    /// Per-message fast paths (inline payloads, dispatch cache, threaded
+    /// receive ring). On by default; `fast_paths(false)` is the ablation
+    /// baseline and must be bit-identical.
+    fast_paths: bool,
     /// Sim backend: jitter message delivery order with this seed (FIFO
     /// per channel is preserved). Drives the schedule-permutation harness.
     permute: Option<u64>,
@@ -281,6 +286,7 @@ impl Runtime {
             msg_guards: MsgGuards::default(),
             trace: default_trace(),
             agg: None,
+            fast_paths: true,
             permute: None,
             #[cfg(feature = "analyze")]
             inject: None,
@@ -447,6 +453,17 @@ impl Runtime {
         self
     }
 
+    /// Toggle the per-message fast paths: small-payload inlining (no `Arc`
+    /// under ~64B), batched-record inline re-publish, the devirtualized
+    /// entry-dispatch cache and the threaded backend's burst-drain receive
+    /// ring. On by default. `fast_paths(false)` reproduces the pre-fast-path
+    /// runtime — results are bit-identical either way (the taskbench
+    /// identity suite pins this), only the per-message overhead moves.
+    pub fn fast_paths(mut self, on: bool) -> Self {
+        self.fast_paths = on;
+        self
+    }
+
     /// Register a chare type (every type used must be registered).
     pub fn register<T: Chare>(mut self) -> Self {
         self.registry.register::<T>();
@@ -566,6 +583,7 @@ impl Runtime {
             let msg_guards = Arc::new(self.msg_guards.clone());
             let trace = self.trace;
             let agg = self.agg;
+            let fast_paths = self.fast_paths;
             #[cfg(feature = "analyze")]
             let probe = self.probe.clone();
             Box::new(move |epoch, restore, ckpt_seq_start| {
@@ -586,6 +604,7 @@ impl Runtime {
                     msg_guards: Arc::clone(&msg_guards),
                     trace,
                     agg,
+                    fast_paths,
                     #[cfg(feature = "analyze")]
                     analyze_probe: probe.clone(),
                 })
@@ -821,45 +840,84 @@ fn run_threads(
                     // dying PE reports its end (and its salvageable buddy
                     // images) instead of taking the process down.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Fast path: one channel drain per wakeup fills a
+                        // local ring, so the hot loop pops envelopes without
+                        // paying channel synchronization per message; a short
+                        // sticky spin before the blocking wait absorbs
+                        // ping-pong gaps without a sleep/wake round trip.
+                        let fast = state.cfg.fast_paths;
+                        const RING_BURST: usize = 256;
+                        const STICKY_SPINS: u32 = 64;
+                        let mut ring: VecDeque<Envelope> = VecDeque::new();
                         loop {
                             // Batched receive: drain the channel in bursts —
                             // one `try_recv` per envelope while the queue is
                             // hot, and the idle bookkeeping (two `now_ns`
                             // reads) only on the transition to the blocking
                             // wait, not per envelope.
-                            let env = match rx.try_recv() {
-                                Ok(env) => env,
-                                Err(channel::TryRecvError::Disconnected) => return None,
-                                Err(channel::TryRecvError::Empty) => {
-                                    // Going idle: release anything parked in
-                                    // the aggregation buffers — nobody else
-                                    // will flush traffic we are sitting on.
-                                    if state.flush_aggregation() {
-                                        for (dst, env) in state.outbox.drain(..) {
-                                            let _ = senders[dst].send(env);
+                            let env = if let Some(env) = ring.pop_front() {
+                                env
+                            } else {
+                                match rx.try_recv() {
+                                    Ok(env) => {
+                                        if fast {
+                                            while ring.len() < RING_BURST {
+                                                match rx.try_recv() {
+                                                    Ok(e) => ring.push_back(e),
+                                                    Err(_) => break,
+                                                }
+                                            }
+                                        }
+                                        env
+                                    }
+                                    Err(channel::TryRecvError::Disconnected) => return None,
+                                    Err(channel::TryRecvError::Empty) => {
+                                        // Sticky backoff: spin briefly before
+                                        // committing to the blocking wait.
+                                        let mut spun = None;
+                                        if fast {
+                                            for _ in 0..STICKY_SPINS {
+                                                std::hint::spin_loop();
+                                                if let Ok(env) = rx.try_recv() {
+                                                    spun = Some(env);
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                        if let Some(env) = spun {
+                                            env
+                                        } else {
+                                            // Going idle: release anything parked in
+                                            // the aggregation buffers — nobody else
+                                            // will flush traffic we are sitting on.
+                                            if state.flush_aggregation() {
+                                                for (dst, env) in state.outbox.drain(..) {
+                                                    let _ = senders[dst].send(env);
+                                                }
+                                            }
+                                            // Time spent waiting on the channel is
+                                            // the threaded backend's idle time.
+                                            let idle_from = if state.tracer.enabled() {
+                                                Some(state.now_ns())
+                                            } else {
+                                                None
+                                            };
+                                            let env = match rx.recv_timeout(idle_timeout) {
+                                                Ok(env) => env,
+                                                Err(channel::RecvTimeoutError::Timeout) => {
+                                                    return Some(idle_timeout);
+                                                }
+                                                Err(channel::RecvTimeoutError::Disconnected) => {
+                                                    return None;
+                                                }
+                                            };
+                                            if let Some(t0) = idle_from {
+                                                let t1 = state.now_ns();
+                                                state.tracer.idle(t0, t1);
+                                            }
+                                            env
                                         }
                                     }
-                                    // Time spent waiting on the channel is
-                                    // the threaded backend's idle time.
-                                    let idle_from = if state.tracer.enabled() {
-                                        Some(state.now_ns())
-                                    } else {
-                                        None
-                                    };
-                                    let env = match rx.recv_timeout(idle_timeout) {
-                                        Ok(env) => env,
-                                        Err(channel::RecvTimeoutError::Timeout) => {
-                                            return Some(idle_timeout);
-                                        }
-                                        Err(channel::RecvTimeoutError::Disconnected) => {
-                                            return None;
-                                        }
-                                    };
-                                    if let Some(t0) = idle_from {
-                                        let t1 = state.now_ns();
-                                        state.tracer.idle(t0, t1);
-                                    }
-                                    env
                                 }
                             };
                             #[cfg(feature = "analyze")]

@@ -1,0 +1,141 @@
+//! Fast-path regressions: the same-PE send path must never round-trip
+//! through encode/decode (the §II-D by-reference shortcut), with fast
+//! paths on or off, on both backends — and the fast-path counters must
+//! stay zero when the paths are disabled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use charm_core::prelude::*;
+use charm_sim::MachineModel;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Payload that counts its own `Serialize` invocations: a local ping that
+/// serializes even once is an encode/decode round-trip regression.
+static PING_ENCODES: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Clone, Copy)]
+struct CountedVal(i64);
+
+impl Serialize for CountedVal {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        PING_ENCODES.fetch_add(1, Ordering::SeqCst);
+        s.serialize_i64(self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for CountedVal {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        i64::deserialize(d).map(CountedVal)
+    }
+}
+
+struct Pinger {
+    sum: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum PingMsg {
+    Ping {
+        x: CountedVal,
+        left: u32,
+        done: Future<i64>,
+    },
+}
+
+impl Chare for Pinger {
+    type Msg = PingMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Pinger { sum: 0 }
+    }
+    fn receive(&mut self, msg: PingMsg, ctx: &mut Ctx) {
+        let PingMsg::Ping { x, left, done } = msg;
+        self.sum += x.0;
+        if left > 0 {
+            // Self-send: same chare, same PE — must stay by-reference.
+            let me = ctx.this_elem::<Pinger>();
+            me.send(
+                ctx,
+                PingMsg::Ping {
+                    x: CountedVal(x.0),
+                    left: left - 1,
+                    done,
+                },
+            );
+        } else {
+            ctx.send_future(&done, self.sum);
+        }
+    }
+}
+
+const PINGS: u32 = 64;
+
+fn run_pings(rt: Runtime) -> charm_core::RunReport {
+    rt.register::<Pinger>().run(|co| {
+        let p = co.ctx().create_chare::<Pinger>((), Some(0));
+        let done = co.ctx().create_future::<i64>();
+        p.send(
+            co.ctx(),
+            PingMsg::Ping {
+                x: CountedVal(3),
+                left: PINGS,
+                done,
+            },
+        );
+        let total = co.get(&done);
+        assert_eq!(total, 3 * (PINGS as i64 + 1));
+        co.ctx().exit();
+    })
+}
+
+/// One test body (not several) because the encode counter is global: the
+/// phases must run sequentially to keep their deltas attributable.
+#[test]
+fn local_pings_never_encode_and_the_ablation_proves_the_counter() {
+    // Single PE: the main chare, the pinger and every self-send are local.
+    for fast in [true, false] {
+        for backend in [Backend::Threads, Backend::Sim(MachineModel::local(1))] {
+            let before = PING_ENCODES.load(Ordering::SeqCst);
+            let report = run_pings(Runtime::new(1).backend(backend).fast_paths(fast));
+            assert!(report.clean_exit);
+            assert_eq!(
+                PING_ENCODES.load(Ordering::SeqCst) - before,
+                0,
+                "fast={fast}: a same-PE ping was serialized"
+            );
+            // Logical accounting is unaffected by the payload shortcut.
+            assert!(report.msgs >= PINGS as u64);
+        }
+    }
+
+    // `same_pe_byref(false)` is the control: the same run must serialize
+    // every ping, proving the counter observes what it claims to.
+    let before = PING_ENCODES.load(Ordering::SeqCst);
+    let report = run_pings(
+        Runtime::new(1)
+            .backend(Backend::Sim(MachineModel::local(1)))
+            .same_pe_byref(false),
+    );
+    assert!(report.clean_exit);
+    assert!(
+        PING_ENCODES.load(Ordering::SeqCst) - before >= PINGS as usize,
+        "ablation did not serialize the pings"
+    );
+}
+
+#[test]
+fn fast_path_counters_are_zero_when_disabled() {
+    let report = run_pings(
+        Runtime::new(1)
+            .backend(Backend::Sim(MachineModel::local(1)))
+            .fast_paths(false),
+    );
+    for p in &report.pe_stats {
+        assert_eq!(p.inline_payloads, 0, "inlining ran while disabled");
+        assert_eq!(
+            p.dispatch_hits + p.dispatch_misses,
+            0,
+            "dispatch cache ran while disabled"
+        );
+    }
+}

@@ -62,6 +62,18 @@ pub struct PePerf {
     pub batches_sent: u64,
     /// Logical messages carried inside those batches.
     pub batch_msgs: u64,
+    /// Encode-scratch takes served from the per-PE envelope slab (the
+    /// `EncodePool` freelist) without allocating.
+    pub slab_hits: u64,
+    /// Encode-scratch takes that had to allocate a fresh buffer.
+    pub slab_misses: u64,
+    /// Payloads published inline inside the envelope (< 64 B), skipping
+    /// the shared allocation entirely.
+    pub inline_payloads: u64,
+    /// Entry-dispatch lookups served from the per-PE dispatch cache.
+    pub dispatch_hits: u64,
+    /// Entry-dispatch lookups that resolved through the registry.
+    pub dispatch_misses: u64,
     /// Events overwritten in the full-capture ring.
     pub events_dropped: u64,
 }
@@ -83,6 +95,28 @@ impl PePerf {
             0.0
         } else {
             self.batch_msgs as f64 / self.batches_sent as f64
+        }
+    }
+
+    /// Fraction of encode-scratch takes served by the envelope slab
+    /// without allocating (0 when the slab was never used).
+    pub fn slab_hit_rate(&self) -> f64 {
+        let total = self.slab_hits + self.slab_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.slab_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of entry-dispatch lookups served from the dispatch cache
+    /// (0 when dispatch never ran, e.g. dynamic mode or cache disabled).
+    pub fn dispatch_hit_rate(&self) -> f64 {
+        let total = self.dispatch_hits + self.dispatch_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dispatch_hits as f64 / total as f64
         }
     }
 }
@@ -330,7 +364,7 @@ impl TraceReport {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>4}  {:>12} {:>7} {:>7} {:>7}  {:>8} {:>8}  {:>12} {:>8} {:>6} {:>8}\n",
+            "{:>4}  {:>12} {:>7} {:>7} {:>7}  {:>8} {:>8}  {:>12} {:>8} {:>6} {:>6} {:>7} {:>6} {:>8}\n",
             "PE",
             "wall_ms",
             "busy%",
@@ -341,6 +375,9 @@ impl TraceReport {
             "rem_bytes",
             "batches",
             "occ",
+            "slab%",
+            "inline",
+            "disp%",
             "dropped"
         ));
         for t in &self.pes {
@@ -353,7 +390,7 @@ impl TraceReport {
                 }
             };
             out.push_str(&format!(
-                "{:>4}  {:>12.3} {:>7.1} {:>7.1} {:>7.1}  {:>8} {:>8}  {:>12} {:>8} {:>6.1} {:>8}\n",
+                "{:>4}  {:>12.3} {:>7.1} {:>7.1} {:>7.1}  {:>8} {:>8}  {:>12} {:>8} {:>6.1} {:>6.1} {:>7} {:>6.1} {:>8}\n",
                 p.pe,
                 p.wall_ns as f64 / 1e6,
                 pct(p.busy_ns),
@@ -364,6 +401,9 @@ impl TraceReport {
                 p.bytes_sent_remote,
                 p.batches_sent,
                 p.batch_occupancy(),
+                100.0 * p.slab_hit_rate(),
+                p.inline_payloads,
+                100.0 * p.dispatch_hit_rate(),
                 p.events_dropped,
             ));
         }
@@ -647,6 +687,30 @@ mod tests {
         assert!(text.contains("batches"));
         assert!(text.contains("occ"));
         assert!((rep.pes[0].perf.batch_occupancy() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_path_counters_summarize_and_rate() {
+        let mut rep = one_pe(Vec::new());
+        {
+            let p = &mut rep.pes[0].perf;
+            p.slab_hits = 90;
+            p.slab_misses = 10;
+            p.inline_payloads = 75;
+            p.dispatch_hits = 99;
+            p.dispatch_misses = 1;
+        }
+        let p = &rep.pes[0].perf;
+        assert!((p.slab_hit_rate() - 0.9).abs() < 1e-9);
+        assert!((p.dispatch_hit_rate() - 0.99).abs() < 1e-9);
+        let text = rep.summary();
+        assert!(text.contains("slab%"));
+        assert!(text.contains("inline"));
+        assert!(text.contains("disp%"));
+        assert!(text.contains("75"), "inline count appears in the row");
+        // Untouched blocks report 0, not NaN.
+        assert_eq!(PePerf::default().slab_hit_rate(), 0.0);
+        assert_eq!(PePerf::default().dispatch_hit_rate(), 0.0);
     }
 
     #[test]

@@ -331,6 +331,14 @@ impl PeTracer {
             stale_discarded: self.stale_discarded,
             batches_sent: self.batches_sent,
             batch_msgs: self.batch_msgs,
+            // Fast-path counters live in runtime-side structures (encode
+            // pool, dispatch cache); the scheduler assigns them onto the
+            // finished trace. Zero here keeps `finish` signature-stable.
+            slab_hits: 0,
+            slab_misses: 0,
+            inline_payloads: 0,
+            dispatch_hits: 0,
+            dispatch_misses: 0,
             events_dropped: dropped,
         };
         let entries = self

@@ -99,7 +99,11 @@ impl<T: Scalar> Buf<T> {
         // holds `len * size_of::<T>()` bytes; `T` is POD so any bit pattern
         // is a valid value; regions cannot overlap (fresh allocation).
         unsafe {
-            std::ptr::copy_nonoverlapping(bytes.as_ptr(), data.as_mut_ptr() as *mut u8, bytes.len());
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                data.as_mut_ptr() as *mut u8,
+                bytes.len(),
+            );
             data.set_len(len);
         }
         Some(Buf { data })
@@ -166,6 +170,20 @@ impl<'de, T: Scalar> Deserialize<'de> for Buf<T> {
     }
 }
 
+/// Largest payload (in bytes) representable inline inside a [`WireBytes`]
+/// handle itself, with no shared allocation behind it. Payloads strictly
+/// shorter than 64 bytes fit.
+pub const INLINE_CAP: usize = 63;
+
+/// Internal representation: a refcounted shared allocation (the general
+/// case, cheap fan-out clones) or a small fixed array stored directly in
+/// the handle (the per-message fast path, zero allocations).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+}
+
 /// An immutable, reference-counted encoded payload.
 ///
 /// Fan-out (broadcasts, section multicasts, collection creation) hands the
@@ -176,15 +194,23 @@ impl<'de, T: Scalar> Deserialize<'de> for Buf<T> {
 ///
 /// Whether two handles share one allocation is observable via
 /// [`WireBytes::ptr_eq`] — the zero-copy tests assert it.
+///
+/// Small payloads (< 64 B) built via [`WireBytes::inline`] skip the shared
+/// allocation entirely and live inside the handle — the runtime's
+/// per-message fast path. Inline handles clone by `memcpy` (still cheap at
+/// this size) and are never `ptr_eq` to anything.
 #[derive(Clone)]
 pub struct WireBytes {
-    data: Arc<[u8]>,
+    repr: Repr,
 }
 
 impl Default for WireBytes {
     fn default() -> WireBytes {
         WireBytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; INLINE_CAP],
+            },
         }
     }
 }
@@ -198,7 +224,9 @@ impl WireBytes {
     /// Take ownership of an encoded buffer. One exact-size shared
     /// allocation; the vector's storage is released.
     pub fn from_vec(v: Vec<u8>) -> WireBytes {
-        WireBytes { data: Arc::from(v) }
+        WireBytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
     }
 
     /// Copy `bytes` into a new exact-size shared allocation. This is the
@@ -206,47 +234,85 @@ impl WireBytes {
     /// the final bytes are published.
     pub fn copy_from_slice(bytes: &[u8]) -> WireBytes {
         WireBytes {
-            data: Arc::from(bytes),
+            repr: Repr::Shared(Arc::from(bytes)),
         }
+    }
+
+    /// Store `bytes` directly inside the handle with **zero** heap
+    /// allocations, when they fit ([`INLINE_CAP`]). Returns `None` for
+    /// larger payloads — callers fall back to [`copy_from_slice`].
+    ///
+    /// [`copy_from_slice`]: WireBytes::copy_from_slice
+    pub fn inline(bytes: &[u8]) -> Option<WireBytes> {
+        if bytes.len() > INLINE_CAP {
+            return None;
+        }
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Some(WireBytes {
+            repr: Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            },
+        })
+    }
+
+    /// Whether this payload is stored inline (no shared allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Length of the encoded payload.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.repr {
+            Repr::Shared(d) => d.len(),
+            Repr::Inline { len, .. } => *len as usize,
+        }
     }
 
     /// Whether the payload is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The encoded bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Shared(d) => d,
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+        }
     }
 
     /// Whether `a` and `b` share one allocation (no copy ever happened
-    /// between them).
+    /// between them). Inline payloads own no allocation, so they are never
+    /// `ptr_eq` — compare by value (`==`) instead.
     pub fn ptr_eq(a: &WireBytes, b: &WireBytes) -> bool {
-        Arc::ptr_eq(&a.data, &b.data)
+        match (&a.repr, &b.repr) {
+            (Repr::Shared(x), Repr::Shared(y)) => Arc::ptr_eq(x, y),
+            _ => false,
+        }
     }
 
     /// Number of live handles to this allocation (diagnostics/tests).
+    /// Inline payloads report 1: each handle is its own storage.
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.data)
+        match &self.repr {
+            Repr::Shared(d) => Arc::strong_count(d),
+            Repr::Inline { .. } => 1,
+        }
     }
 }
 
 impl Deref for WireBytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for WireBytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
@@ -264,7 +330,7 @@ impl From<&[u8]> for WireBytes {
 
 impl PartialEq for WireBytes {
     fn eq(&self, other: &WireBytes) -> bool {
-        WireBytes::ptr_eq(self, other) || self.data == other.data
+        WireBytes::ptr_eq(self, other) || self.as_slice() == other.as_slice()
     }
 }
 
@@ -272,12 +338,11 @@ impl Eq for WireBytes {}
 
 impl fmt::Debug for WireBytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "WireBytes({}B, {} refs)",
-            self.data.len(),
-            self.ref_count()
-        )
+        if self.is_inline() {
+            write!(f, "WireBytes({}B, inline)", self.len())
+        } else {
+            write!(f, "WireBytes({}B, {} refs)", self.len(), self.ref_count())
+        }
     }
 }
 
@@ -334,5 +399,42 @@ mod tests {
         let b = WireBytes::from_vec(b"abc".to_vec());
         assert!(!WireBytes::ptr_eq(&a, &b));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wirebytes_inline_fits_under_cap_only() {
+        let small = WireBytes::inline(b"hello").expect("5B fits inline");
+        assert!(small.is_inline());
+        assert_eq!(small.len(), 5);
+        assert_eq!(&small[..], b"hello");
+        assert_eq!(small.ref_count(), 1);
+        let edge = WireBytes::inline(&[7u8; INLINE_CAP]).expect("cap-size fits");
+        assert_eq!(edge.len(), INLINE_CAP);
+        assert!(WireBytes::inline(&[0u8; INLINE_CAP + 1]).is_none());
+    }
+
+    #[test]
+    fn wirebytes_inline_clones_and_compares_by_value() {
+        let a = WireBytes::inline(b"xyz").unwrap();
+        let c = a.clone();
+        // Inline handles own their bytes: clones are copies, never shares.
+        assert!(!WireBytes::ptr_eq(&a, &c));
+        assert_eq!(a, c);
+        // Value equality crosses representations.
+        let shared = WireBytes::copy_from_slice(b"xyz");
+        assert!(!shared.is_inline());
+        assert_eq!(a, shared);
+        assert_eq!(format!("{a:?}"), "WireBytes(3B, inline)");
+    }
+
+    #[test]
+    fn wirebytes_shared_constructors_stay_shared() {
+        // `from_vec`/`copy_from_slice` must keep producing the shared
+        // representation even for tiny inputs — fan-out paths rely on
+        // `ptr_eq` to observe one-allocation sharing.
+        let v = WireBytes::from_vec(vec![1, 2]);
+        let s = WireBytes::copy_from_slice(&[3]);
+        assert!(!v.is_inline() && !s.is_inline());
+        assert!(WireBytes::ptr_eq(&v, &v.clone()));
     }
 }

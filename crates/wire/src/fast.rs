@@ -25,11 +25,12 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 
 /// Encode `value` with the fast codec into a shared, refcounted payload.
 /// The transient encode goes through `pool`'s scratch buffer (reused across
-/// calls, so steady state pays no growth reallocation); the result is one
-/// exact-size shared allocation.
+/// calls, so steady state pays no growth reallocation); the result is
+/// published by the pool — inline for small payloads (zero allocations),
+/// one exact-size shared allocation otherwise.
 pub fn to_shared<T: Serialize + ?Sized>(pool: &mut EncodePool, value: &T) -> Result<WireBytes> {
     let mut scratch = pool.take();
-    let encoded = to_writer(&mut scratch, value).map(|()| WireBytes::copy_from_slice(&scratch));
+    let encoded = to_writer(&mut scratch, value).map(|()| pool.publish(&scratch));
     pool.put(scratch);
     encoded
 }
@@ -470,10 +471,16 @@ impl<'de> de::Deserializer<'de> for &mut FastDeserializer<'de> {
     }
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.get_len()?;
-        visitor.visit_seq(SeqAccess { de: self, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            left: len,
+        })
     }
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(SeqAccess { de: self, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            left: len,
+        })
     }
     fn deserialize_tuple_struct<V: Visitor<'de>>(
         self,
@@ -481,7 +488,10 @@ impl<'de> de::Deserializer<'de> for &mut FastDeserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value> {
-        visitor.visit_seq(SeqAccess { de: self, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            left: len,
+        })
     }
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.get_len()?;
@@ -597,7 +607,10 @@ impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'de, 'a> {
         seed.deserialize(self.de)
     }
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(SeqAccess { de: self.de, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self.de,
+            left: len,
+        })
     }
     fn struct_variant<V: Visitor<'de>>(
         self,

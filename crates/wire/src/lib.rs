@@ -22,7 +22,7 @@ pub mod pickle;
 pub mod pool;
 pub mod varint;
 
-pub use buffer::{Buf, Scalar, WireBytes};
+pub use buffer::{Buf, Scalar, WireBytes, INLINE_CAP};
 pub use error::{Result, WireError};
 pub use pool::EncodePool;
 

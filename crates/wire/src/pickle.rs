@@ -50,10 +50,11 @@ pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<
 }
 
 /// Encode `value` with the pickle codec into a shared, refcounted payload,
-/// serializing through `pool`'s reusable scratch buffer.
+/// serializing through `pool`'s reusable scratch buffer. The pool publishes
+/// the result: inline when small, one shared allocation otherwise.
 pub fn to_shared<T: Serialize + ?Sized>(pool: &mut EncodePool, value: &T) -> Result<WireBytes> {
     let mut scratch = pool.take();
-    let encoded = to_writer(&mut scratch, value).map(|()| WireBytes::copy_from_slice(&scratch));
+    let encoded = to_writer(&mut scratch, value).map(|()| pool.publish(&scratch));
     pool.put(scratch);
     encoded
 }
@@ -413,7 +414,10 @@ impl<'de> PickleDeserializer<'de> {
             }
             T_LIST => {
                 let len = self.get_u64()? as usize;
-                visitor.visit_seq(PSeqAccess { de: self, left: len })
+                visitor.visit_seq(PSeqAccess {
+                    de: self,
+                    left: len,
+                })
             }
             T_MAP => {
                 let len = self.get_u64()? as usize;

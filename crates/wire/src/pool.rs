@@ -19,6 +19,8 @@
 
 use std::cell::RefCell;
 
+use crate::buffer::WireBytes;
+
 /// Most scratch buffers retained per pool; excess buffers are dropped.
 pub const MAX_POOLED_BUFS: usize = 32;
 
@@ -27,21 +29,31 @@ pub const MAX_POOLED_BUFS: usize = 32;
 pub const MAX_POOLED_CAP: usize = 4 << 20;
 
 /// A freelist of encode scratch buffers with hit/miss accounting.
+///
+/// The freelist is the runtime's per-PE envelope slab: every encoded
+/// payload is serialized into a slab buffer, published (inline for small
+/// payloads, one shared allocation otherwise), and the buffer recycled.
+/// Slab hits/misses, inline-publish counts and encoded bytes are all
+/// accounted here and surfaced per PE in `PePerf`.
 pub struct EncodePool {
     free: Vec<Vec<u8>>,
     hits: u64,
     misses: u64,
     bytes: u64,
+    inline_count: u64,
+    inline_enabled: bool,
 }
 
 impl EncodePool {
-    /// An empty pool.
+    /// An empty pool (small-payload inlining enabled).
     pub const fn new() -> EncodePool {
         EncodePool {
             free: Vec::new(),
             hits: 0,
             misses: 0,
             bytes: 0,
+            inline_count: 0,
+            inline_enabled: true,
         }
     }
 
@@ -103,6 +115,38 @@ impl EncodePool {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publish encoded `bytes` as a [`WireBytes`] payload: inline (zero
+    /// allocations) when small and inlining is enabled, otherwise one
+    /// exact-size shared allocation. This is the single exit point of both
+    /// codecs' shared-encode paths, so the inline count here is the
+    /// authoritative per-pool tally.
+    pub fn publish(&mut self, bytes: &[u8]) -> WireBytes {
+        if self.inline_enabled {
+            if let Some(wb) = WireBytes::inline(bytes) {
+                self.inline_count += 1;
+                return wb;
+            }
+        }
+        WireBytes::copy_from_slice(bytes)
+    }
+
+    /// Payloads published inline (no `Arc`, no heap) through this pool.
+    pub fn inline_count(&self) -> u64 {
+        self.inline_count
+    }
+
+    /// Enable or disable small-payload inlining (on by default). The
+    /// runtime's fast-path toggle reaches here so an inlining-off run is
+    /// representation-identical to the pre-fast-path runtime.
+    pub fn set_inline(&mut self, enabled: bool) {
+        self.inline_enabled = enabled;
+    }
+
+    /// Whether small-payload inlining is enabled.
+    pub fn inline_enabled(&self) -> bool {
+        self.inline_enabled
+    }
 }
 
 impl Default for EncodePool {
@@ -155,6 +199,22 @@ mod tests {
             pool.put(Vec::with_capacity(8));
         }
         assert_eq!(pool.pooled(), MAX_POOLED_BUFS);
+    }
+
+    #[test]
+    fn publish_inlines_small_and_shares_large() {
+        let mut pool = EncodePool::new();
+        let small = pool.publish(&[1, 2, 3]);
+        assert!(small.is_inline());
+        let large = pool.publish(&[0u8; 200]);
+        assert!(!large.is_inline());
+        assert_eq!(pool.inline_count(), 1);
+
+        pool.set_inline(false);
+        let small_off = pool.publish(&[1, 2, 3]);
+        assert!(!small_off.is_inline(), "inlining off publishes shared");
+        assert_eq!(pool.inline_count(), 1, "disabled publishes don't count");
+        assert_eq!(small, small_off, "representation never changes the bytes");
     }
 
     #[test]
