@@ -18,6 +18,20 @@
 //! * **`blocking`** — no `std::thread::sleep` or blocking `Mutex`/`RwLock`
 //!   use inside entry-method execution paths (the scheduler files): entry
 //!   methods are asynchronous and must never block the PE.
+//! * **`nondeterminism`** — no `HashMap`/`HashSet` iteration-order
+//!   dependence (`.keys()`, `.values()`, `.drain()`, …) and no wall-clock
+//!   reads (`Instant::now`) in the scheduling-order-sensitive paths: the
+//!   PE scheduler, the run drivers, the model checker and the sim crate.
+//!   Anything that feeds message emission order or virtual time must be
+//!   sorted/key-ordered or virtual; every surviving site documents why its
+//!   order or time cannot leak into observable scheduling. (The scanner is
+//!   token-based: `for _ in &hash_map` evades it — the rule catches the
+//!   unambiguous accessor spellings, review catches the rest.)
+//!
+//! The workspace walk additionally audits annotations for staleness
+//! (**`stale-allow`**): a well-formed `analyze: allow(..)` that no longer
+//! suppresses anything is reported — as a warning by default, as a
+//! CI-failing finding under `charm-analyze --workspace --strict`.
 //!
 //! ## Annotation syntax
 //!
@@ -54,8 +68,14 @@ pub enum Rule {
     ForbidUnsafe,
     /// Blocking call inside entry-method execution paths.
     Blocking,
+    /// Hash-order iteration or wall-clock read in a scheduling-order-
+    /// sensitive path.
+    Nondeterminism,
     /// Malformed or unknown `analyze: allow(..)` annotation.
     Annotation,
+    /// Well-formed `analyze: allow(..)` that suppresses nothing (workspace
+    /// audit only; a warning unless `--strict`).
+    StaleAllow,
 }
 
 impl Rule {
@@ -66,17 +86,21 @@ impl Rule {
             Rule::PayloadCopy => "payload-copy",
             Rule::ForbidUnsafe => "unsafe",
             Rule::Blocking => "blocking",
+            Rule::Nondeterminism => "nondeterminism",
             Rule::Annotation => "annotation",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 
-    /// All enforceable rules (excludes the meta `annotation` rule).
-    pub fn all() -> [Rule; 4] {
+    /// All enforceable rules (excludes the meta `annotation` and
+    /// `stale-allow` rules, which fire on the annotations themselves).
+    pub fn all() -> [Rule; 5] {
         [
             Rule::Panic,
             Rule::PayloadCopy,
             Rule::ForbidUnsafe,
             Rule::Blocking,
+            Rule::Nondeterminism,
         ]
     }
 
@@ -95,7 +119,13 @@ impl Rule {
             Rule::Blocking => {
                 "no thread::sleep or blocking Mutex/RwLock in entry-method execution paths"
             }
+            Rule::Nondeterminism => {
+                "no hash-order iteration or Instant::now() in scheduling-order-sensitive paths"
+            }
             Rule::Annotation => "analyze: allow(..) annotations must be well-formed with a reason",
+            Rule::StaleAllow => {
+                "analyze: allow(..) annotations must suppress something (workspace audit; --strict)"
+            }
         }
     }
 }
@@ -148,6 +178,20 @@ pub const BLOCKING_SCOPE: &[&str] = &[
     "crates/core/src/chare.rs",
     "crates/core/src/coro.rs",
 ];
+
+/// Files subject to the `nondeterminism` rule: everything whose control
+/// flow decides message emission order or virtual time — the PE scheduler,
+/// the backend drivers, the model checker's controlled driver.
+pub const NONDET_SCOPE: &[&str] = &[
+    "crates/core/src/pe.rs",
+    "crates/core/src/runtime.rs",
+    "crates/core/src/check.rs",
+];
+
+/// Directory prefixes subject to the `nondeterminism` rule (the whole sim
+/// crate: a virtual-time engine must never consult hash order or the host
+/// clock).
+pub const NONDET_PREFIX: &[&str] = &["crates/sim/src/"];
 
 /// A source line after lexical masking: `code` has comments and string
 /// literals replaced by spaces (same length), `comment` holds the text of
@@ -354,7 +398,14 @@ fn parse_allows(comment: &str) -> Vec<Allow> {
 /// on the same line, or on the block of pure-comment lines directly above.
 /// Malformed annotations are reported into `out` (once, by the caller
 /// scanning every line's comments — this helper only answers coverage).
-fn allowed(lines: &[MaskedLine], idx: usize, rule: Rule) -> bool {
+/// A successful hit records the annotation's line in `used`, which feeds
+/// the stale-allow audit.
+fn allowed(
+    lines: &[MaskedLine],
+    idx: usize,
+    rule: Rule,
+    used: &mut std::collections::BTreeSet<usize>,
+) -> bool {
     // Scheduler trace hooks may index/probe state the surrounding dispatch
     // already validated; `allow(trace-hook, "...")` is an umbrella key that
     // suppresses the panic and blocking rules for such instrumentation
@@ -371,6 +422,7 @@ fn allowed(lines: &[MaskedLine], idx: usize, rule: Rule) -> bool {
         })
     };
     if hit(&lines[idx]) {
+        used.insert(idx);
         return true;
     }
     // Scan upward through pure-comment lines.
@@ -385,6 +437,7 @@ fn allowed(lines: &[MaskedLine], idx: usize, rule: Rule) -> bool {
             return false; // a blank line ends the comment block
         }
         if hit(l) {
+            used.insert(i);
             return true;
         }
     }
@@ -452,10 +505,11 @@ fn find_pattern(
     patterns: &[&str],
     what: &str,
     out: &mut Vec<Finding>,
+    used: &mut std::collections::BTreeSet<usize>,
 ) {
     for (i, l) in lines.iter().enumerate() {
         for pat in patterns {
-            if l.code.contains(pat) && !allowed(lines, i, rule) {
+            if l.code.contains(pat) && !allowed(lines, i, rule, used) {
                 out.push(Finding {
                     file: path.to_string(),
                     line: i + 1,
@@ -472,17 +526,20 @@ fn find_pattern(
     }
 }
 
-/// Apply all path-scoped rules to one source file. `path` must be
-/// workspace-relative with forward slashes.
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let lines = mask(src);
-    let mut out = Vec::new();
-    check_annotations(path, &lines, &mut out);
+/// Path-scoped source rules over pre-masked lines, recording which allow
+/// annotations earned their keep in `used`.
+fn scan_source(
+    path: &str,
+    lines: &[MaskedLine],
+    out: &mut Vec<Finding>,
+    used: &mut std::collections::BTreeSet<usize>,
+) {
+    check_annotations(path, lines, out);
 
     if PANIC_SCOPE.contains(&path) {
         find_pattern(
             path,
-            &lines,
+            lines,
             Rule::Panic,
             &[
                 ".unwrap()",
@@ -493,10 +550,11 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                 "unimplemented!(",
             ],
             "panicking construct in runtime hot path:",
-            &mut out,
+            out,
+            used,
         );
         for (i, l) in lines.iter().enumerate() {
-            if has_indexing(&l.code) && !allowed(&lines, i, Rule::Panic) {
+            if has_indexing(&l.code) && !allowed(lines, i, Rule::Panic, used) {
                 out.push(Finding {
                     file: path.to_string(),
                     line: i + 1,
@@ -523,14 +581,15 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
             Rule::PayloadCopy,
             &[".to_vec()", ".into_vec()", "Vec::from("],
             "deep copy of a byte buffer in payload-handling code:",
-            &mut out,
+            out,
+            used,
         );
     }
 
     if BLOCKING_SCOPE.contains(&path) {
         find_pattern(
             path,
-            &lines,
+            lines,
             Rule::Blocking,
             &[
                 "thread::sleep",
@@ -540,20 +599,56 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                 ".lock()",
             ],
             "blocking construct in entry-method execution path:",
-            &mut out,
+            out,
+            used,
         );
     }
 
+    if NONDET_SCOPE.contains(&path) || NONDET_PREFIX.iter().any(|p| path.starts_with(p)) {
+        // Same end-of-file test-module exemption as payload-copy: tests may
+        // read the wall clock and iterate hash maps freely.
+        let cut = lines
+            .iter()
+            .position(|l| l.code.trim() == "#[cfg(test)]")
+            .unwrap_or(lines.len());
+        find_pattern(
+            path,
+            &lines[..cut],
+            Rule::Nondeterminism,
+            &[
+                ".keys()",
+                ".into_keys()",
+                ".values()",
+                ".values_mut()",
+                ".into_values()",
+                ".drain()",
+                "Instant::now(",
+            ],
+            "hash-order iteration or wall-clock read in a scheduling-order-sensitive path:",
+            out,
+            used,
+        );
+    }
+}
+
+/// Apply all path-scoped rules to one source file. `path` must be
+/// workspace-relative with forward slashes. (No stale-allow audit — that
+/// needs the crate-root rule's usage too; see [`lint_file`].)
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lines = mask(src);
+    let mut out = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    scan_source(path, &lines, &mut out, &mut used);
     out
 }
 
-/// Check one crate root for the unsafe-code policy: `#![forbid(unsafe_code)]`
-/// passes; `#![deny(unsafe_code)]` passes only with an
-/// `analyze: allow(unsafe, "..")` annotation nearby (same or preceding
-/// comment lines); anything else is a finding.
-pub fn lint_crate_root(path: &str, src: &str) -> Vec<Finding> {
-    let lines = mask(src);
-    let mut out = Vec::new();
+/// The unsafe-code policy over pre-masked lines (see [`lint_crate_root`]).
+fn scan_crate_root(
+    path: &str,
+    lines: &[MaskedLine],
+    out: &mut Vec<Finding>,
+    used: &mut std::collections::BTreeSet<usize>,
+) {
     let mut forbid = false;
     let mut deny_line = None;
     for (i, l) in lines.iter().enumerate() {
@@ -568,7 +663,7 @@ pub fn lint_crate_root(path: &str, src: &str) -> Vec<Finding> {
     match (forbid, deny_line) {
         (true, _) => {}
         (false, Some(i)) => {
-            if !allowed(&lines, i, Rule::ForbidUnsafe) {
+            if !allowed(lines, i, Rule::ForbidUnsafe, used) {
                 out.push(Finding {
                     file: path.to_string(),
                     line: i + 1,
@@ -587,6 +682,53 @@ pub fn lint_crate_root(path: &str, src: &str) -> Vec<Finding> {
                 msg: "crate root lacks #![forbid(unsafe_code)] (or deny + documented exception)"
                     .to_string(),
             });
+        }
+    }
+}
+
+/// Check one crate root for the unsafe-code policy: `#![forbid(unsafe_code)]`
+/// passes; `#![deny(unsafe_code)]` passes only with an
+/// `analyze: allow(unsafe, "..")` annotation nearby (same or preceding
+/// comment lines); anything else is a finding.
+pub fn lint_crate_root(path: &str, src: &str) -> Vec<Finding> {
+    let lines = mask(src);
+    let mut out = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    scan_crate_root(path, &lines, &mut out, &mut used);
+    out
+}
+
+/// Lint one file completely: source rules, the crate-root rule when the
+/// file is a crate root, and the stale-allow audit — a well-formed,
+/// reasoned annotation that suppressed nothing across *all* rules is dead
+/// weight and gets a [`Rule::StaleAllow`] finding. (Malformed annotations
+/// already fire [`Rule::Annotation`] and are not double-reported.)
+pub fn lint_file(path: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
+    let lines = mask(src);
+    let mut out = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    scan_source(path, &lines, &mut out, &mut used);
+    if is_crate_root {
+        scan_crate_root(path, &lines, &mut out, &mut used);
+    }
+    let mut valid: Vec<&str> = Rule::all().iter().map(|r| r.key()).collect();
+    valid.push("trace-hook");
+    valid.push("recovery-hook");
+    for (i, l) in lines.iter().enumerate() {
+        for a in parse_allows(&l.comment) {
+            if a.has_reason && valid.contains(&a.rule.as_str()) && !used.contains(&i) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule: Rule::StaleAllow,
+                    msg: format!(
+                        "allow({}) suppresses nothing — the pattern is gone, the file is out of \
+                         the rule's scope, or the annotation drifted from the offending line; \
+                         remove it or move it back",
+                        a.rule
+                    ),
+                });
+            }
         }
     }
     out
@@ -617,11 +759,13 @@ fn rel(root: &Path, p: &Path) -> String {
 }
 
 /// Lint the whole workspace rooted at `root` (the directory holding the
-/// workspace `Cargo.toml`).
+/// workspace `Cargo.toml`). Every source file gets the path-scoped rules
+/// plus the stale-allow audit; crate roots (lib.rs, or main.rs for
+/// bin-only crates) additionally get the unsafe-code policy.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
 
-    // Path-scoped rules over every source under crates/*/src and src/.
+    // Every source under crates/*/src and src/.
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -637,12 +781,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         walk(&root_src, &mut files)?;
     }
     files.sort();
-    for f in &files {
-        let content = fs::read_to_string(f)?;
-        findings.extend(lint_source(&rel(root, f), &content));
-    }
 
-    // Crate-root rule: lib.rs (or main.rs for bin-only crates) of every
+    // Crate roots: lib.rs (or main.rs for bin-only crates) of every
     // workspace member plus the umbrella crate.
     let mut roots = Vec::new();
     if crates_dir.is_dir() {
@@ -663,10 +803,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     if root_src.join("lib.rs").is_file() {
         roots.push(root_src.join("lib.rs"));
     }
-    roots.sort();
-    for r in &roots {
-        let content = fs::read_to_string(r)?;
-        findings.extend(lint_crate_root(&rel(root, r), &content));
+
+    for f in &files {
+        let content = fs::read_to_string(f)?;
+        findings.extend(lint_file(&rel(root, f), &content, roots.contains(f)));
     }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -705,6 +845,16 @@ pub fn self_test_corpus() -> Vec<(Rule, &'static str, &'static str)> {
             Rule::Blocking,
             "crates/core/src/ctx.rs",
             "fn nap() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
+        ),
+        (
+            Rule::Nondeterminism,
+            "crates/core/src/runtime.rs",
+            "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n",
+        ),
+        (
+            Rule::Nondeterminism,
+            "crates/sim/src/queue.rs",
+            "fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
         ),
     ]
 }
@@ -751,6 +901,22 @@ pub fn self_test() -> Result<Vec<Finding>, Vec<Rule>> {
         .any(|f| f.rule == Rule::Panic)
     {
         missed.push(Rule::Annotation);
+    }
+    // Stale-allow audit: a dead annotation must be flagged by the full
+    // file lint, a load-bearing one must not.
+    let stale = "// analyze: allow(panic, \"there is no panic here any more\")\nfn fine() {}\n";
+    if !lint_file("crates/core/src/pe.rs", stale, false)
+        .iter()
+        .any(|f| f.rule == Rule::StaleAllow)
+    {
+        missed.push(Rule::StaleAllow);
+    }
+    let live = "fn hot(v: &[u8]) -> u8 {\n    // analyze: allow(panic, \"caller bounds-checks\")\n    v[0]\n}\n";
+    if lint_file("crates/core/src/pe.rs", live, false)
+        .iter()
+        .any(|f| f.rule == Rule::StaleAllow)
+    {
+        missed.push(Rule::StaleAllow);
     }
     if missed.is_empty() {
         Ok(all)

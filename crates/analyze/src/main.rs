@@ -1,10 +1,13 @@
 //! `charm-analyze` CLI.
 //!
 //! ```text
-//! charm-analyze --workspace [--root <path>]   lint the workspace tree
-//! charm-analyze --self-test                   seed synthetic violations
-//! charm-analyze --list-rules                  print the rule table
+//! charm-analyze --workspace [--root <path>] [--strict]   lint the tree
+//! charm-analyze --self-test                              seed synthetic violations
+//! charm-analyze --list-rules                             print the rule table
 //! ```
+//!
+//! Stale `analyze: allow(..)` annotations (well-formed but suppressing
+//! nothing) print as warnings; `--strict` promotes them to findings.
 //!
 //! Exit codes: 0 = clean, 1 = findings (for `--self-test`: every seeded
 //! violation was detected, i.e. the linter works — CI asserts exactly 1),
@@ -18,7 +21,9 @@ use std::process::ExitCode;
 use charm_analyze::{lint_workspace, self_test, Rule};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: charm-analyze --workspace [--root <path>] | --self-test | --list-rules");
+    eprintln!(
+        "usage: charm-analyze --workspace [--root <path>] [--strict] | --self-test | --list-rules"
+    );
     ExitCode::from(2)
 }
 
@@ -41,11 +46,13 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut mode = None;
     let mut root = None;
+    let mut strict = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => mode = Some("workspace"),
             "--self-test" => mode = Some("self-test"),
             "--list-rules" => mode = Some("list-rules"),
+            "--strict" => strict = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
@@ -62,6 +69,16 @@ fn main() -> ExitCode {
                 "{:<14} {}",
                 "trace-hook",
                 "allow-key for scheduler trace instrumentation: suppresses panic + blocking on the annotated line"
+            );
+            println!(
+                "{:<14} {}",
+                "recovery-hook",
+                "allow-key for fault-tolerance paths: suppresses panic + blocking on the annotated line"
+            );
+            println!(
+                "{:<14} {}",
+                "stale-allow",
+                "audit: allow(..) annotations that suppress nothing (warning; finding under --strict)"
             );
             ExitCode::SUCCESS
         }
@@ -93,16 +110,36 @@ fn main() -> ExitCode {
         Some("workspace") => {
             let root = find_root(root);
             match lint_workspace(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!("charm-analyze: workspace clean ({})", root.display());
-                    ExitCode::SUCCESS
-                }
                 Ok(findings) => {
-                    eprintln!("charm-analyze: {} finding(s):", findings.len());
-                    for f in &findings {
-                        eprintln!("  {f}");
+                    // Stale allows are advisory unless --strict promotes them.
+                    let (stale, errors): (Vec<_>, Vec<_>) = findings
+                        .into_iter()
+                        .partition(|f| f.rule == Rule::StaleAllow);
+                    if !stale.is_empty() && !strict {
+                        eprintln!(
+                            "charm-analyze: {} stale allow(s) (warnings; --strict fails on them):",
+                            stale.len()
+                        );
+                        for f in &stale {
+                            eprintln!("  {f}");
+                        }
                     }
-                    ExitCode::from(1)
+                    let mut fatal: Vec<_> = if strict {
+                        errors.into_iter().chain(stale).collect()
+                    } else {
+                        errors
+                    };
+                    fatal.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+                    if fatal.is_empty() {
+                        println!("charm-analyze: workspace clean ({})", root.display());
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("charm-analyze: {} finding(s):", fatal.len());
+                        for f in &fatal {
+                            eprintln!("  {f}");
+                        }
+                        ExitCode::from(1)
+                    }
                 }
                 Err(e) => {
                     eprintln!("charm-analyze: io error walking {}: {e}", root.display());

@@ -1,7 +1,7 @@
 //! Unit coverage for the lint engine: masking, annotations, each rule's
 //! positive and negative cases, and the in-memory self-test corpus.
 
-use charm_analyze::{lint_crate_root, lint_source, self_test, Rule};
+use charm_analyze::{lint_crate_root, lint_file, lint_source, self_test, Rule};
 
 const HOT: &str = "crates/core/src/pe.rs";
 
@@ -173,6 +173,94 @@ fn recovery_hook_is_a_known_key_but_needs_a_reason() {
 fn recovery_hook_does_not_suppress_payload_copy() {
     let src = "fn f(b: &WireBytes) -> Vec<u8> {\n    // analyze: allow(recovery-hook, \"not a recovery path at all\")\n    b.to_vec()\n}\n";
     assert!(rules(&lint_source("crates/wire/src/buffer.rs", src)).contains(&Rule::PayloadCopy));
+}
+
+#[test]
+fn nondeterminism_fires_on_hash_iteration_in_scope() {
+    let src = "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+    assert!(rules(&lint_source(HOT, src)).contains(&Rule::Nondeterminism));
+    assert!(rules(&lint_source("crates/sim/src/queue.rs", src)).contains(&Rule::Nondeterminism));
+}
+
+#[test]
+fn nondeterminism_fires_on_wall_clock_in_scope() {
+    let src = "fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    assert!(rules(&lint_source(HOT, src)).contains(&Rule::Nondeterminism));
+}
+
+#[test]
+fn nondeterminism_outside_scope_is_ignored() {
+    let src = "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+    assert!(lint_source("crates/apps/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn nondeterminism_exempts_test_modules() {
+    let src = concat!(
+        "fn prod() {}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn t(m: &std::collections::HashMap<u32, u32>) -> usize { m.keys().count() }\n",
+        "}\n"
+    );
+    assert!(lint_source(HOT, src).is_empty());
+}
+
+#[test]
+fn nondeterminism_allow_suppresses() {
+    let src = "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    // analyze: allow(nondeterminism, \"hash order erased by the sort below\")\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}\n";
+    assert!(lint_source(HOT, src).is_empty());
+}
+
+#[test]
+fn vec_drain_with_range_does_not_fire() {
+    // Vec::drain takes a range; only the argless map/set form is flagged.
+    let src = "fn f(v: &mut Vec<u8>) -> Vec<u8> {\n    v.drain(..).collect()\n}\n";
+    assert!(lint_source(HOT, src).is_empty());
+}
+
+#[test]
+fn stale_allow_is_flagged_by_lint_file() {
+    // Well-formed, reasoned, known key — but nothing on the line (or below)
+    // for it to suppress.
+    let src = "// analyze: allow(panic, \"stale: the unwrap was refactored away\")\nfn f() -> u32 {\n    1\n}\n";
+    let got = lint_file(HOT, src, false);
+    assert!(rules(&got).contains(&Rule::StaleAllow));
+}
+
+#[test]
+fn used_allow_is_not_stale() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // analyze: allow(panic, \"checked by caller\")\n    x.unwrap()\n}\n";
+    let got = lint_file(HOT, src, false);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn stale_allow_out_of_rule_scope_is_flagged() {
+    // The pattern is present, but the file is outside the rule's scope, so
+    // the allow suppresses nothing there.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // analyze: allow(panic, \"checked by caller\")\n    x.unwrap()\n}\n";
+    let got = lint_file("crates/apps/src/lib.rs", src, false);
+    assert!(rules(&got).contains(&Rule::StaleAllow));
+}
+
+#[test]
+fn unsafe_allow_counts_as_used_on_crate_root() {
+    let src = "// analyze: allow(unsafe, \"FFI shim for page-locked buffers\")\n#![deny(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_file("crates/x/src/lib.rs", src, true).is_empty());
+    // But the same annotation on a non-root file suppresses nothing.
+    let got = lint_file("crates/x/src/other.rs", src, false);
+    assert!(rules(&got).contains(&Rule::StaleAllow));
+}
+
+#[test]
+fn malformed_allow_is_not_reported_stale() {
+    // Missing reason already yields an Annotation finding; it must not ALSO
+    // be double-reported as stale.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyze: allow(panic)\n}\n";
+    let got = lint_file(HOT, src, false);
+    assert!(rules(&got).contains(&Rule::Annotation));
+    assert!(!rules(&got).contains(&Rule::StaleAllow));
 }
 
 #[test]

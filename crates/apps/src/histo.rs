@@ -239,7 +239,11 @@ pub fn run_histo(params: HistoParams, rt: Runtime) -> HistoResult {
         *out2.lock().unwrap() = Some(co.get(&done));
         co.ctx().exit();
     });
-    let gathered = out.lock().unwrap().take().expect("histo produced no result");
+    let gathered = out
+        .lock()
+        .unwrap()
+        .take()
+        .expect("histo produced no result");
     let RedData::Gather(items) = gathered else {
         panic!("expected gathered summaries");
     };
@@ -266,7 +270,11 @@ pub fn run_histo(params: HistoParams, rt: Runtime) -> HistoResult {
         total_keys: total,
         key_sum,
         sorted,
-        imbalance: if avg > 0.0 { max_share as f64 / avg } else { 1.0 },
+        imbalance: if avg > 0.0 {
+            max_share as f64 / avg
+        } else {
+            1.0
+        },
         report,
     }
 }

@@ -250,9 +250,7 @@ impl Chare for CellChare {
                     self.begin_step(ctx);
                 }
             }
-            CellMsg::Forces {
-                forces, energy, ..
-            } => {
+            CellMsg::Forces { forces, energy, .. } => {
                 assert_eq!(
                     forces.len(),
                     self.particles.len(),
@@ -404,8 +402,7 @@ pub fn run_charm(params: MdParams, mut rt: Runtime) -> MdResult {
     let p2 = params.clone();
     let placement = rt.add_placement(move |ix, npes| {
         let v = ix.coords();
-        let lin =
-            (v[0] as usize * p2.cells[1] + v[1] as usize) * p2.cells[2] + v[2] as usize;
+        let lin = (v[0] as usize * p2.cells[1] + v[1] as usize) * p2.cells[2] + v[2] as usize;
         (lin * npes) / p2.num_cells().max(1)
     });
     let out: MdOut = Arc::new(Mutex::new(None));

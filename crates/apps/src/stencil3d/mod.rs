@@ -99,8 +99,8 @@ impl StencilParams {
 pub fn init_value(gx: usize, gy: usize, gz: usize) -> f64 {
     // A mix of low-frequency structure and index hash, so errors anywhere
     // shift the checksum.
-    let h = (gx.wrapping_mul(73856093) ^ gy.wrapping_mul(19349663) ^ gz.wrapping_mul(83492791))
-        % 1000;
+    let h =
+        (gx.wrapping_mul(73856093) ^ gy.wrapping_mul(19349663) ^ gz.wrapping_mul(83492791)) % 1000;
     (h as f64) / 100.0 + ((gx + 2 * gy + 3 * gz) % 7) as f64
 }
 

@@ -47,7 +47,10 @@ fn rank_main(params: &StencilParams, rank: &mut Rank<'_>, out: &Mutex<Option<(f6
                 coords[2] as i64 + o[2] as i64,
             ];
             if (0..3).all(|d| n[d] >= 0 && n[d] < dims[d] as i64) {
-                Some((f, rank_of([n[0] as usize, n[1] as usize, n[2] as usize], dims)))
+                Some((
+                    f,
+                    rank_of([n[0] as usize, n[1] as usize, n[2] as usize], dims),
+                ))
             } else {
                 None
             }

@@ -51,11 +51,15 @@ fn energy_is_finite_and_motion_happens() {
 fn deterministic_across_runs() {
     let run = || {
         let r = run_charm(MdParams::small(), sim_rt(4));
-        (r.particles, r.kinetic.to_bits(), [
-            r.momentum[0].to_bits(),
-            r.momentum[1].to_bits(),
-            r.momentum[2].to_bits(),
-        ])
+        (
+            r.particles,
+            r.kinetic.to_bits(),
+            [
+                r.momentum[0].to_bits(),
+                r.momentum[1].to_bits(),
+                r.momentum[2].to_bits(),
+            ],
+        )
     };
     assert_eq!(run(), run());
 }
@@ -66,19 +70,13 @@ fn pe_count_does_not_change_physics() {
     let k4 = run_charm(MdParams::small(), sim_rt(4)).kinetic;
     // Same reduction tree ordering is not guaranteed across PE counts, so
     // allow FP-roundoff-level differences only.
-    assert!(
-        (k1 - k4).abs() < 1e-9 * (1.0 + k1.abs()),
-        "{k1} vs {k4}"
-    );
+    assert!((k1 - k4).abs() < 1e-9 * (1.0 + k1.abs()), "{k1} vs {k4}");
 }
 
 #[test]
 fn dynamic_dispatch_same_physics() {
     let native = run_charm(MdParams::small(), sim_rt(2));
-    let dynamic = run_charm(
-        MdParams::small(),
-        sim_rt(2).dispatch(DispatchMode::Dynamic),
-    );
+    let dynamic = run_charm(MdParams::small(), sim_rt(2).dispatch(DispatchMode::Dynamic));
     assert_eq!(native.particles, dynamic.particles);
     assert!((native.kinetic - dynamic.kinetic).abs() < 1e-12);
 }

@@ -83,7 +83,12 @@ fn charm_and_mpi_agree_threads_backend() {
     let params = StencilParams::new([12, 6, 6], [2, 1, 3], 8);
     let a = run_charm(params.clone(), Runtime::new(3));
     let b = run_mpi(params, Runtime::new(6));
-    assert!(close(a.checksum, b.checksum), "{:?} vs {:?}", a.checksum, b.checksum);
+    assert!(
+        close(a.checksum, b.checksum),
+        "{:?} vs {:?}",
+        a.checksum,
+        b.checksum
+    );
 }
 
 #[test]
@@ -107,10 +112,7 @@ fn single_chare_degenerate_case() {
 fn dynamic_dispatch_same_physics() {
     let params = StencilParams::new([8, 8, 8], [2, 2, 2], 5);
     let native = run_charm(params.clone(), sim_rt(4));
-    let dynamic = run_charm(
-        params,
-        sim_rt(4).dispatch(DispatchMode::Dynamic),
-    );
+    let dynamic = run_charm(params, sim_rt(4).dispatch(DispatchMode::Dynamic));
     assert!(
         close(native.checksum, dynamic.checksum),
         "dispatch mode must not change results"
@@ -128,16 +130,17 @@ fn load_balancing_preserves_results() {
         p.imbalance = None;
         reference_checksum(&p)
     };
-    let got = run_charm(
-        params,
-        sim_rt(4).lb_strategy(Arc::new(GreedyLb)),
-    );
+    let got = run_charm(params, sim_rt(4).lb_strategy(Arc::new(GreedyLb)));
     assert!(
         close(got.checksum, want),
         "LB run {:?} vs reference {want:?}",
         got.checksum
     );
-    assert!(got.report.lb_epochs >= 2, "expected LB epochs, got {}", got.report.lb_epochs);
+    assert!(
+        got.report.lb_epochs >= 2,
+        "expected LB epochs, got {}",
+        got.report.lb_epochs
+    );
     assert!(got.report.migrations > 0);
 }
 
@@ -197,11 +200,8 @@ fn weak_scaling_time_roughly_flat_in_virtual_time() {
         // noise.
         (0..3)
             .map(|_| {
-                let params = StencilParams::new(
-                    [8 * chares[0], 8 * chares[1], 8 * chares[2]],
-                    chares,
-                    10,
-                );
+                let params =
+                    StencilParams::new([8 * chares[0], 8 * chares[1], 8 * chares[2]], chares, 10);
                 run_charm(
                     params,
                     Runtime::new(npes).backend(Backend::Sim(MachineModel::local(npes))),

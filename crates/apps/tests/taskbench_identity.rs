@@ -10,8 +10,8 @@
 
 #![cfg(feature = "analyze")]
 
-use charm_apps::taskbench::{expected, run_taskbench, Pattern, TaskBenchParams};
-use charm_core::{AggCfg, Backend, Runtime};
+use charm_apps::taskbench::{expected, run_taskbench, Pattern, TaskBenchParams, TaskCol, TaskMsg};
+use charm_core::{AggCfg, Backend, CheckCfg, RedData, Runtime};
 use charm_sim::MachineModel;
 
 const NPES: usize = 4;
@@ -73,4 +73,65 @@ fn taskbench_fast_paths_bit_identical_across_patterns_schedules_aggregation() {
             }
         }
     }
+}
+
+/// Schedule coverage, upgraded from sampling to proof for one
+/// configuration: where the identity test above samples ≥16 permuted
+/// schedules per pattern, `Runtime::check` explores *every* delivery
+/// interleaving of a tiny trivial-pattern grid on 2 PEs up to
+/// happens-before equivalence (DESIGN.md §11), fast paths on, detector
+/// armed. The entry asserts the reduction result against the sequential
+/// oracle, so any schedule-dependent checksum is a counterexample;
+/// `truncated == false` means the whole space was covered.
+#[test]
+fn taskbench_trivial_is_clean_under_exhaustive_exploration() {
+    const CHECK_NPES: usize = 2;
+    let params = TaskBenchParams {
+        pattern: Pattern::Trivial,
+        width: CHECK_NPES as u32,
+        steps: 2,
+        grain_ns: 0,
+        fanout: 1,
+        seed: 3,
+    };
+    let (oracle_sum, oracle_tasks) = expected(&params);
+
+    let rt = Runtime::new(CHECK_NPES)
+        .backend(Backend::Sim(MachineModel::local(CHECK_NPES)))
+        .meter_compute(false)
+        .fast_paths(true)
+        .register::<TaskCol>();
+    let report = rt.check(
+        CheckCfg {
+            max_executions: 200_000,
+            ..CheckCfg::default()
+        },
+        move |co| {
+            let arr = co
+                .ctx()
+                .create_array::<TaskCol>(&[params.width as i32], params.clone());
+            let done = co.ctx().create_future::<RedData>();
+            arr.send(co.ctx(), TaskMsg::Start { done });
+            assert_eq!(
+                co.get(&done),
+                RedData::VecI64(vec![oracle_sum, oracle_tasks as i64]),
+                "taskbench result is schedule-dependent"
+            );
+            co.ctx().exit();
+        },
+    );
+    assert!(
+        !report.truncated,
+        "taskbench exploration did not exhaust the space in {} executions",
+        report.executions
+    );
+    assert!(
+        report.counterexample.is_none(),
+        "taskbench produced a counterexample: {:?}",
+        report.counterexample
+    );
+    println!(
+        "taskbench trivial: {} executions over {} equivalence classes",
+        report.executions, report.equivalence_classes
+    );
 }

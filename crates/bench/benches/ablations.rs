@@ -74,10 +74,7 @@ struct BarrierBounce {
 
 #[derive(Serialize, Deserialize)]
 enum BounceMsg {
-    Start {
-        rounds: u32,
-        done: Future<i64>,
-    },
+    Start { rounds: u32, done: Future<i64> },
 }
 
 const TAG_ROUND: u32 = 1;
@@ -95,7 +92,9 @@ impl Chare for BarrierBounce {
         let BounceMsg::Start { rounds, done } = msg;
         self.left = rounds;
         self.done = Some(done);
-        let target = ctx.this_proxy::<BarrierBounce>().reduction_target(TAG_ROUND);
+        let target = ctx
+            .this_proxy::<BarrierBounce>()
+            .reduction_target(TAG_ROUND);
         ctx.contribute_barrier(target);
     }
     fn reduced(&mut self, _tag: u32, _data: RedData, ctx: &mut Ctx) {
@@ -107,7 +106,9 @@ impl Chare for BarrierBounce {
             }
             return;
         }
-        let target = ctx.this_proxy::<BarrierBounce>().reduction_target(TAG_ROUND);
+        let target = ctx
+            .this_proxy::<BarrierBounce>()
+            .reduction_target(TAG_ROUND);
         ctx.contribute_barrier(target);
     }
 }

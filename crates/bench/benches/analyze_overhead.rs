@@ -97,7 +97,13 @@ fn fan_in_run() {
                 let sink = co.ctx().create_chare::<Sink>((), Some(0));
                 let group = co.ctx().create_group::<Spray>(());
                 let done = co.ctx().create_future::<i64>();
-                group.send(co.ctx(), SprayMsg::Go { sink, per_pe: PER_PE });
+                group.send(
+                    co.ctx(),
+                    SprayMsg::Go {
+                        sink,
+                        per_pe: PER_PE,
+                    },
+                );
                 sink.send(
                     co.ctx(),
                     SinkMsg::WhenDone {

@@ -68,7 +68,9 @@ fn codec_benches(c: &mut Criterion) {
 
 fn varint_benches(c: &mut Criterion) {
     c.bench_function("varint_roundtrip_mixed", |b| {
-        let values: Vec<u64> = (0..256).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let values: Vec<u64> = (0..256)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         b.iter(|| {
             let mut buf = Vec::with_capacity(2600);
             for &v in &values {
@@ -94,16 +96,12 @@ fn fanout_benches(c: &mut Criterion) {
     let payload: Vec<u8> = vec![0xA5; 16 * 1024];
     for members in [8usize, 64] {
         g.throughput(Throughput::Bytes((payload.len() * members) as u64));
-        g.bench_with_input(
-            BenchmarkId::new("deep_copy", members),
-            &members,
-            |b, &m| {
-                b.iter(|| {
-                    let fan: Vec<Vec<u8>> = (0..m).map(|_| payload.clone()).collect();
-                    std::hint::black_box(fan)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("deep_copy", members), &members, |b, &m| {
+            b.iter(|| {
+                let fan: Vec<Vec<u8>> = (0..m).map(|_| payload.clone()).collect();
+                std::hint::black_box(fan)
+            })
+        });
         g.bench_with_input(BenchmarkId::new("shared", members), &members, |b, &m| {
             let shared = WireBytes::from_vec(payload.clone());
             b.iter(|| {
@@ -148,7 +146,10 @@ impl Chare for DrainGate {
     type Msg = DrainMsg;
     type Init = ();
     fn create(_: (), _: &mut Ctx) -> Self {
-        DrainGate { open: false, acc: 0 }
+        DrainGate {
+            open: false,
+            acc: 0,
+        }
     }
     fn guard(&self, msg: &DrainMsg) -> bool {
         match msg {

@@ -1,0 +1,47 @@
+//! # charm-check — systematic schedule exploration for charm-rs
+//!
+//! The runtime's message-driven execution model makes the delivery schedule
+//! *the* source of nondeterminism: any interleaving of in-flight messages
+//! that respects per-channel FIFO order is a legal execution. The
+//! detector-armed suites (charm-core's `analyze` feature) sample a handful
+//! of random permutations per test; this crate replaces sampling with
+//! *systematic* exploration — every interleaving up to happens-before
+//! equivalence — using stateless dynamic partial-order reduction (DPOR,
+//! Flanagan & Godefroid, POPL 2005) adapted to actor message passing:
+//!
+//! * a **transition** is "deliver the head message of channel `(src, dst)`";
+//!   per-channel FIFO means channel heads are the only schedulable units;
+//! * two transitions are **dependent** iff they deliver to the same PE
+//!   (handlers on one PE run sequentially and may touch shared chare state);
+//! * **happens-before** comes from the vector clocks the analyze Detector
+//!   already maintains: a delivery `d` at PE `p` happens-before the send of
+//!   message `m` iff `send_clock(m)[p] >= clock_after(d)[p]`. Racing
+//!   same-PE deliveries that are *not* HB-ordered seed backtrack points;
+//! * **sleep sets** prune executions that only permute independent steps;
+//! * a **delay bound** (sum of how far each decision sits from the default
+//!   schedule) gives graceful degradation on configs too large to exhaust.
+//!
+//! The crate is runtime-agnostic: the explorer drives any closure
+//! `FnMut(&[Chan]) -> Execution` that replays a prescribed channel-choice
+//! prefix and reports what happened (`charm-core` wires this to the sim
+//! backend behind `Runtime::check`). On failure a delta-debugging shrinker
+//! ([`shrink`]) minimizes the offending schedule, and [`Schedule`] writes a
+//! plain-text replay artifact reproducible bit-identically via
+//! `Runtime::replay_schedule`.
+//!
+//! Dependency-free and std-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod schedule;
+pub mod shrink;
+
+pub use explore::{explore, Counterexample, Execution, ExploreCfg, Report, StepInfo};
+pub use schedule::Schedule;
+pub use shrink::ddmin;
+
+/// A delivery channel: an ordered `(source PE, destination PE)` pair.
+/// Messages within one channel are FIFO; the schedule decides only the
+/// interleaving *across* channels.
+pub type Chan = (usize, usize);

@@ -1,0 +1,178 @@
+//! Replay artifacts: a failing schedule serialized as plain text.
+//!
+//! Format (line-oriented, `#` comments ignored):
+//!
+//! ```text
+//! charm-check v1
+//! npes 2
+//! note detector: fifo violation on pe 1
+//! 0 1
+//! 1 0
+//! ```
+//!
+//! Header lines are `key value`; every following non-comment line is one
+//! scheduling decision `src dst` — "deliver the head message of channel
+//! (src, dst) now". Replay uses skip-if-disabled semantics, then extends
+//! with the default schedule, so an artifact stays meaningful even if the
+//! program under replay drifts slightly.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::Chan;
+
+/// Version tag written to (and required from) every artifact.
+const MAGIC: &str = "charm-check v1";
+
+/// A serializable schedule: the replay artifact for one counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// PE count the schedule was recorded against.
+    pub npes: usize,
+    /// Free-text provenance (typically the failure message).
+    pub note: String,
+    /// Ordered channel decisions.
+    pub choices: Vec<Chan>,
+}
+
+impl Schedule {
+    /// Render to the artifact text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(out, "npes {}", self.npes);
+        if !self.note.is_empty() {
+            // Notes are single-line; fold any embedded newlines.
+            let _ = writeln!(out, "note {}", self.note.replace('\n', " / "));
+        }
+        for (src, dst) in &self.choices {
+            let _ = writeln!(out, "{src} {dst}");
+        }
+        out
+    }
+
+    /// Parse the artifact text format.
+    pub fn from_text(text: &str) -> Result<Schedule, String> {
+        let mut lines = text.lines().map(str::trim);
+        match lines.next() {
+            Some(l) if l == MAGIC => {}
+            other => return Err(format!("bad schedule header: {other:?}, want {MAGIC:?}")),
+        }
+        let mut npes = 0usize;
+        let mut note = String::new();
+        let mut choices = Vec::new();
+        for line in lines {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("npes ") {
+                npes = rest
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad npes line {line:?}: {e}"))?;
+            } else if let Some(rest) = line.strip_prefix("note ") {
+                note = rest.to_string();
+            } else {
+                let mut it = line.split_whitespace();
+                let (src, dst) = (it.next(), it.next());
+                match (src, dst, it.next()) {
+                    (Some(s), Some(d), None) => {
+                        let src: usize =
+                            s.parse().map_err(|e| format!("bad src in {line:?}: {e}"))?;
+                        let dst: usize =
+                            d.parse().map_err(|e| format!("bad dst in {line:?}: {e}"))?;
+                        choices.push((src, dst));
+                    }
+                    _ => return Err(format!("bad decision line {line:?}, want \"src dst\"")),
+                }
+            }
+        }
+        if npes == 0 {
+            return Err("schedule missing `npes` header".into());
+        }
+        Ok(Schedule {
+            npes,
+            note,
+            choices,
+        })
+    }
+
+    /// Write the artifact to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Load an artifact from `path`.
+    pub fn load(path: &Path) -> io::Result<Schedule> {
+        let text = std::fs::read_to_string(path)?;
+        Schedule::from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let s = Schedule {
+            npes: 4,
+            note: "detector: duplicate delivery on pe 2".into(),
+            choices: vec![(0, 1), (3, 2), (1, 0)],
+        };
+        let parsed = Schedule::from_text(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn round_trips_empty_note_and_choices() {
+        let s = Schedule {
+            npes: 2,
+            note: String::new(),
+            choices: vec![],
+        };
+        assert_eq!(Schedule::from_text(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn folds_multiline_notes() {
+        let s = Schedule {
+            npes: 2,
+            note: "line one\nline two".into(),
+            choices: vec![(1, 0)],
+        };
+        let parsed = Schedule::from_text(&s.to_text()).unwrap();
+        assert_eq!(parsed.note, "line one / line two");
+        assert_eq!(parsed.choices, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Schedule::from_text("not a schedule").is_err());
+        assert!(Schedule::from_text("charm-check v1\n0 1").is_err()); // no npes
+        assert!(Schedule::from_text("charm-check v1\nnpes 2\n0 1 2").is_err());
+    }
+
+    #[test]
+    fn ignores_comments_and_blanks() {
+        let text = "charm-check v1\nnpes 2\n\n# a comment\n0 1\n";
+        let s = Schedule::from_text(text).unwrap();
+        assert_eq!(s.choices, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("charm-check-test-artifact");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sched.txt");
+        let s = Schedule {
+            npes: 3,
+            note: "x".into(),
+            choices: vec![(2, 0), (0, 2)],
+        };
+        s.save(&path).unwrap();
+        assert_eq!(Schedule::load(&path).unwrap(), s);
+        let _ = std::fs::remove_file(&path);
+    }
+}

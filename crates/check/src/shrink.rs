@@ -1,0 +1,97 @@
+//! Delta-debugging minimization of failing schedules.
+//!
+//! Classic ddmin (Zeller & Hildebrandt, "Simplifying and Isolating
+//! Failure-Inducing Input", TSE 2002) over the sequence of channel
+//! decisions, followed by a one-at-a-time sweep. Replay uses
+//! skip-if-disabled semantics (a prescribed channel with no pending
+//! message is skipped, remaining decisions shift up), so *any* subsequence
+//! of a failing schedule is itself a well-defined schedule — exactly the
+//! closure property ddmin needs.
+
+/// Minimize `seq` while `test` keeps failing (returning `true`).
+///
+/// `test(&[])` is tried first: if the failure reproduces with no prescribed
+/// decisions at all (i.e. on the default schedule), the empty schedule is
+/// returned. The result is 1-minimal with respect to single-element
+/// removal.
+pub fn ddmin<T: Clone + PartialEq>(seq: &[T], mut test: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = seq.to_vec();
+    if cur.is_empty() || test(&[]) {
+        return Vec::new();
+    }
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let candidate: Vec<T> = cur[..start].iter().chain(&cur[end..]).cloned().collect();
+            if !candidate.is_empty() && test(&candidate) {
+                cur = candidate;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    // Final sweep: drop single decisions until 1-minimal.
+    let mut i = 0;
+    while cur.len() > 1 && i < cur.len() {
+        let mut candidate = cur.clone();
+        candidate.remove(i);
+        if test(&candidate) {
+            cur = candidate;
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_failure_core() {
+        // Failure iff both 3 and 7 are present, in that relative order.
+        let seq: Vec<u32> = (0..20).collect();
+        let test = |s: &[u32]| {
+            let a = s.iter().position(|&x| x == 3);
+            let b = s.iter().position(|&x| x == 7);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        };
+        let out = ddmin(&seq, test);
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn empty_when_default_fails() {
+        let out = ddmin(&[1, 2, 3], |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element_kept() {
+        let out = ddmin(&[5, 6, 8], |s: &[i32]| s.contains(&6));
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure iff the subsequence sums to >= 10.
+        let seq = vec![4, 4, 4, 4];
+        let out = ddmin(&seq, |s: &[i32]| s.iter().sum::<i32>() >= 10);
+        assert_eq!(out.iter().sum::<i32>(), 12);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -236,6 +236,15 @@ impl Detector {
         self.executing.remove(id);
     }
 
+    /// This PE's current vector clock. The model checker snapshots it after
+    /// every delivery: the post-handler clock is both the delivery event's
+    /// clock and the send clock of every envelope the handler emitted
+    /// (handlers are atomic transitions, so emit-time granularity finer
+    /// than the handler would claim concurrency no schedule can realize).
+    pub fn clock(&self) -> &[u64] {
+        &self.clock
+    }
+
     /// Send/deliver accounting for the end-of-run balance check:
     /// `(sent ids, delivered ids)`.
     pub fn summary(&self) -> (Vec<u64>, Vec<u64>) {

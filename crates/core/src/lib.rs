@@ -39,6 +39,8 @@
 #[cfg(feature = "analyze")]
 pub mod analyze;
 pub mod chare;
+#[cfg(feature = "analyze")]
+pub mod check;
 pub mod checkpoint;
 pub mod collections;
 pub mod coro;
@@ -55,6 +57,11 @@ pub mod runtime;
 pub mod tree;
 
 pub use chare::{Chare, MsgGuard, Registry};
+#[cfg(feature = "analyze")]
+pub use check::{CheckCfg, CheckCounterexample, CheckOracle, CheckReport, ReplayOutcome};
+// The schedule-artifact type round-trips between `check` and user code.
+#[cfg(feature = "analyze")]
+pub use charm_check::Schedule;
 pub use checkpoint::{CkptError, Store};
 pub use collections::Placement;
 pub use coro::Co;

@@ -507,6 +507,12 @@ impl EnvKind {
                 data: data.clone(),
                 root: *root,
             }),
+            // The mutation build lets the fault injector duplicate
+            // checkpoint acks: the pre-fix network layer drew no
+            // app/control distinction, which is how the stray-ack panic
+            // was reachable. Test-only; never compiled by default.
+            #[cfg(feature = "mutation-ckptack")]
+            EnvKind::CkptAck { saved } => Some(EnvKind::CkptAck { saved: *saved }),
             _ => None,
         }
     }

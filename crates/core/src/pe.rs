@@ -965,6 +965,7 @@ impl PeState {
     fn local_members(&self, coll: CollectionId) -> Vec<ChareId> {
         let mut v: Vec<ChareId> = self
             .chares
+            // analyze: allow(nondeterminism, "hash order erased by the sort below")
             .keys()
             .filter(|id| id.coll == coll)
             .copied()
@@ -1251,6 +1252,7 @@ impl PeState {
         } else {
             0
         };
+        // analyze: allow(nondeterminism, "metering clock: metered_ns() discards it on the deterministic sim (meter off), so wall time never reaches virtual time there")
         let t0 = Instant::now();
         let ekind = match &what {
             Invoke::Entry(..) => EntryKind::Receive,
@@ -1324,6 +1326,7 @@ impl PeState {
     /// Meter a closure's real time and charge it as PE work (attributed to
     /// `chare` if given). Used for serialization costs on both directions.
     fn metered<R>(&mut self, chare: Option<ChareId>, f: impl FnOnce() -> R) -> R {
+        // analyze: allow(nondeterminism, "metering clock: metered_ns() discards it on the deterministic sim (meter off)")
         let t0 = Instant::now();
         let r = f();
         let ns = self.metered_ns(t0);
@@ -1944,6 +1947,7 @@ impl PeState {
         } else {
             0
         };
+        // analyze: allow(nondeterminism, "metering clock: metered_ns() discards it on the deterministic sim (meter off)")
         let t0 = Instant::now();
         let boxed = construct(init, &mut ctx, ctype);
         let measured = self.metered_ns(t0);
@@ -2401,6 +2405,7 @@ impl PeState {
     fn lb_participants(&self) -> Vec<ChareId> {
         let mut v: Vec<ChareId> = self
             .chares
+            // analyze: allow(nondeterminism, "hash order erased by the sort below")
             .keys()
             .filter(|id| {
                 self.colls
@@ -2578,7 +2583,9 @@ impl PeState {
     /// Diagnostic snapshot printed when a simulated run stalls (runs out of
     /// events without an `exit()`): everything that could be waiting.
     pub fn debug_dump(&self) {
+        // analyze: allow(nondeterminism, "order-insensitive sum for stall diagnostics; never feeds scheduling")
         let buffered: usize = self.chares.values().map(|s| s.buffered.len()).sum();
+        // analyze: allow(nondeterminism, "order-insensitive count for stall diagnostics; never feeds scheduling")
         let blocked: usize = self.coros.values().filter(|h| h.wait.is_some()).count();
         if buffered == 0
             && blocked == 0
@@ -2613,6 +2620,7 @@ impl PeState {
                 self.subtree_expected(*coll)
             );
         }
+        // analyze: allow(nondeterminism, "hash order erased by the sort below; diagnostic output only")
         let mut ids: Vec<_> = self.chares.keys().copied().collect();
         ids.sort();
         for id in ids {
@@ -2805,14 +2813,20 @@ impl PeState {
         // would then wait forever on traffic that no longer exists.
         self.flush_aggregation();
         let main_coll = main_chare_id().coll;
-        let specs: Vec<CollSpec> = self
+        let mut specs: Vec<CollSpec> = self
             .colls
+            // analyze: allow(nondeterminism, "hash order erased by the sort below — specs are persisted and restored in id order")
             .values()
             .map(|cs| cs.spec.clone())
             .filter(|spec| spec.id != main_coll)
             .collect();
+        // Sort: the image bytes (and the restore emission order derived
+        // from them) must not depend on HashMap iteration order, or two
+        // replays of one schedule diverge after a checkpoint.
+        specs.sort_by_key(|spec| spec.id);
         let mut ids: Vec<ChareId> = self
             .chares
+            // analyze: allow(nondeterminism, "hash order erased by the sort below — images are encoded in id order")
             .keys()
             .filter(|id| id.coll != main_coll)
             .copied()
@@ -2925,6 +2939,20 @@ impl PeState {
         // A late or duplicate ack after the checkpoint window closed is a
         // peer-protocol anomaly, not a local invariant violation: drop it
         // rather than bringing the PE down.
+        //
+        // The `mutation-ckptack` feature (tests only, never default)
+        // reintroduces the pre-fix behaviour — panicking on the stray ack —
+        // so the mutation smoke test can prove the model checker
+        // rediscovers the original bug and shrinks its schedule.
+        #[cfg(feature = "mutation-ckptack")]
+        let Some(pending) = self.ckpt.take() else {
+            // analyze: allow(panic, "deliberately reintroduced bug behind the test-only mutation-ckptack feature; the model checker must catch this")
+            panic!(
+                "stray CkptAck on PE {} with no checkpoint in progress",
+                self.pe
+            );
+        };
+        #[cfg(not(feature = "mutation-ckptack"))]
         let Some(pending) = self.ckpt.take() else {
             return;
         };

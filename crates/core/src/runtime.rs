@@ -527,7 +527,8 @@ impl Runtime {
     pub fn run(self, entry: impl FnOnce(&mut Co<Main>) + Send + 'static) -> RunReport {
         match self.try_run(entry) {
             Ok(report) => report,
-            // analyze: allow(panic, "run() is the panicking convenience wrapper; try_run returns failures structurally")
+            // run() is the panicking convenience wrapper; try_run returns
+            // failures structurally.
             Err(e) => panic!("{e}"),
         }
     }
@@ -566,6 +567,7 @@ impl Runtime {
         let reducers = Arc::new(self.reducers.clone());
         let entry_fn: crate::pe::CoroLauncher =
             Box::new(move |side| run_coroutine::<Main>(side, entry));
+        // analyze: allow(nondeterminism, "wall-clock origin: feeds the report's wall field and the threads backend's real-time clocks; sim ordering runs on virtual time")
         let start = Instant::now();
 
         // The restart supervisor rebuilds the scheduler config per
@@ -640,6 +642,126 @@ impl Runtime {
                 #[cfg(feature = "analyze")]
                 self.inject,
             ),
+        }
+    }
+}
+
+#[cfg(feature = "analyze")]
+impl Runtime {
+    /// Systematically explore every delivery schedule of the program up to
+    /// happens-before equivalence (DESIGN.md §11): the sim backend is
+    /// re-run under a controlled scheduler while `charm-check`'s DPOR
+    /// engine enumerates interleavings, stopping at the first detector
+    /// violation, panic, run error, or oracle mismatch. The failing
+    /// schedule is shrunk and (with [`CheckCfg::artifact`] set) written as
+    /// a replay artifact for [`Runtime::replay_schedule`].
+    ///
+    /// `entry` must be re-runnable — each explored execution restarts the
+    /// program from scratch — hence `Fn`, not the `FnOnce` of
+    /// [`Runtime::run`]. Compute metering is forced off so executions are
+    /// pure functions of their delivery order; the backend setting is
+    /// ignored (exploration always drives the controlled sim loop).
+    pub fn check(
+        self,
+        cfg: crate::check::CheckCfg,
+        entry: impl Fn(&mut Co<Main>) + Send + Sync + 'static,
+    ) -> crate::check::CheckReport {
+        crate::check::run_check(self.into_check_driver(Arc::new(entry)), cfg)
+    }
+
+    /// Replay a schedule artifact written by [`Runtime::check`],
+    /// bit-identically: the same runtime configuration plus the same
+    /// artifact always produces the same delivery sequence, clocks and
+    /// outcome (compare [`crate::check::ReplayOutcome::digest`] across
+    /// runs to assert it).
+    pub fn replay_schedule(
+        self,
+        path: impl AsRef<std::path::Path>,
+        entry: impl Fn(&mut Co<Main>) + Send + Sync + 'static,
+    ) -> std::io::Result<crate::check::ReplayOutcome> {
+        let schedule = charm_check::Schedule::load(path.as_ref())?;
+        Ok(crate::check::run_replay(
+            self.into_check_driver(Arc::new(entry)),
+            &schedule,
+        ))
+    }
+
+    /// Package the builder's pieces for the controlled driver — the model
+    /// checker's analog of the `Launch` the restart supervisors use.
+    fn into_check_driver(
+        mut self,
+        entry: Arc<dyn Fn(&mut Co<Main>) + Send + Sync>,
+    ) -> crate::check::Driver {
+        assert!(
+            self.restore_dir.is_none(),
+            "Runtime::check starts from scratch every execution; run_restored is not supported"
+        );
+        install_quiet_shutdown_hook();
+        self.registry.register::<Main>();
+        let codec = match self.dispatch {
+            DispatchMode::Native => Codec::Fast,
+            DispatchMode::Dynamic => Codec::Pickle,
+        };
+        // Exploration always runs the controlled sim loop; a configured sim
+        // model is honored, the threads backend falls back to the default
+        // model (only default delivery *priorities* depend on it).
+        let model = match &self.backend {
+            Backend::Sim(m) => m.clone(),
+            Backend::Threads => MachineModel::default(),
+        };
+        let registry = Arc::new(std::mem::take(&mut self.registry));
+        let placements = Arc::new(self.placements.clone());
+        let reducers = Arc::new(self.reducers.clone());
+        let mk_cfg: crate::check::MkCfg = {
+            let dynamic = self.dispatch == DispatchMode::Dynamic;
+            let same_pe_byref = self.same_pe_byref;
+            let tree = self.tree;
+            let lb = self.lb.clone();
+            let compute_scale = self.compute_scale;
+            let model = model.clone();
+            let auto_ckpt = self.auto_ckpt.clone();
+            let msg_guards = Arc::new(self.msg_guards.clone());
+            let trace = self.trace;
+            let agg = self.agg;
+            let fast_paths = self.fast_paths;
+            Box::new(move |epoch, restore, ckpt_seq_start, probe| {
+                Arc::new(SchedCfg {
+                    codec,
+                    dynamic,
+                    same_pe_byref,
+                    tree,
+                    lb: lb.clone(),
+                    // Metering ties virtual time to measured host time;
+                    // forced off so an execution is a pure function of its
+                    // delivery order (the replay bit-identity contract).
+                    meter: false,
+                    compute_scale,
+                    sim_model: Some(model.clone()),
+                    is_sim: true,
+                    restore,
+                    epoch,
+                    ckpt_seq_start,
+                    auto_ckpt: auto_ckpt.clone(),
+                    msg_guards: Arc::clone(&msg_guards),
+                    trace,
+                    agg,
+                    fast_paths,
+                    analyze_probe: Some(probe),
+                })
+            })
+        };
+        crate::check::Driver {
+            npes: self.npes,
+            model,
+            registry,
+            placements,
+            reducers,
+            mk_cfg,
+            auto: self.auto_ckpt.clone(),
+            recover: self.recover.clone(),
+            max_restarts: self.max_restarts,
+            inject: self.inject,
+            entry,
         }
     }
 }
@@ -729,7 +851,11 @@ impl Launch {
 /// comes from its own store when that survived, else from the buddy copy
 /// held on PE `(i+1) % npes`. `None` unless every PE's image is present
 /// and decodes.
-fn assemble_images(stores: &[Option<CkptStore>], npes: usize, epoch: u64) -> Option<Vec<CkptFile>> {
+pub(crate) fn assemble_images(
+    stores: &[Option<CkptStore>],
+    npes: usize,
+    epoch: u64,
+) -> Option<Vec<CkptFile>> {
     let mut files = Vec::with_capacity(npes);
     for pe in 0..npes {
         let own = stores[pe].as_ref().and_then(|s| s.own_at(epoch));
@@ -767,7 +893,7 @@ impl Failure {
     }
 }
 
-fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -930,7 +1056,9 @@ fn run_threads(
                                     let n = qd_handled;
                                     qd_handled += w;
                                     if n <= after_nth && after_nth < n + w {
-                                        // analyze: allow(recovery-hook, "the injected PE failure is a deliberate panic the restart supervisor must catch and recover from")
+                                        // The injected PE failure is a deliberate
+                                        // panic the restart supervisor must catch
+                                        // and recover from.
                                         panic!(
                                             "injected PE failure on PE {pe} (after {after_nth} deliveries)"
                                         );
@@ -976,6 +1104,7 @@ fn run_threads(
             let received = match deadline {
                 None => status_rx.recv().ok(),
                 Some(d) => status_rx
+                    // analyze: allow(nondeterminism, "threads-backend supervisor deadline; wall time by design, the sim driver never runs this loop")
                     .recv_timeout(d.saturating_duration_since(Instant::now()))
                     .ok(),
             };
@@ -1002,6 +1131,7 @@ fn run_threads(
             if let Some(f) = failure {
                 if dead.is_none() {
                     dead = Some((pe, f));
+                    // analyze: allow(nondeterminism, "threads-backend supervisor deadline; wall time by design, the sim driver never runs this loop")
                     deadline = Some(Instant::now() + idle_timeout + Duration::from_secs(2));
                     for tx in &senders {
                         let mut halt = Envelope::new(0, EnvKind::Halt);
@@ -1048,8 +1178,9 @@ fn run_threads(
     unreachable!("restart loop returns from within");
 }
 
-/// Fold the per-PE traces into the run report (shared by both backends).
-fn finish_report(
+/// Fold the per-PE traces into the run report (shared by both backends and
+/// the model checker's controlled driver).
+pub(crate) fn finish_report(
     wall: Duration,
     time: Duration,
     lb_epochs: u64,

@@ -1,0 +1,404 @@
+//! Model-checker tests (`--features analyze`, DESIGN.md §11): exhaustive
+//! schedule exploration with DPOR, counterexample shrinking and
+//! deterministic replay, driven through `Runtime::check`.
+//!
+//! The acceptance workload is a 2-PE histogram: one bin chare collects
+//! samples flooded from a per-PE source group, and the completion future
+//! asserts the exact bin counts inside the entry — any schedule that
+//! breaks the histogram panics and becomes a counterexample. Exploration
+//! must exhaust the space (`truncated == false`), DPOR must visit
+//! strictly fewer executions than naive enumeration, and a seeded
+//! detector violation must shrink to a replayable schedule artifact.
+
+#![cfg(feature = "analyze")]
+
+use std::sync::Arc;
+
+use charm_core::analyze::InjectFault;
+use charm_core::prelude::*;
+use charm_core::CheckCfg;
+use charm_sim::MachineModel;
+use serde::{Deserialize, Serialize};
+
+const NPES: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Histogram workload: per-PE sources flood one bin chare.
+// ---------------------------------------------------------------------------
+
+const BINS: usize = 2;
+const PER_SRC: i64 = 2;
+
+struct Hist {
+    counts: Vec<i64>,
+    got: usize,
+    expect: usize,
+    notify: Option<Future<Vec<i64>>>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum HistMsg {
+    Sample(i64),
+    WhenDone {
+        expect: usize,
+        notify: Future<Vec<i64>>,
+    },
+}
+
+impl Chare for Hist {
+    type Msg = HistMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Hist {
+            counts: vec![0; BINS],
+            got: 0,
+            expect: usize::MAX,
+            notify: None,
+        }
+    }
+    fn receive(&mut self, msg: HistMsg, ctx: &mut Ctx) {
+        match msg {
+            HistMsg::Sample(v) => {
+                self.counts[(v as usize) % BINS] += 1;
+                self.got += 1;
+            }
+            HistMsg::WhenDone { expect, notify } => {
+                self.expect = expect;
+                self.notify = Some(notify);
+            }
+        }
+        if self.got == self.expect {
+            if let Some(f) = self.notify.take() {
+                let counts = self.counts.clone();
+                ctx.send_future(&f, counts);
+            }
+        }
+    }
+}
+
+struct Src;
+
+#[derive(Serialize, Deserialize)]
+enum SrcMsg {
+    Go { hist: Proxy<Hist>, per_src: i64 },
+}
+
+impl Chare for Src {
+    type Msg = SrcMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Src
+    }
+    fn receive(&mut self, msg: SrcMsg, ctx: &mut Ctx) {
+        let SrcMsg::Go { hist, per_src } = msg;
+        for k in 0..per_src {
+            hist.send(ctx, HistMsg::Sample(ctx.my_pe() as i64 * per_src + k));
+        }
+    }
+}
+
+/// Every schedule must produce the same bin counts; the assert inside the
+/// entry turns any divergence into a panic, i.e. a counterexample.
+fn histogram_program(co: &mut Co<Main>) {
+    let hist = co.ctx().create_chare::<Hist>((), Some(1));
+    let srcs = co.ctx().create_group::<Src>(());
+    let done = co.ctx().create_future::<Vec<i64>>();
+    srcs.send(
+        co.ctx(),
+        SrcMsg::Go {
+            hist: hist.clone(),
+            per_src: PER_SRC,
+        },
+    );
+    hist.send(
+        co.ctx(),
+        HistMsg::WhenDone {
+            expect: NPES * PER_SRC as usize,
+            notify: done,
+        },
+    );
+    // With PER_SRC samples per PE and values pe*PER_SRC + k, the samples
+    // are 0..NPES*PER_SRC and land round-robin: NPES per bin, exactly.
+    let counts = co.get(&done);
+    assert_eq!(counts, vec![NPES as i64; BINS], "histogram diverged");
+    co.ctx().exit();
+}
+
+fn hist_runtime() -> Runtime {
+    Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register::<Hist>()
+        .register::<Src>()
+}
+
+/// The headline acceptance test: `Runtime::check` exhausts the 2-PE
+/// histogram's schedule space — `truncated == false` with no
+/// counterexample — and reports its happens-before equivalence classes.
+#[test]
+fn exhaustive_histogram_exploration_is_clean() {
+    let report = hist_runtime().check(
+        CheckCfg {
+            max_executions: 200_000,
+            ..CheckCfg::default()
+        },
+        histogram_program,
+    );
+    assert!(
+        !report.truncated,
+        "histogram exploration did not exhaust the space in {} executions",
+        report.executions
+    );
+    assert!(
+        report.counterexample.is_none(),
+        "clean histogram produced a counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions >= 1);
+    assert!(report.equivalence_classes >= 1);
+    assert!(report.equivalence_classes as u64 <= report.executions);
+    println!(
+        "histogram: {} executions over {} equivalence classes",
+        report.executions, report.equivalence_classes
+    );
+}
+
+// ---------------------------------------------------------------------------
+// DPOR vs. naive enumeration.
+// ---------------------------------------------------------------------------
+
+struct Counter {
+    total: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum CounterMsg {
+    Bump(i64),
+    Total,
+}
+
+impl Chare for Counter {
+    type Msg = CounterMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Counter { total: 0 }
+    }
+    fn receive(&mut self, msg: CounterMsg, ctx: &mut Ctx) {
+        match msg {
+            CounterMsg::Bump(v) => self.total += v,
+            CounterMsg::Total => ctx.reply(self.total),
+        }
+    }
+}
+
+/// Two counters on different PEs: deliveries to PE 0 and PE 1 commute, so
+/// DPOR collapses their interleavings while naive enumeration pays for
+/// every shuffle.
+fn two_counter_program(co: &mut Co<Main>) {
+    let a = co.ctx().create_chare::<Counter>((), Some(1));
+    let b = co.ctx().create_chare::<Counter>((), Some(0));
+    a.send(co.ctx(), CounterMsg::Bump(1));
+    b.send(co.ctx(), CounterMsg::Bump(2));
+    let fa = a.call::<i64>(co.ctx(), CounterMsg::Total);
+    let fb = b.call::<i64>(co.ctx(), CounterMsg::Total);
+    assert_eq!(co.get(&fa), 1);
+    assert_eq!(co.get(&fb), 2);
+    co.ctx().exit();
+}
+
+fn counter_runtime() -> Runtime {
+    Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register::<Counter>()
+}
+
+/// DPOR visits strictly fewer executions than naive enumeration of the
+/// same program, without losing coverage: when both exhaust, they agree
+/// on the number of happens-before equivalence classes.
+#[test]
+fn dpor_visits_fewer_executions_than_naive() {
+    let dpor = counter_runtime().check(
+        CheckCfg {
+            max_executions: 100_000,
+            dpor: true,
+            ..CheckCfg::default()
+        },
+        two_counter_program,
+    );
+    assert!(!dpor.truncated, "DPOR run truncated at {}", dpor.executions);
+    assert!(
+        dpor.counterexample.is_none(),
+        "clean program produced a counterexample: {:?}",
+        dpor.counterexample
+    );
+
+    let naive = counter_runtime().check(
+        CheckCfg {
+            max_executions: 100_000,
+            dpor: false,
+            ..CheckCfg::default()
+        },
+        two_counter_program,
+    );
+    println!(
+        "dpor: {} executions / {} classes; naive: {} executions / {} classes (truncated: {})",
+        dpor.executions,
+        dpor.equivalence_classes,
+        naive.executions,
+        naive.equivalence_classes,
+        naive.truncated
+    );
+    assert!(
+        dpor.executions < naive.executions,
+        "DPOR ({}) must beat naive enumeration ({})",
+        dpor.executions,
+        naive.executions
+    );
+    if !naive.truncated {
+        assert_eq!(
+            dpor.equivalence_classes, naive.equivalence_classes,
+            "DPOR missed equivalence classes naive enumeration found"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded violation → shrunk, replayable artifact.
+// ---------------------------------------------------------------------------
+
+/// No asserts on the total here: the target failure is the armed
+/// detector's double-delivery finding, not an application panic.
+fn bump_program(co: &mut Co<Main>) {
+    let c = co.ctx().create_chare::<Counter>((), Some(1));
+    for i in 0..3 {
+        c.send(co.ctx(), CounterMsg::Bump(i));
+    }
+    let f = c.call::<i64>(co.ctx(), CounterMsg::Total);
+    co.get(&f);
+    co.ctx().exit();
+}
+
+fn injected_runtime(n: u64) -> Runtime {
+    let (rt, _probe) = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register::<Counter>()
+        .analyze_inject(InjectFault::DuplicateNth(n));
+    rt
+}
+
+/// A duplicated envelope is a detector violation; `check` must catch it,
+/// shrink the schedule, write the artifact, and two replays of that
+/// artifact must agree bit-for-bit (same failure, same delivery/clock
+/// digest). The duplicable position is an implementation detail — scan.
+#[test]
+fn seeded_violation_shrinks_to_a_replayable_artifact() {
+    let dir = std::env::temp_dir().join(format!("charmrs-check-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let artifact = dir.join("double-delivery.schedule");
+
+    let mut caught = None;
+    for n in 0..12 {
+        let report = injected_runtime(n).check(
+            CheckCfg {
+                max_executions: 40,
+                artifact: Some(artifact.clone()),
+                ..CheckCfg::default()
+            },
+            bump_program,
+        );
+        if let Some(cx) = report.counterexample {
+            if cx.failure.contains("double-delivered") {
+                caught = Some((n, cx));
+                break;
+            }
+        }
+    }
+    let (n, cx) =
+        caught.expect("no injected duplicate was caught as a violation in the first 12 positions");
+    assert!(
+        cx.decisions <= cx.original_len,
+        "shrinking grew the schedule: {} from {}",
+        cx.decisions,
+        cx.original_len
+    );
+    let path = cx.artifact.clone().expect("no artifact was written");
+
+    let r1 = injected_runtime(n)
+        .replay_schedule(&path, bump_program)
+        .expect("artifact unreadable");
+    let r2 = injected_runtime(n)
+        .replay_schedule(&path, bump_program)
+        .expect("artifact unreadable");
+    assert!(
+        r1.failure
+            .as_deref()
+            .unwrap_or("")
+            .contains("double-delivered"),
+        "replay lost the violation: {:?}",
+        r1.failure
+    );
+    assert_eq!(
+        (r1.digest, r1.steps, &r1.failure),
+        (r2.digest, r2.steps, &r2.failure),
+        "two replays of one artifact diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle plumbing and the delay-bound knob.
+// ---------------------------------------------------------------------------
+
+/// A user oracle failure is a counterexample like any other, and a
+/// schedule-independent one shrinks all the way to the empty schedule.
+#[test]
+fn oracle_mismatch_is_a_counterexample() {
+    let report = counter_runtime().check(
+        CheckCfg {
+            max_executions: 50,
+            oracle: Some(Arc::new(|_: &RunReport| Some("forced".to_string()))),
+            ..CheckCfg::default()
+        },
+        two_counter_program,
+    );
+    let cx = report
+        .counterexample
+        .expect("the oracle mismatch was not reported");
+    assert!(
+        cx.failure.starts_with("oracle:") && cx.failure.contains("forced"),
+        "wrong failure class: {}",
+        cx.failure
+    );
+    assert_eq!(
+        cx.decisions, 0,
+        "a schedule-independent failure must shrink to the empty schedule"
+    );
+}
+
+/// A delay bound below the space's requirement truncates instead of
+/// silently claiming exhaustion.
+#[test]
+fn delay_bound_truncates_honestly() {
+    let bounded = counter_runtime().check(
+        CheckCfg {
+            max_executions: 100_000,
+            delay_bound: Some(0),
+            ..CheckCfg::default()
+        },
+        two_counter_program,
+    );
+    assert!(
+        bounded.counterexample.is_none(),
+        "delay-bounded run found a spurious counterexample: {:?}",
+        bounded.counterexample
+    );
+    // Delay bound 0 admits only the default schedule; the two-counter
+    // program has real concurrency, so the space cannot be exhausted.
+    assert!(bounded.executions >= 1);
+    assert!(
+        bounded.truncated,
+        "a zero delay bound cannot exhaust a concurrent program's space"
+    );
+}

@@ -74,7 +74,8 @@ fn checkpointed_run(dir: std::path::PathBuf, npes: usize) -> i64 {
         co.ctx().start_quiescence(&q);
         co.get(&q);
         let done = co.ctx().create_future::<i64>();
-        co.ctx().checkpoint(dir.to_str().unwrap().to_string(), &done);
+        co.ctx()
+            .checkpoint(dir.to_str().unwrap().to_string(), &done);
         let saved = co.get(&done);
         *out2.lock().unwrap() = saved;
         co.ctx().exit();
@@ -95,9 +96,8 @@ fn checkpoint_then_restore_same_pe_count() {
         let _ = &dir2;
         // The proxy to the restored collection: rebuild it from the known
         // creation order (first collection created by PE 0).
-        let arr = charm_core::Proxy::<Counter>::restored(
-            charm_core::CollectionId { creator: 0, seq: 0 },
-        );
+        let arr =
+            charm_core::Proxy::<Counter>::restored(charm_core::CollectionId { creator: 0, seq: 0 });
         let done = co.ctx().create_future::<RedData>();
         arr.send(co.ctx(), CounterMsg::Sum { done });
         let total = co.get(&done).as_i64();
@@ -114,14 +114,16 @@ fn restore_onto_more_pes_redistributes() {
     checkpointed_run(dir.clone(), 2);
 
     rt(5).run_restored(dir.clone(), move |co| {
-        let arr = charm_core::Proxy::<Counter>::restored(
-            charm_core::CollectionId { creator: 0, seq: 0 },
-        );
+        let arr =
+            charm_core::Proxy::<Counter>::restored(charm_core::CollectionId { creator: 0, seq: 0 });
         // Members must now be spread beyond the original 2 PEs.
         let spread = co.ctx().create_future::<RedData>();
         arr.send(co.ctx(), CounterMsg::WherePe { done: spread });
         let max_pe = co.get(&spread).as_vec_i64()[0];
-        assert!(max_pe >= 2, "restored members should use the new PEs: {max_pe}");
+        assert!(
+            max_pe >= 2,
+            "restored members should use the new PEs: {max_pe}"
+        );
         // And the state is intact.
         let done = co.ctx().create_future::<RedData>();
         arr.send(co.ctx(), CounterMsg::Sum { done });
@@ -137,9 +139,8 @@ fn restored_collection_keeps_working() {
     checkpointed_run(dir.clone(), 2);
 
     rt(4).run_restored(dir.clone(), move |co| {
-        let arr = charm_core::Proxy::<Counter>::restored(
-            charm_core::CollectionId { creator: 0, seq: 0 },
-        );
+        let arr =
+            charm_core::Proxy::<Counter>::restored(charm_core::CollectionId { creator: 0, seq: 0 });
         // Keep computing after the restore: sends, reductions, new
         // collections must all work.
         arr.send(co.ctx(), CounterMsg::Add(1)); // broadcast: +1 to all 10

@@ -84,10 +84,7 @@ struct Waiter {
 
 #[derive(Serialize, Deserialize)]
 enum WaiterMsg {
-    Start {
-        expect: usize,
-        done: Future<i64>,
-    },
+    Start { expect: usize, done: Future<i64> },
     RecvData(i64),
 }
 
@@ -257,8 +254,13 @@ struct RedWorker;
 
 #[derive(Serialize, Deserialize)]
 enum RedWorkerMsg {
-    GatherUp { target: Future<RedData> },
-    Hypot { target: Future<RedData>, reducer_id: u32 },
+    GatherUp {
+        target: Future<RedData>,
+    },
+    Hypot {
+        target: Future<RedData>,
+        reducer_id: u32,
+    },
 }
 
 impl Chare for RedWorker {
@@ -575,7 +577,11 @@ fn at_sync_lb_migrates_and_resumes() {
                 co.ctx().exit();
             });
         assert!(report.lb_epochs >= 1, "backend {name}");
-        assert!(report.migrations >= 6, "backend {name}: {}", report.migrations);
+        assert!(
+            report.migrations >= 6,
+            "backend {name}: {}",
+            report.migrations
+        );
     }
 }
 
@@ -602,5 +608,9 @@ fn sim_backend_is_deterministic() {
         order.push((r.msgs, r.entries, r.bytes));
         order
     };
-    assert_eq!(run(), run(), "identical runs must produce identical traffic");
+    assert_eq!(
+        run(),
+        run(),
+        "identical runs must produce identical traffic"
+    );
 }

@@ -1,0 +1,161 @@
+//! Mutation smoke test (`--features mutation-ckptack`, DESIGN.md §11).
+//!
+//! The feature reintroduces the seed's stray-CkptAck panic (fixed in the
+//! static-analysis PR by demoting it to a drop) and restores its
+//! reachability: the pre-fix network layer drew no app/control distinction,
+//! so the fault injector could duplicate a checkpoint ack. One duplicated
+//! ack closes the initiator's checkpoint window one ack early; the final
+//! real ack then arrives with no checkpoint in progress and the mutated
+//! runtime panics. `charm-check` must rediscover this bug, shrink the
+//! counterexample to a handful of scheduling decisions, and produce a
+//! replay artifact that reproduces the failure bit-identically.
+
+#![cfg(feature = "mutation-ckptack")]
+
+use charm_core::analyze::InjectFault;
+use charm_core::prelude::*;
+use charm_core::{CheckCfg, Store};
+use charm_sim::MachineModel;
+use serde::{Deserialize, Serialize};
+
+const NPES: usize = 2;
+
+#[derive(Serialize, Deserialize)]
+struct Bump {
+    total: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum BumpMsg {
+    Add(i64),
+    Total,
+}
+
+impl Chare for Bump {
+    type Msg = BumpMsg;
+    type Init = ();
+    fn create(_: (), _: &mut Ctx) -> Self {
+        Bump { total: 0 }
+    }
+    fn receive(&mut self, msg: BumpMsg, ctx: &mut Ctx) {
+        match msg {
+            BumpMsg::Add(v) => self.total += v,
+            BumpMsg::Total => ctx.reply(self.total),
+        }
+    }
+}
+
+/// One bump on PE 1, a quiescence round (whose completion takes the
+/// automatic checkpoint — the protocol under attack), then a verified
+/// total and exit.
+fn program(co: &mut Co<Main>) {
+    let c = co.ctx().create_chare::<Bump>((), Some(1));
+    c.send(co.ctx(), BumpMsg::Add(7));
+    let q = co.ctx().create_future::<()>();
+    co.ctx().start_quiescence(&q);
+    co.get(&q);
+    let f = c.call::<i64>(co.ctx(), BumpMsg::Total);
+    assert_eq!(co.get(&f), 7);
+    co.ctx().exit();
+}
+
+fn mutated_runtime(n: u64) -> Runtime {
+    let (rt, _probe) = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register_migratable::<Bump>()
+        .auto_checkpoint(1, Store::Memory)
+        .analyze_inject(InjectFault::DuplicateNth(n));
+    rt
+}
+
+/// The exact injector position of the checkpoint ack is an implementation
+/// detail, so scan the first few positions until the duplicate lands on
+/// one — the mutated panic, not the detector's double-delivery finding,
+/// is the failure that proves the reintroduced bug was reached.
+#[test]
+fn check_rediscovers_and_shrinks_the_stray_ckptack_bug() {
+    let dir = std::env::temp_dir().join(format!("charmrs-mutation-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let artifact = dir.join("stray-ckptack.schedule");
+
+    let mut caught = None;
+    for n in 0..10 {
+        let report = mutated_runtime(n).check(
+            CheckCfg {
+                max_executions: 40,
+                artifact: Some(artifact.clone()),
+                ..CheckCfg::default()
+            },
+            program,
+        );
+        if let Some(cx) = report.counterexample {
+            if cx.failure.contains("stray CkptAck") {
+                caught = Some((n, cx));
+                break;
+            }
+        }
+    }
+    let (n, cx) = caught.expect(
+        "no duplicated-ack position reproduced the stray-CkptAck panic in the first 10 slots",
+    );
+
+    assert!(
+        cx.decisions <= 8,
+        "counterexample shrank to {} decisions (> 8) from {}",
+        cx.decisions,
+        cx.original_len
+    );
+    assert!(
+        cx.decisions <= cx.original_len,
+        "shrinking must never grow the schedule"
+    );
+    let path = cx.artifact.expect("no replay artifact was written");
+
+    // The artifact replays the failure bit-identically: same failure text,
+    // same delivery/clock digest, twice over.
+    let r1 = mutated_runtime(n)
+        .replay_schedule(&path, program)
+        .expect("replay artifact unreadable");
+    let r2 = mutated_runtime(n)
+        .replay_schedule(&path, program)
+        .expect("replay artifact unreadable");
+    assert!(
+        r1.failure
+            .as_deref()
+            .unwrap_or("")
+            .contains("stray CkptAck"),
+        "replay did not reproduce the mutated panic: {:?}",
+        r1.failure
+    );
+    assert_eq!(
+        (r1.digest, &r1.failure),
+        (r2.digest, &r2.failure),
+        "two replays of one artifact diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without the injected duplicate the mutated runtime is indistinguishable
+/// from the fixed one on this program: every ack finds its window, so a
+/// bounded exploration reports no counterexample.
+#[test]
+fn mutated_runtime_is_clean_without_the_injected_duplicate() {
+    let rt = Runtime::new(NPES)
+        .simulated(MachineModel::local(NPES))
+        .meter_compute(false)
+        .register_migratable::<Bump>()
+        .auto_checkpoint(1, Store::Memory);
+    let report = rt.check(
+        CheckCfg {
+            max_executions: 60,
+            ..CheckCfg::default()
+        },
+        program,
+    );
+    assert!(
+        report.counterexample.is_none(),
+        "clean program produced a counterexample: {:?}",
+        report.counterexample
+    );
+}

@@ -224,10 +224,7 @@ struct Worker2;
 
 #[derive(Serialize, Deserialize)]
 enum W2Msg {
-    DoWork {
-        f1: Future<i64>,
-        f2: Future<i64>,
-    },
+    DoWork { f1: Future<i64>, f2: Future<i64> },
 }
 
 impl Chare for Worker2 {

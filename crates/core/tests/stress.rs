@@ -127,11 +127,7 @@ impl Chare for Pipeliner {
                 pe: base.id().pe,
                 seq: base.id().seq + k as u64,
             };
-            ctx.contribute(
-                RedData::I64(k as i64),
-                Reducer::Sum,
-                RedTarget::Future(fid),
-            );
+            ctx.contribute(RedData::I64(k as i64), Reducer::Sum, RedTarget::Future(fid));
         }
     }
 }

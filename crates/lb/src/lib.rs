@@ -261,7 +261,10 @@ mod tests {
         let after = loads_after(&stats, &moves);
         let before = imbalance_of(&stats.pe_loads());
         let post = imbalance_of(&after);
-        assert!(post < before, "greedy must improve imbalance: {before} -> {post}");
+        assert!(
+            post < before,
+            "greedy must improve imbalance: {before} -> {post}"
+        );
         assert!(post < 1.3, "greedy should get close to balanced: {post}");
     }
 
@@ -400,13 +403,20 @@ mod tests {
         for pe in 0..8 {
             for k in 0..4 {
                 // Alternate heavy and light blocks, skewed per PE.
-                let ms = if !(2..=5).contains(&pe) { 10 } else { 100 + 5 * k };
+                let ms = if !(2..=5).contains(&pe) {
+                    10
+                } else {
+                    100 + 5 * k
+                };
                 spec.push((pe, ms, true));
             }
         }
         let stats = mk_stats(8, &spec);
         let before = imbalance_of(&stats.pe_loads());
-        assert!(before > 1.5, "synthetic input should be imbalanced: {before}");
+        assert!(
+            before > 1.5,
+            "synthetic input should be imbalanced: {before}"
+        );
         let after = imbalance_of(&loads_after(&stats, &GreedyLb.assign(&stats)));
         assert!(after < 1.2, "greedy result {after}");
     }

@@ -156,7 +156,9 @@ impl<'a> Rank<'a> {
     /// call returns immediately (like MPI's small-message send path and
     /// mpi4py's default).
     pub fn send<T: Message>(&mut self, dest: usize, tag: i32, value: &T) {
-        let bytes = Codec::Fast.encode(value).expect("mpi payload encode failed");
+        let bytes = Codec::Fast
+            .encode(value)
+            .expect("mpi payload encode failed");
         let me = self.rank() as u32;
         let proxy = self.co.ctx().this_proxy::<RankChare>();
         proxy.elem(dest).send(
@@ -207,9 +209,11 @@ impl<'a> Rank<'a> {
 
     /// Whether a matching message is already available (`MPI_Iprobe`).
     pub fn iprobe(&mut self, src: Option<usize>, tag: Option<i32>) -> bool {
-        self.co.this_ref().inbox.iter().any(|(s, t, _)| {
-            src.is_none_or(|v| v == *s) && tag.is_none_or(|v| v == *t)
-        })
+        self.co
+            .this_ref()
+            .inbox
+            .iter()
+            .any(|(s, t, _)| src.is_none_or(|v| v == *s) && tag.is_none_or(|v| v == *t))
     }
 
     /// Combined send and receive (`MPI_Sendrecv`) — the stencil workhorse.

@@ -96,8 +96,7 @@ fn sendrecv_exchange() {
         minimpi::run_on(rt(2, sim), |rank| {
             let me = rank.rank();
             let peer = 1 - me;
-            let got: Vec<f64> =
-                rank.sendrecv(peer, 3, &vec![me as f64; 4], peer, 3);
+            let got: Vec<f64> = rank.sendrecv(peer, 3, &vec![me as f64; 4], peer, 3);
             assert_eq!(got, vec![peer as f64; 4]);
         });
     }
@@ -159,7 +158,14 @@ fn bcast_from_nonzero_root() {
     for sim in [false, true] {
         minimpi::run_on(rt(4, sim), |rank| {
             let me = rank.rank();
-            let v = rank.bcast(2, if me == 2 { Some(vec![9u32, 8, 7]) } else { None });
+            let v = rank.bcast(
+                2,
+                if me == 2 {
+                    Some(vec![9u32, 8, 7])
+                } else {
+                    None
+                },
+            );
             assert_eq!(v, vec![9, 8, 7]);
         });
     }

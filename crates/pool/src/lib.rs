@@ -279,8 +279,7 @@ impl Chare for MapManager {
                     return;
                 }
                 let free: Vec<Pe> = {
-                    let picked: Vec<Pe> =
-                        self.free_procs.iter().take(num_procs).copied().collect();
+                    let picked: Vec<Pe> = self.free_procs.iter().take(num_procs).copied().collect();
                     for pe in &picked {
                         self.free_procs.remove(pe);
                     }

@@ -34,7 +34,11 @@ impl PermuteSchedule {
     /// schedules.
     pub fn new(seed: u64) -> PermuteSchedule {
         PermuteSchedule {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
             last: HashMap::new(),
         }
     }
@@ -87,8 +91,12 @@ mod tests {
         let mut a = PermuteSchedule::new(1);
         let mut b = PermuteSchedule::new(2);
         let n = VTime::from_nanos(1_000_000);
-        let ta: Vec<u64> = (0..10).map(|_| a.delivery_time(0, 1, n).as_nanos()).collect();
-        let tb: Vec<u64> = (0..10).map(|_| b.delivery_time(0, 1, n).as_nanos()).collect();
+        let ta: Vec<u64> = (0..10)
+            .map(|_| a.delivery_time(0, 1, n).as_nanos())
+            .collect();
+        let tb: Vec<u64> = (0..10)
+            .map(|_| b.delivery_time(0, 1, n).as_nanos())
+            .collect();
         assert_ne!(ta, tb);
     }
 

@@ -61,7 +61,11 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, t: VTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: t, seq, event });
+        self.heap.push(Entry {
+            time: t,
+            seq,
+            event,
+        });
     }
 
     /// Remove and return the earliest event, if any.

@@ -97,7 +97,7 @@ mod tests {
         assert_eq!(t.hops(0, 3), 1); // wraps around the x ring
         assert_eq!(t.hops(0, 4), 1); // +y neighbor
         assert_eq!(t.hops(0, 16), 1); // +z neighbor
-        // Opposite corner of a 4-ring in each dim: 2+2+2.
+                                      // Opposite corner of a 4-ring in each dim: 2+2+2.
         assert_eq!(t.hops(0, 2 + 2 * 4 + 2 * 16), 6);
     }
 
@@ -127,10 +127,7 @@ mod tests {
 
     #[test]
     fn torus_node_count() {
-        assert_eq!(
-            Topology::Torus3D { dims: [4, 3, 2] }.node_count(),
-            Some(24)
-        );
+        assert_eq!(Topology::Torus3D { dims: [4, 3, 2] }.node_count(), Some(24));
         assert_eq!(Topology::Flat.node_count(), None);
     }
 }

@@ -125,7 +125,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        for &v in &[0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123456789, 987654321] {
+        for &v in &[
+            0i64,
+            -1,
+            1,
+            -2,
+            2,
+            i64::MIN,
+            i64::MAX,
+            -123456789,
+            987654321,
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }

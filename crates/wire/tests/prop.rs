@@ -13,7 +13,11 @@ enum ArbMsg {
     Float(f64),
     Text(String),
     List(Vec<ArbMsg>),
-    Record { id: u32, payload: Vec<u8>, flag: bool },
+    Record {
+        id: u32,
+        payload: Vec<u8>,
+        flag: bool,
+    },
     Table(BTreeMap<String, i32>),
     Opt(Option<Box<ArbMsg>>),
 }
@@ -25,7 +29,11 @@ fn arb_msg() -> impl Strategy<Value = ArbMsg> {
         // Avoid NaN: PartialEq comparison would fail spuriously.
         prop::num::f64::NORMAL.prop_map(ArbMsg::Float),
         ".{0,24}".prop_map(ArbMsg::Text),
-        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..32), any::<bool>())
+        (
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..32),
+            any::<bool>()
+        )
             .prop_map(|(id, payload, flag)| ArbMsg::Record { id, payload, flag }),
         prop::collection::btree_map("[a-z]{0,6}", any::<i32>(), 0..6).prop_map(ArbMsg::Table),
     ];

@@ -54,11 +54,17 @@ fn encode_shared_matches_plain_encode() {
 fn explicit_pool_is_reused_across_encodes() {
     let mut pool = EncodePool::new();
     for _ in 0..8 {
-        let b = Codec::Fast.encode_shared_with(&mut pool, &sample()).unwrap();
+        let b = Codec::Fast
+            .encode_shared_with(&mut pool, &sample())
+            .unwrap();
         let decoded: Payload = Codec::Fast.decode(&b).unwrap();
         assert_eq!(decoded.a, 0xDEAD_BEEF);
     }
-    assert_eq!(pool.misses(), 1, "only the first encode should allocate scratch");
+    assert_eq!(
+        pool.misses(),
+        1,
+        "only the first encode should allocate scratch"
+    );
     assert_eq!(pool.hits(), 7);
     assert_eq!(pool.pooled(), 1);
 }

@@ -38,7 +38,11 @@ impl Chare for Worker {
             self.iter += 1;
             self.acc += me * self.iter as i64;
         }
-        ctx.contribute(RedData::I64(self.acc), Reducer::Sum, RedTarget::Future(done.id()));
+        ctx.contribute(
+            RedData::I64(self.acc),
+            Reducer::Sum,
+            RedTarget::Future(done.id()),
+        );
     }
 }
 
@@ -58,7 +62,13 @@ fn main() {
         .run(move |co| {
             let arr = co.ctx().create_array::<Worker>(&[WORKERS], ());
             let done = co.ctx().create_future::<RedData>();
-            arr.send(co.ctx(), WorkerMsg::Run { upto: TARGET / 2, done });
+            arr.send(
+                co.ctx(),
+                WorkerMsg::Run {
+                    upto: TARGET / 2,
+                    done,
+                },
+            );
             let halfway = co.get(&done).as_i64();
             println!("phase 1 (2 PEs): halfway sum = {halfway}");
             assert_eq!(halfway, expected(TARGET / 2));
@@ -69,8 +79,13 @@ fn main() {
             co.ctx().start_quiescence(&q);
             co.get(&q);
             let saved = co.ctx().create_future::<i64>();
-            co.ctx().checkpoint(dir1.to_str().unwrap().to_string(), &saved);
-            println!("checkpointed {} chares to {}", co.get(&saved), dir1.display());
+            co.ctx()
+                .checkpoint(dir1.to_str().unwrap().to_string(), &saved);
+            println!(
+                "checkpointed {} chares to {}",
+                co.get(&saved),
+                dir1.display()
+            );
             co.ctx().exit();
         });
 

@@ -25,7 +25,10 @@ fn main() {
         Runtime::new(4).backend(Backend::Sim(MachineModel::local(4))),
     );
     println!("  sorted: {}", r.sorted);
-    println!("  keys:   {} (conserved), checksum {:#x}", r.total_keys, r.key_sum);
+    println!(
+        "  keys:   {} (conserved), checksum {:#x}",
+        r.total_keys, r.key_sum
+    );
     println!("  balance: max/avg share = {:.3}", r.imbalance);
     assert!(r.sorted && r.imbalance < 1.5);
     println!("ok");

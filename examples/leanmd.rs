@@ -13,7 +13,10 @@ use charm_rs::core::{Backend, DispatchMode, Runtime};
 use charm_rs::sim::MachineModel;
 
 fn env(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -50,7 +53,11 @@ fn main() {
         native.momentum[2],
         native.kinetic,
     );
-    assert_eq!(native.particles as usize, params.num_particles(), "conservation");
+    assert_eq!(
+        native.particles as usize,
+        params.num_particles(),
+        "conservation"
+    );
 
     let dynamic = run_charm(
         params.clone(),
@@ -63,6 +70,10 @@ fn main() {
         dynamic.time_per_step_ms,
         (dynamic.time_per_step_ms / native.time_per_step_ms - 1.0) * 100.0,
     );
-    assert_eq!(native.kinetic.to_bits(), dynamic.kinetic.to_bits(), "same physics");
+    assert_eq!(
+        native.kinetic.to_bits(),
+        dynamic.kinetic.to_bits(),
+        "same physics"
+    );
     println!("  physics identical across dispatch modes");
 }

@@ -61,24 +61,27 @@ impl Chare for Worker {
 }
 
 fn main() {
-    let report = Runtime::new(4).register::<MyChare>().register::<Worker>().run(|co| {
-        // Single chare, created wherever the runtime likes (§II-B).
-        let proxy = co.ctx().create_chare::<MyChare>((), None);
-        let reply = proxy.call::<String>(co.ctx(), MyChareMsg::SayHi("Hello".into()));
-        println!("main got: {}", co.get(&reply));
+    let report = Runtime::new(4)
+        .register::<MyChare>()
+        .register::<Worker>()
+        .run(|co| {
+            // Single chare, created wherever the runtime likes (§II-B).
+            let proxy = co.ctx().create_chare::<MyChare>((), None);
+            let reply = proxy.call::<String>(co.ctx(), MyChareMsg::SayHi("Hello".into()));
+            println!("main got: {}", co.get(&reply));
 
-        // 100 workers, one collective sum (§II-F / §II-H3).
-        let workers = co.ctx().create_array::<Worker>(&[100], ());
-        let result = co.ctx().create_future::<RedData>();
-        workers.send(co.ctx(), WorkerMsg::Work { result });
-        let sum = co.get(&result);
-        // Each worker contributes [0,1,...,19]; the element-wise sum over
-        // 100 workers is [0,100,200,...,1900].
-        println!("reduction result (first 5): {:?}", &sum.as_vec_f64()[..5]);
-        assert_eq!(sum.as_vec_f64()[3], 300.0);
+            // 100 workers, one collective sum (§II-F / §II-H3).
+            let workers = co.ctx().create_array::<Worker>(&[100], ());
+            let result = co.ctx().create_future::<RedData>();
+            workers.send(co.ctx(), WorkerMsg::Work { result });
+            let sum = co.get(&result);
+            // Each worker contributes [0,1,...,19]; the element-wise sum over
+            // 100 workers is [0,100,200,...,1900].
+            println!("reduction result (first 5): {:?}", &sum.as_vec_f64()[..5]);
+            assert_eq!(sum.as_vec_f64()[3], 300.0);
 
-        co.ctx().exit();
-    });
+            co.ctx().exit();
+        });
     println!(
         "done: {} messages, {} entry methods, wall {:?}",
         report.msgs, report.entries, report.wall

@@ -18,7 +18,10 @@ use charm_rs::lb::GreedyLb;
 use charm_rs::sim::MachineModel;
 
 fn env(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -27,19 +30,34 @@ fn main() {
     let params = StencilParams::new([16 * pes, 32, 32], [pes, 1, 1], iters);
     let sim = || Backend::Sim(MachineModel::local(pes));
 
-    println!("stencil3d: grid {:?}, {} blocks, {iters} iters, {pes} simulated PEs", params.grid, params.num_blocks());
+    println!(
+        "stencil3d: grid {:?}, {} blocks, {iters} iters, {pes} simulated PEs",
+        params.grid,
+        params.num_blocks()
+    );
 
     let native = run_charm(params.clone(), Runtime::new(pes).backend(sim()));
-    println!("  charm-rs native  : {:8.3} ms/step  checksum {:.6e}", native.time_per_step_ms, native.checksum.0);
+    println!(
+        "  charm-rs native  : {:8.3} ms/step  checksum {:.6e}",
+        native.time_per_step_ms, native.checksum.0
+    );
 
     let dynamic = run_charm(
         params.clone(),
-        Runtime::new(pes).backend(sim()).dispatch(DispatchMode::Dynamic),
+        Runtime::new(pes)
+            .backend(sim())
+            .dispatch(DispatchMode::Dynamic),
     );
-    println!("  charm-rs dynamic : {:8.3} ms/step  checksum {:.6e}", dynamic.time_per_step_ms, dynamic.checksum.0);
+    println!(
+        "  charm-rs dynamic : {:8.3} ms/step  checksum {:.6e}",
+        dynamic.time_per_step_ms, dynamic.checksum.0
+    );
 
     let mpi = run_mpi(params.clone(), Runtime::new(pes).backend(sim()));
-    println!("  minimpi          : {:8.3} ms/step  checksum {:.6e}", mpi.time_per_step_ms, mpi.checksum.0);
+    println!(
+        "  minimpi          : {:8.3} ms/step  checksum {:.6e}",
+        mpi.time_per_step_ms, mpi.checksum.0
+    );
 
     assert!((native.checksum.1 - mpi.checksum.1).abs() < 1e-6 * native.checksum.1.abs());
     assert!((native.checksum.1 - dynamic.checksum.1).abs() < 1e-6 * native.checksum.1.abs());

@@ -95,8 +95,11 @@ impl Chare for Segment {
                     }
                     // Contribute the final energy for a sanity print.
                     let e: f64 = co.this().u.iter().map(|v| v * v).sum();
-                    co.ctx()
-                        .contribute(RedData::F64(e), Reducer::Sum, RedTarget::Future(done.id()));
+                    co.ctx().contribute(
+                        RedData::F64(e),
+                        Reducer::Sum,
+                        RedTarget::Future(done.id()),
+                    );
                 });
             }
             SegMsg::Edge { from_left, value } => {

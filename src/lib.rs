@@ -2,10 +2,10 @@
 
 #![forbid(unsafe_code)]
 
+pub use charm_apps as apps;
 pub use charm_core as core;
-pub use charm_wire as wire;
-pub use charm_sim as sim;
 pub use charm_lb as lb;
 pub use charm_pool as pool;
-pub use charm_apps as apps;
+pub use charm_sim as sim;
+pub use charm_wire as wire;
 pub use minimpi as mpi;

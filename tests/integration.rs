@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use charm_rs::apps::stencil3d::{charm::run_charm as stencil_charm, mpi::run_mpi, StencilParams};
 use charm_rs::apps::leanmd::{charm::run_charm as leanmd_charm, MdParams};
+use charm_rs::apps::stencil3d::{charm::run_charm as stencil_charm, mpi::run_mpi, StencilParams};
 use charm_rs::core::prelude::*;
 use charm_rs::core::Runtime;
 use charm_rs::lb::{GreedyLb, RefineLb, RotateLb};
@@ -118,7 +118,11 @@ impl Chare for Stat {
         let StatMsg::Go { out } = msg;
         let v = (ctx.my_index().first() + 1) as f64;
         // Custom reducer id 0 is the first registered on the runtime.
-        ctx.contribute(RedData::F64(v), Reducer::Custom(0), RedTarget::Future(out.id()));
+        ctx.contribute(
+            RedData::F64(v),
+            Reducer::Custom(0),
+            RedTarget::Future(out.id()),
+        );
     }
 }
 
