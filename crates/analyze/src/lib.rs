@@ -413,12 +413,18 @@ fn allowed(
     // `allow(recovery-hook, "...")` is the same umbrella for the
     // fault-tolerance paths (checkpoint encode, injected kills, restore
     // bootstrap), where a panic is either deliberate or pre-validated.
+    // `allow(telemetry-hook, "...")` covers the in-band telemetry sweep
+    // and metric-sampling paths (frame encode, sink dispatch), where the
+    // same pre-validated indexing and deliberate-panic patterns recur.
     let umbrella = matches!(rule, Rule::Panic | Rule::Blocking);
     let hit = |l: &MaskedLine| {
         parse_allows(&l.comment).iter().any(|a| {
             a.has_reason
                 && (a.rule == rule.key()
-                    || (umbrella && (a.rule == "trace-hook" || a.rule == "recovery-hook")))
+                    || (umbrella
+                        && (a.rule == "trace-hook"
+                            || a.rule == "recovery-hook"
+                            || a.rule == "telemetry-hook")))
         })
     };
     if hit(&lines[idx]) {
@@ -449,6 +455,7 @@ fn check_annotations(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
     let mut valid: Vec<&str> = Rule::all().iter().map(|r| r.key()).collect();
     valid.push("trace-hook");
     valid.push("recovery-hook");
+    valid.push("telemetry-hook");
     for (i, l) in lines.iter().enumerate() {
         for a in parse_allows(&l.comment) {
             if !valid.contains(&a.rule.as_str()) {
@@ -714,6 +721,7 @@ pub fn lint_file(path: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
     let mut valid: Vec<&str> = Rule::all().iter().map(|r| r.key()).collect();
     valid.push("trace-hook");
     valid.push("recovery-hook");
+    valid.push("telemetry-hook");
     for (i, l) in lines.iter().enumerate() {
         for a in parse_allows(&l.comment) {
             if a.has_reason && valid.contains(&a.rule.as_str()) && !used.contains(&i) {
@@ -897,6 +905,14 @@ pub fn self_test() -> Result<Vec<Finding>, Vec<Rule>> {
     // Likewise the recovery-hook umbrella for the fault-tolerance paths.
     let recovery = "fn die() {\n    // analyze: allow(recovery-hook, \"injected PE failure the supervisor catches\")\n    panic!(\"boom\");\n}\n";
     if lint_source("crates/core/src/pe.rs", recovery)
+        .iter()
+        .any(|f| f.rule == Rule::Panic)
+    {
+        missed.push(Rule::Annotation);
+    }
+    // And the telemetry-hook umbrella for the metric-sampling paths.
+    let sampled = "fn sample(v: &[u8]) -> u8 {\n    // analyze: allow(telemetry-hook, \"frame encode of a value the sampler just built\")\n    v[0]\n}\n";
+    if lint_source("crates/core/src/pe.rs", sampled)
         .iter()
         .any(|f| f.rule == Rule::Panic)
     {

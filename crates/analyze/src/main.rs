@@ -77,6 +77,11 @@ fn main() -> ExitCode {
             );
             println!(
                 "{:<14} {}",
+                "telemetry-hook",
+                "allow-key for in-band telemetry sweep paths: suppresses panic + blocking on the annotated line"
+            );
+            println!(
+                "{:<14} {}",
                 "stale-allow",
                 "audit: allow(..) annotations that suppress nothing (warning; finding under --strict)"
             );

@@ -176,6 +176,30 @@ fn recovery_hook_does_not_suppress_payload_copy() {
 }
 
 #[test]
+fn telemetry_hook_suppresses_panic_and_blocking() {
+    let idx = "fn f(v: &[u8]) -> u8 {\n    // analyze: allow(telemetry-hook, \"frame encode of a value the sampler just built\")\n    v[0]\n}\n";
+    assert!(!rules(&lint_source(HOT, idx)).contains(&Rule::Panic));
+    let sleep = "fn f() {\n    // analyze: allow(telemetry-hook, \"sink flush may park briefly on this platform\")\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(!rules(&lint_source(HOT, sleep)).contains(&Rule::Blocking));
+}
+
+#[test]
+fn telemetry_hook_is_a_known_key_but_needs_a_reason() {
+    let with_reason = "// analyze: allow(telemetry-hook, \"why\")\nfn f() {}\n";
+    assert!(lint_source(HOT, with_reason).is_empty());
+    let bare = "fn f(v: &[u8]) -> u8 {\n    v[0] // analyze: allow(telemetry-hook)\n}\n";
+    let got = rules(&lint_source(HOT, bare));
+    assert!(got.contains(&Rule::Annotation));
+    assert!(got.contains(&Rule::Panic));
+}
+
+#[test]
+fn telemetry_hook_does_not_suppress_payload_copy() {
+    let src = "fn f(b: &WireBytes) -> Vec<u8> {\n    // analyze: allow(telemetry-hook, \"not a telemetry path at all\")\n    b.to_vec()\n}\n";
+    assert!(rules(&lint_source("crates/wire/src/buffer.rs", src)).contains(&Rule::PayloadCopy));
+}
+
+#[test]
 fn nondeterminism_fires_on_hash_iteration_in_scope() {
     let src = "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
     assert!(rules(&lint_source(HOT, src)).contains(&Rule::Nondeterminism));

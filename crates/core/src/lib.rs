@@ -72,12 +72,14 @@ pub use lb::{LbChareStat, LbStats, LbStrategy};
 pub use msg::Message;
 pub use proxy::{Proxy, Section};
 pub use reduction::{RedData, RedTarget, Reducer};
-pub use runtime::{AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime};
+pub use runtime::{
+    AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime, TelemetryCfg, TelemetrySink,
+};
 pub use tree::TreeShape;
 
 // Tracing & metrics (DESIGN.md §7) — the subsystem lives in `charm-trace`;
 // re-exported so applications configure and consume traces through one crate.
-pub use charm_trace::{PePerf, PeTrace, TraceConfig, TraceLevel, TraceReport};
+pub use charm_trace::{MetricFrame, PePerf, PeTrace, TraceConfig, TraceLevel, TraceReport};
 
 /// Everything an application usually needs.
 pub mod prelude {
@@ -93,7 +95,9 @@ pub mod prelude {
     pub use crate::msg::Message;
     pub use crate::proxy::{Proxy, Section};
     pub use crate::reduction::{RedData, RedTarget, Reducer};
-    pub use crate::runtime::{AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime};
+    pub use crate::runtime::{
+        AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime, TelemetryCfg,
+    };
     pub use crate::tree::TreeShape;
-    pub use charm_trace::{TraceConfig, TraceLevel};
+    pub use charm_trace::{MetricFrame, TraceConfig, TraceLevel};
 }

@@ -132,6 +132,11 @@ pub struct Envelope {
     /// own, so in-flight pre-failure traffic can never double-deliver into
     /// post-restore state.
     pub epoch: u64,
+    /// Sender-clock emission stamp (ns), set by the emitting scheduler.
+    /// The receiver derives a send→deliver latency sample from it with a
+    /// monotone clamp (clocks are per-PE); 0 means "not stamped" (driver-
+    /// injected envelopes) and records no sample.
+    pub sent_ns: u64,
     /// Happens-before trace (id + sender vector clock) for the dynamic
     /// race detector. Only present with `--features analyze`.
     #[cfg(feature = "analyze")]
@@ -149,6 +154,7 @@ impl Envelope {
             src,
             kind,
             epoch: 0,
+            sent_ns: 0,
             #[cfg(feature = "analyze")]
             trace: crate::analyze::EnvTrace::default(),
         }
@@ -163,6 +169,7 @@ impl Envelope {
             src: self.src,
             kind: self.kind.try_clone()?,
             epoch: self.epoch,
+            sent_ns: self.sent_ns,
             trace: self.trace.clone(),
         })
     }
@@ -403,6 +410,25 @@ pub enum EnvKind {
         /// Future completed (with `()`) at quiescence.
         fid: crate::ids::FutureId,
     },
+    /// Telemetry sweep request (PE 0 → all, relayed down the PE tree).
+    /// Control traffic, never QD-counted: sweeps fire *at* quiescence
+    /// (while QD waiters are held), so the reduction sees a stable frame.
+    TelemetryProbe {
+        /// Sweep sequence number.
+        seq: u64,
+        /// Tree root (PE 0).
+        root: Pe,
+    },
+    /// A merged telemetry frame flowing up the PE tree to PE 0: each inner
+    /// node folds its children's frames into its own sample before
+    /// forwarding (the in-band metric reduction).
+    TelemetryFrame {
+        /// Sweep sequence number this frame answers.
+        seq: u64,
+        /// The (partially merged) metric frame; boxed — it carries two
+        /// dense histograms and would otherwise dominate the enum size.
+        frame: Box<charm_trace::MetricFrame>,
+    },
     /// Start the main chare (delivered once, to PE 0).
     Bootstrap,
     /// Shut the runtime down.
@@ -534,6 +560,9 @@ impl EnvKind {
                 HDR + data.len() + buffered.iter().map(|(b, ..)| b.len() + 16).sum::<usize>()
             }
             EnvKind::CkptBuddy { image, .. } => HDR + image.len(),
+            // A frame wires two sparse histograms plus scalars; the cost
+            // model only needs the order of magnitude.
+            EnvKind::TelemetryFrame { .. } => HDR + 512,
             EnvKind::LbStats { stats, .. } => HDR + stats.len() * 48,
             EnvKind::LbDoMigrate { moves, .. } => HDR + moves.len() * 40,
             _ => HDR,
@@ -553,6 +582,9 @@ struct BatchHdr {
     to: ChareId,
     reply: Option<FutureId>,
     guard: Option<u32>,
+    /// The constituent's emit stamp (sender clock, ns) — aggregation must
+    /// not hide queueing delay from the latency histogram.
+    sent_ns: u64,
     /// The constituent's happens-before trace, minted at emit time and
     /// carried through the frame so batching is invisible to the detector.
     #[cfg(feature = "analyze")]
@@ -571,6 +603,7 @@ pub(crate) fn push_batch_record(
     to: ChareId,
     reply: Option<FutureId>,
     guard: Option<u32>,
+    sent_ns: u64,
     #[cfg(feature = "analyze")] trace: crate::analyze::EnvTrace,
     payload: &[u8],
 ) -> charm_wire::Result<()> {
@@ -578,6 +611,7 @@ pub(crate) fn push_batch_record(
         to,
         reply,
         guard,
+        sent_ns,
         #[cfg(feature = "analyze")]
         trace,
     };
@@ -634,6 +668,7 @@ pub(crate) fn split_batch(
             },
         );
         env.epoch = epoch;
+        env.sent_ns = hdr.sent_ns;
         #[cfg(feature = "analyze")]
         {
             env.trace = hdr.trace;

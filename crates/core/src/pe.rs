@@ -65,6 +65,9 @@ pub(crate) struct SchedCfg {
     pub trace: TraceConfig,
     /// TRAM-style per-destination aggregation thresholds; `None` = off.
     pub agg: Option<crate::runtime::AggCfg>,
+    /// In-band telemetry: reduce a cluster-wide [`charm_trace::MetricFrame`]
+    /// to PE 0 at every `every`-th completed quiescence round; `None` = off.
+    pub telemetry: Option<crate::runtime::TelemetryCfg>,
     /// Per-message fast paths (on by default): small-payload inlining,
     /// batched-record inline re-publish, dispatch-table caching and the
     /// threaded backend's burst-drain receive ring. Off reproduces the
@@ -99,8 +102,15 @@ enum CkptPending {
     },
     /// Automatic checkpoint taken at quiescence (PE 0): the quiescence
     /// waiters are held until every PE has committed, so the application
-    /// only resumes against fully saved state.
-    Auto { left: usize, waiters: Vec<FutureId> },
+    /// only resumes against fully saved state. `telemetry` marks that a
+    /// telemetry sweep fell due at the same quiescence round and must run
+    /// (machine still quiescent, waiters still parked) once the last PE
+    /// acks.
+    Auto {
+        left: usize,
+        waiters: Vec<FutureId>,
+        telemetry: bool,
+    },
 }
 
 /// In-memory checkpoint images one PE holds under `Store::Memory` buddy
@@ -324,6 +334,23 @@ pub(crate) struct PeState {
     qd_pe: QdPeState,
     qd_central: QdCentral,
 
+    /// PE 0: next telemetry sweep sequence number.
+    tel_seq: u64,
+    /// PE 0: a sweep is in flight (waiters parked in `tel_waiters`).
+    tel_active: bool,
+    /// Child subtree frames still owed for the sweep crossing this node.
+    tel_pending: usize,
+    /// This node's partially merged frame for the sweep in progress.
+    tel_acc: Option<Box<charm_trace::MetricFrame>>,
+    /// Tree root of the sweep in progress (parent routing).
+    tel_root: Pe,
+    /// PE 0: quiescence waiters held until the merged frame lands.
+    tel_waiters: Vec<FutureId>,
+    /// PE 0: the retained telemetry time series (`RunReport::telemetry`).
+    tel_series: Vec<charm_trace::MetricFrame>,
+    /// Hot-chare sketch (charged entry nanoseconds), sampled into frames.
+    tel_sketch: charm_trace::SpaceSaving<ChareId>,
+
     /// Outgoing envelopes, drained by the driver after each event.
     pub outbox: Vec<(Pe, Envelope)>,
     /// Trace recorder: always-on counters (quiescence detection +
@@ -427,6 +454,14 @@ impl PeState {
             qd_completions: 0,
             qd_pe: QdPeState::default(),
             qd_central: QdCentral::default(),
+            tel_seq: 0,
+            tel_active: false,
+            tel_pending: 0,
+            tel_acc: None,
+            tel_root: 0,
+            tel_waiters: Vec::new(),
+            tel_series: Vec::new(),
+            tel_sketch: charm_trace::SpaceSaving::new(charm_trace::DEFAULT_TOP_K),
             outbox: Vec::new(),
             tracer: PeTracer::new(&cfg_trace),
             event_work_ns: 0,
@@ -504,6 +539,11 @@ impl PeState {
         }
         let mut env = Envelope::new(self.pe, kind);
         env.epoch = self.cfg.epoch;
+        // Emission stamp for the receiver-side send→deliver latency sample;
+        // 0 (tracing off) records nothing.
+        if self.tracer.enabled() {
+            env.sent_ns = self.send_ts_ns();
+        }
         #[cfg(feature = "analyze")]
         {
             env.trace = self.det.on_send();
@@ -535,9 +575,14 @@ impl PeState {
             return;
         }
         #[cfg(feature = "analyze")]
-        let Envelope { kind, trace, .. } = env;
+        let Envelope {
+            kind,
+            sent_ns,
+            trace,
+            ..
+        } = env;
         #[cfg(not(feature = "analyze"))]
-        let Envelope { kind, .. } = env;
+        let Envelope { kind, sent_ns, .. } = env;
         let EnvKind::Entry {
             to,
             payload: Payload::Wire(bytes),
@@ -557,6 +602,7 @@ impl PeState {
             to,
             reply,
             guard,
+            sent_ns,
             #[cfg(feature = "analyze")]
             trace,
             &bytes,
@@ -621,8 +667,18 @@ impl PeState {
     /// classified as useful entry work or runtime overhead for the trace.
     fn charge_work(&mut self, ns: u64, chare: Option<&ChareId>, class: WorkClass) {
         self.event_work_ns += ns;
-        self.tracer.work(class, ns);
+        if self.tracer.summary_on() {
+            // Summary mode bins the span on the PE clock; `event_work_ns`
+            // already includes this charge, so `now_ns` is the span's end.
+            let end = self.now_ns();
+            self.tracer.work_at(class, ns, end);
+        } else {
+            self.tracer.work(class, ns);
+        }
         if let Some(id) = chare {
+            if ns > 0 && class == WorkClass::Entry && self.cfg.telemetry.is_some() {
+                self.tel_sketch.observe(id, ns);
+            }
             if let Some(slot) = self.chares.get_mut(id) {
                 slot.load_ns += ns;
             }
@@ -634,11 +690,12 @@ impl PeState {
     // =====================================================================
 
     pub fn handle(&mut self, env: Envelope) {
-        // Refresh the send-path timestamp cache (threads backend, full
-        // capture): every MsgSend/BatchFlush stamped while this envelope is
-        // handled shares one `Instant::now` read instead of paying one per
-        // emitted envelope.
-        if !self.cfg.is_sim && self.tracer.full() {
+        // Refresh the send-path timestamp cache (threads backend, tracing
+        // on): every MsgSend/BatchFlush event, outgoing `sent_ns` stamp and
+        // the incoming latency sample minted while this envelope is handled
+        // shares one `Instant::now` read instead of paying one per emitted
+        // envelope.
+        if !self.cfg.is_sim && self.tracer.enabled() {
             self.now_cache_ns = self.start.elapsed().as_nanos() as u64;
         }
         // Stale-epoch guard: an envelope from a previous incarnation (in
@@ -688,6 +745,17 @@ impl PeState {
         if self.tracer.enabled() {
             let sz = env.kind.size_hint() as u64;
             self.tracer.msg_recv(sz);
+            // Send→deliver latency on the receiver's clock, application
+            // (QD-counted) traffic only; `saturating_sub` is the monotone
+            // clamp across per-PE clocks.
+            if env.sent_ns > 0 && env.kind.counts_for_qd() {
+                let now = if self.cfg.is_sim {
+                    self.clock_ns + self.event_work_ns
+                } else {
+                    self.now_cache_ns
+                };
+                self.tracer.latency(now.saturating_sub(env.sent_ns));
+            }
             if self.tracer.full() {
                 let now = self.now_ns();
                 self.tracer.push(
@@ -937,6 +1005,8 @@ impl PeState {
                 pes,
             } => self.qd_counts(round, sent, done, pes),
             EnvKind::QdRequest { fid } => self.qd_request(fid),
+            EnvKind::TelemetryProbe { seq, root } => self.telemetry_probe(seq, root),
+            EnvKind::TelemetryFrame { seq, frame } => self.telemetry_frame(seq, frame),
             EnvKind::Bootstrap => self.bootstrap(),
             EnvKind::Exit => {
                 self.exited = true;
@@ -1599,12 +1669,11 @@ impl PeState {
                     } else {
                         // analyze: allow(blocking, "Charge deliberately burns wall time on the threads backend to emulate compute; it blocks only the charging chare's PE, exactly as real work would")
                         std::thread::sleep(dt);
-                        self.tracer.work(WorkClass::Entry, dt.as_nanos() as u64);
-                        if let Some(id) = &this {
-                            if let Some(slot) = self.chares.get_mut(id) {
-                                slot.load_ns += dt.as_nanos() as u64;
-                            }
-                        }
+                        // Same accounting as the sim arm: summary bins,
+                        // the hot-chare sketch, and the chare's measured
+                        // load all see the charge.
+                        self.now_cache_ns = self.now_ns();
+                        self.charge_work(dt.as_nanos() as u64, this.as_ref(), WorkClass::Entry);
                     }
                 }
                 Op::StartQd { fid } => {
@@ -2571,6 +2640,8 @@ impl PeState {
         trace.perf.inline_payloads = self.encode_pool.inline_count();
         trace.perf.dispatch_hits = self.dispatch_cache.hits;
         trace.perf.dispatch_misses = self.dispatch_cache.misses;
+        // The telemetry series lives where the sweeps complete (PE 0).
+        trace.telemetry = std::mem::take(&mut self.tel_series);
         trace
     }
 
@@ -2717,12 +2788,23 @@ impl PeState {
                     self.qd_central.active = false;
                     self.qd_completions += 1;
                     let waiters = std::mem::take(&mut self.qd_central.waiters);
+                    let telemetry = self.telemetry_due();
                     if self.auto_ckpt_due() {
                         // The machine is quiescent — exactly when a
                         // consistent image exists. Hold the quiescence
                         // waiters until every PE commits, so the app only
-                        // resumes against fully saved state.
-                        self.start_auto_ckpt(waiters);
+                        // resumes against fully saved state. A telemetry
+                        // sweep due at the same round runs after the last
+                        // ack (the machine stays quiescent throughout).
+                        self.start_auto_ckpt(waiters, telemetry);
+                        return;
+                    }
+                    if telemetry {
+                        // The machine is quiescent: every PE's counters
+                        // are stable and only sweep traffic will be in
+                        // flight, so the reduced frame is a deterministic
+                        // function of the program (not the schedule).
+                        self.start_telemetry_sweep(waiters);
                         return;
                     }
                     self.complete_qd_waiters(waiters);
@@ -2766,9 +2848,171 @@ impl PeState {
         }
     }
 
+    // =====================================================================
+    // In-band telemetry (DESIGN.md §12)
+    // =====================================================================
+
+    /// Whether this quiescence completion should trigger a telemetry sweep
+    /// (PE 0; cadence from `Runtime::telemetry`). Mirrors
+    /// [`Self::auto_ckpt_due`]: the restore gate's own round never sweeps,
+    /// and a sweep already in flight is never overlapped.
+    fn telemetry_due(&self) -> bool {
+        match &self.cfg.telemetry {
+            Some(t) => {
+                t.every > 0
+                    && !self.tel_active
+                    && self.entry_gate.is_none()
+                    && self.qd_completions % t.every == 0
+            }
+            None => false,
+        }
+    }
+
+    /// PE 0: start an in-band telemetry sweep over the PE tree. The
+    /// quiescence waiters stay parked until the merged frame lands back
+    /// here, so the only traffic in flight during the sweep is the sweep's
+    /// own — every PE samples stable counters, and the reduced frame is
+    /// schedule-independent (the determinism the permuted-schedule suite
+    /// asserts).
+    fn start_telemetry_sweep(&mut self, waiters: Vec<FutureId>) {
+        self.tel_active = true;
+        self.tel_waiters = waiters;
+        let seq = self.tel_seq;
+        self.tel_seq += 1;
+        self.telemetry_probe(seq, 0);
+    }
+
+    /// A telemetry probe crossing this node (or starting on the root):
+    /// relay it to the tree children, sample this PE's own frame — the
+    /// machine is quiescent, so the counters are stable — and send the
+    /// merged frame up once every child subtree has answered.
+    fn telemetry_probe(&mut self, seq: u64, root: Pe) {
+        let children = self.cfg.tree.children(self.pe, root, self.npes);
+        self.tel_pending = children.len();
+        self.tel_root = root;
+        for child in children {
+            self.emit(child, EnvKind::TelemetryProbe { seq, root });
+        }
+        let frame = self.sample_frame(seq);
+        self.tel_acc = Some(Box::new(frame));
+        self.tel_maybe_send_up(seq);
+    }
+
+    /// A child subtree's merged frame: fold it into this node's
+    /// accumulator.
+    fn telemetry_frame(&mut self, seq: u64, frame: Box<charm_trace::MetricFrame>) {
+        if let Some(acc) = self.tel_acc.as_deref_mut() {
+            acc.merge(&frame);
+        }
+        self.tel_pending = self.tel_pending.saturating_sub(1);
+        self.tel_maybe_send_up(seq);
+    }
+
+    /// Once the local sample and every child frame are merged, ship the
+    /// subtree frame to the parent — or, on the root, complete the sweep.
+    fn tel_maybe_send_up(&mut self, seq: u64) {
+        if self.tel_pending > 0 {
+            return;
+        }
+        let Some(frame) = self.tel_acc.take() else {
+            return;
+        };
+        match self.cfg.tree.parent(self.pe, self.tel_root, self.npes) {
+            Some(parent) => self.emit(parent, EnvKind::TelemetryFrame { seq, frame }),
+            None => self.tel_root_complete(*frame),
+        }
+    }
+
+    /// PE 0: the cluster-wide frame is complete — feed the sink, retain it
+    /// for `RunReport::telemetry`, and release the held quiescence waiters.
+    fn tel_root_complete(&mut self, frame: charm_trace::MetricFrame) {
+        if let Some(t) = &self.cfg.telemetry {
+            if let Some(sink) = &t.sink {
+                sink(&frame);
+            }
+        }
+        self.tel_series.push(frame);
+        self.tel_active = false;
+        let waiters = std::mem::take(&mut self.tel_waiters);
+        self.complete_qd_waiters(waiters);
+    }
+
+    /// Snapshot this PE's metrics into a single-PE frame. Runs at probe
+    /// arrival, when the machine is quiescent except for sweep traffic, so
+    /// every field the logical digest covers is stable.
+    fn sample_frame(&mut self, seq: u64) -> charm_trace::MetricFrame {
+        let now = self.now_ns();
+        let (busy, idle, overhead) = self.tracer.time_split();
+        let wall = busy + idle + overhead;
+        let util = if wall == 0 {
+            0.0
+        } else {
+            busy as f64 / wall as f64
+        };
+        let c = self.tracer.counters;
+        // Parked-message census; each sum is order-insensitive, so hash
+        // iteration order cannot leak into the frame.
+        let mut queue_depth = 0u64;
+        // analyze: allow(nondeterminism, "order-insensitive sum of when-guard buffer lengths")
+        for s in self.chares.values() {
+            queue_depth += s.buffered.len() as u64;
+        }
+        // analyze: allow(nondeterminism, "order-insensitive sum of pending-chare queue lengths")
+        for v in self.pending_chare.values() {
+            queue_depth += v.len() as u64;
+        }
+        // analyze: allow(nondeterminism, "order-insensitive sum of pending-collection queue lengths")
+        for v in self.pending_coll.values() {
+            queue_depth += v.len() as u64;
+        }
+        let top = self
+            .tel_sketch
+            .items()
+            .into_iter()
+            .map(|(id, weight, err)| charm_trace::TopItem {
+                label: self.chare_label(&id),
+                weight,
+                err,
+            })
+            .collect();
+        charm_trace::MetricFrame {
+            seq,
+            pes: 1,
+            sampled_at_ns: now,
+            busy_ns: busy,
+            idle_ns: idle,
+            overhead_ns: overhead,
+            util_min: util,
+            util_max: util,
+            util_sum: util,
+            util_sumsq: util * util,
+            msgs_sent: c.sent,
+            msgs_processed: c.processed,
+            entries: c.entries,
+            bytes_remote: c.bytes,
+            queue_depth,
+            queue_depth_max: queue_depth,
+            exec: self.tracer.exec_hist(),
+            latency: self.tracer.latency_hist().clone(),
+            top,
+            top_cap: charm_trace::DEFAULT_TOP_K,
+        }
+    }
+
+    /// Human label for a hot chare: `TypeName[index]` when the collection
+    /// spec is locally known, the raw id otherwise.
+    fn chare_label(&self, id: &ChareId) -> String {
+        match self.colls.get(&id.coll) {
+            Some(cs) => format!("{}{}", self.registry.name_of(cs.spec.ctype), id.index),
+            None => format!("{id}"),
+        }
+    }
+
     /// PE 0: broadcast `CkptSave` for the next generation, parking the
     /// quiescence waiters until every PE acks ([`Self::ckpt_ack`]).
-    fn start_auto_ckpt(&mut self, waiters: Vec<FutureId>) {
+    /// `telemetry` carries a same-round telemetry sweep through the
+    /// checkpoint (it starts once the last PE commits).
+    fn start_auto_ckpt(&mut self, waiters: Vec<FutureId>, telemetry: bool) {
         let store = match &self.cfg.auto_ckpt {
             Some((_, store)) => store.clone(),
             None => return,
@@ -2778,6 +3022,7 @@ impl PeState {
         self.ckpt = Some(CkptPending::Auto {
             left: self.npes,
             waiters,
+            telemetry,
         });
         let (dir, buddy) = match &store {
             Store::Disk(root) => (
@@ -2979,16 +3224,27 @@ impl PeState {
                     .expect("checkpoint count failed to encode");
                 self.emit(dst, EnvKind::FutureValue { fid, payload });
             }
-            CkptPending::Auto { left, waiters } => {
+            CkptPending::Auto {
+                left,
+                waiters,
+                telemetry,
+            } => {
                 if left > 1 {
                     self.ckpt = Some(CkptPending::Auto {
                         left: left - 1,
                         waiters,
+                        telemetry,
                     });
                     return;
                 }
-                // Generation committed on every PE: release the quiescence
-                // waiters that were parked when the checkpoint started.
+                // Generation committed on every PE. A telemetry sweep due
+                // at the same quiescence round runs now — the machine is
+                // still quiescent and the waiters are still parked — then
+                // releases the waiters; otherwise release them here.
+                if telemetry {
+                    self.start_telemetry_sweep(waiters);
+                    return;
+                }
                 self.complete_qd_waiters(waiters);
             }
         }

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use charm_sim::{EventQueue, MachineModel, VTime};
-use charm_trace::{PePerf, PeTrace, TraceConfig, TraceReport};
+use charm_trace::{MetricFrame, PePerf, PeTrace, TraceConfig, TraceReport, WorkClass};
 use charm_wire::Codec;
 
 use crate::chare::{Chare, MsgGuard, MsgGuards, Registry};
@@ -99,6 +99,45 @@ impl Default for AggCfg {
             max_count: 64,
             max_bytes: 64 * 1024,
         }
+    }
+}
+
+/// Live sink for merged telemetry frames (runs on PE 0's scheduler).
+pub type TelemetrySink = Arc<dyn Fn(&MetricFrame) + Send + Sync>;
+
+/// In-band telemetry configuration ([`Runtime::telemetry`]).
+///
+/// At every `every`-th completed quiescence round, each PE samples a
+/// [`MetricFrame`] (utilization split, message/entry counters, queue
+/// depth, execution-time and latency histograms, top-K hot chares) and the
+/// frames reduce over the runtime's spanning tree to PE 0 — in-band, on
+/// the normal envelope path, so the reduction composes with aggregation,
+/// recovery epochs and the model checker. The sweep runs while the
+/// quiescence waiters are parked, so it samples a quiescent machine:
+/// under the sim backend with metering off the merged frames are a pure
+/// function of the program (see [`MetricFrame::logical_digest`]).
+///
+/// PE 0 retains every merged frame in [`RunReport::telemetry`]; `sink`
+/// additionally streams each frame as it completes.
+#[derive(Clone)]
+pub struct TelemetryCfg {
+    /// Sweep cadence in completed quiescence rounds (≥ 1).
+    pub every: u64,
+    /// Optional live sink invoked on PE 0 with each merged frame.
+    pub sink: Option<TelemetrySink>,
+}
+
+impl TelemetryCfg {
+    /// Sweep at every `every`-th quiescence round, no live sink.
+    pub fn every(every: u64) -> TelemetryCfg {
+        TelemetryCfg { every, sink: None }
+    }
+
+    /// Stream each merged frame to `f` as it completes (in addition to
+    /// retaining it in the report).
+    pub fn sink(mut self, f: impl Fn(&MetricFrame) + Send + Sync + 'static) -> Self {
+        self.sink = Some(Arc::new(f));
+        self
     }
 }
 
@@ -222,6 +261,9 @@ pub struct RunReport {
     /// Full trace (per-entry stats + event rings under full capture);
     /// `None` when tracing was configured off.
     pub trace: Option<TraceReport>,
+    /// Cluster-wide telemetry frames reduced to PE 0, one per sweep, in
+    /// sweep order ([`Runtime::telemetry`]); empty when telemetry was off.
+    pub telemetry: Vec<MetricFrame>,
 }
 
 /// Builder/launcher for a charm-rs application.
@@ -244,6 +286,8 @@ pub struct Runtime {
     max_restarts: u64,
     msg_guards: MsgGuards,
     trace: TraceConfig,
+    /// In-band telemetry sweeps; `None` = off.
+    telemetry: Option<TelemetryCfg>,
     /// TRAM-style per-destination message aggregation; `None` = off
     /// (bit-identical to previous releases).
     agg: Option<AggCfg>,
@@ -285,6 +329,7 @@ impl Runtime {
             max_restarts: 3,
             msg_guards: MsgGuards::default(),
             trace: default_trace(),
+            telemetry: None,
             agg: None,
             fast_paths: true,
             permute: None,
@@ -438,6 +483,16 @@ impl Runtime {
         self
     }
 
+    /// Arm in-band telemetry (see [`TelemetryCfg`]): at every
+    /// `cfg.every`-th completed quiescence round, per-PE [`MetricFrame`]s
+    /// reduce over the spanning tree to PE 0, which retains the series in
+    /// [`RunReport::telemetry`] and streams each frame to `cfg.sink`.
+    pub fn telemetry(mut self, cfg: TelemetryCfg) -> Self {
+        assert!(cfg.every > 0, "telemetry cadence must be at least 1");
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Coalesce small remote entry messages into per-destination batches
     /// (Charm++'s TRAM; see [`AggCfg`] for the flush triggers). Off by
     /// default — without this call, behaviour is bit-identical to an
@@ -585,6 +640,7 @@ impl Runtime {
             let msg_guards = Arc::new(self.msg_guards.clone());
             let trace = self.trace;
             let agg = self.agg;
+            let telemetry = self.telemetry.clone();
             let fast_paths = self.fast_paths;
             #[cfg(feature = "analyze")]
             let probe = self.probe.clone();
@@ -606,6 +662,7 @@ impl Runtime {
                     msg_guards: Arc::clone(&msg_guards),
                     trace,
                     agg,
+                    telemetry: telemetry.clone(),
                     fast_paths,
                     #[cfg(feature = "analyze")]
                     analyze_probe: probe.clone(),
@@ -723,6 +780,7 @@ impl Runtime {
             let msg_guards = Arc::new(self.msg_guards.clone());
             let trace = self.trace;
             let agg = self.agg;
+            let telemetry = self.telemetry.clone();
             let fast_paths = self.fast_paths;
             Box::new(move |epoch, restore, ckpt_seq_start, probe| {
                 Arc::new(SchedCfg {
@@ -745,6 +803,7 @@ impl Runtime {
                     msg_guards: Arc::clone(&msg_guards),
                     trace,
                     agg,
+                    telemetry: telemetry.clone(),
                     fast_paths,
                     analyze_probe: Some(probe),
                 })
@@ -1016,18 +1075,30 @@ fn run_threads(
                                             // Going idle: release anything parked in
                                             // the aggregation buffers — nobody else
                                             // will flush traffic we are sitting on.
+                                            let flush_from = if state.tracer.enabled() {
+                                                Some(state.now_ns())
+                                            } else {
+                                                None
+                                            };
                                             if state.flush_aggregation() {
                                                 for (dst, env) in state.outbox.drain(..) {
                                                     let _ = senders[dst].send(env);
                                                 }
                                             }
                                             // Time spent waiting on the channel is
-                                            // the threaded backend's idle time.
-                                            let idle_from = if state.tracer.enabled() {
-                                                Some(state.now_ns())
-                                            } else {
-                                                None
-                                            };
+                                            // the threaded backend's idle time; the
+                                            // flush work before it is runtime
+                                            // overhead, not idle — otherwise summary
+                                            // quanta would not sum to wall time.
+                                            let idle_from = flush_from.map(|f0| {
+                                                let t0 = state.now_ns();
+                                                state.tracer.work_at(
+                                                    WorkClass::Overhead,
+                                                    t0 - f0,
+                                                    t0,
+                                                );
+                                                t0
+                                            });
                                             let env = match rx.recv_timeout(idle_timeout) {
                                                 Ok(env) => env,
                                                 Err(channel::RecvTimeoutError::Timeout) => {
@@ -1200,6 +1271,12 @@ pub(crate) fn finish_report(
     }
     let enabled = pes.iter().any(|t| t.enabled);
     let pe_stats = pes.iter().map(|t| t.perf.clone()).collect();
+    // Telemetry frames land only on the reduction root (PE 0), but collect
+    // from every PE so a custom tree root still surfaces its series.
+    let telemetry: Vec<MetricFrame> = pes
+        .iter()
+        .flat_map(|t| t.telemetry.iter().cloned())
+        .collect();
     RunReport {
         wall,
         time,
@@ -1211,6 +1288,7 @@ pub(crate) fn finish_report(
         recoveries,
         clean_exit,
         pe_stats,
+        telemetry,
         trace: enabled.then(|| TraceReport { pes }),
     }
 }

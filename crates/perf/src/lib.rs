@@ -1,0 +1,676 @@
+//! # charm-perf — post-mortem analyzer for charm-rs trace artifacts
+//!
+//! Projections ships with an analyzer GUI; this is the charm-rs text
+//! equivalent. It ingests the three artifact kinds the runtime exports and
+//! turns them into load-imbalance reports, hot-chare tables, and text
+//! timelines:
+//!
+//! * **`charm-summary v1`** ([`parse_summary`]) — the bounded time-binned
+//!   profile written by `TraceReport::write_summary_artifact` at
+//!   `TraceLevel::Summary`. Per PE: wall/busy/idle/overhead totals plus one
+//!   bin per wall-clock quantum. [`summary_report`] re-derives the per-PE
+//!   totals from the bins and cross-checks them against the header (the
+//!   runtime's `RunReport::pe_stats` values), then prints per-quantum
+//!   max/avg utilization and the imbalance factor λ = max/avg.
+//! * **`charm-telemetry v1`** ([`parse_telemetry`]) — the in-band metric
+//!   frames reduced over the PE spanning tree at a quiescence cadence
+//!   (`Runtime::telemetry`). [`telemetry_report`] prints the utilization
+//!   time series, queue depths, p50/p99 execution and latency quantiles,
+//!   and the top-K hot chares of the final frame.
+//! * **Chrome trace JSON** ([`parse_chrome`]) — full event capture.
+//!   [`chrome_report`] sums `"X"` span durations per track into busy/idle
+//!   time, ranks entry methods by total duration, and surfaces the
+//!   `charm_stats` health metadata (ring drops, encode-slab hit rate).
+//!
+//! Everything is line-oriented plain text in and out, so artifacts survive
+//! copy-paste through job logs. The parsers are strict: unknown line heads
+//! and malformed fields are errors, not skips — a truncated artifact should
+//! fail loudly, not silently produce a rosier report.
+
+#![forbid(unsafe_code)]
+
+use charm_trace::json::{self, Value};
+use charm_trace::Hist;
+
+/// One time bin of a summary-mode profile (`bin` line).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SummaryBinRec {
+    /// Entry-execution time in this quantum (ns).
+    pub busy_ns: u64,
+    /// Idle wait in this quantum (ns).
+    pub idle_ns: u64,
+    /// Runtime overhead in this quantum (ns).
+    pub overhead_ns: u64,
+    /// Entry activations in this quantum.
+    pub entries: u64,
+    /// Messages processed in this quantum.
+    pub msgs: u64,
+    /// Payload bytes handled in this quantum.
+    pub bytes: u64,
+}
+
+/// One PE's summary-mode profile (`pe` header + its `bin` lines).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SummaryPe {
+    /// PE number.
+    pub pe: usize,
+    /// Wall time the PE observed (ns).
+    pub wall_ns: u64,
+    /// Quantum width (ns per bin before any pairwise merges).
+    pub quantum_ns: u64,
+    /// Pairwise bin merges performed to stay within the bin budget.
+    pub merges: u64,
+    /// Header busy total — equals the runtime's `PePerf::busy_ns`.
+    pub busy_ns: u64,
+    /// Header idle total — equals the runtime's `PePerf::idle_ns`.
+    pub idle_ns: u64,
+    /// Header overhead total — equals the runtime's `PePerf::overhead_ns`.
+    pub overhead_ns: u64,
+    /// The time bins, oldest first.
+    pub bins: Vec<SummaryBinRec>,
+}
+
+impl SummaryPe {
+    /// Re-derive the per-class totals by summing the bins.
+    pub fn bin_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for b in &self.bins {
+            t.0 += b.busy_ns;
+            t.1 += b.idle_ns;
+            t.2 += b.overhead_ns;
+        }
+        t
+    }
+
+    /// Busy fraction of attributed time for bin `i`.
+    pub fn bin_util(&self, i: usize) -> f64 {
+        let b = &self.bins[i];
+        let wall = b.busy_ns + b.idle_ns + b.overhead_ns;
+        if wall == 0 {
+            0.0
+        } else {
+            b.busy_ns as f64 / wall as f64
+        }
+    }
+}
+
+/// One telemetry frame parsed back from a `charm-telemetry v1` artifact.
+///
+/// The histograms are rebuilt by replaying each bucket's lower bound
+/// `count` times into a fresh [`Hist`] on the same grid, so quantile
+/// queries keep the recorded bounded relative error (exact min/max inside
+/// the extreme buckets are not persisted).
+#[derive(Debug, Clone, Default)]
+pub struct FrameRec {
+    /// Sweep sequence number.
+    pub seq: u64,
+    /// PEs merged into the frame.
+    pub pes: u64,
+    /// Root PE-clock timestamp of the sample (ns).
+    pub at_ns: u64,
+    /// Cluster-wide busy total (ns).
+    pub busy_ns: u64,
+    /// Cluster-wide idle total (ns).
+    pub idle_ns: u64,
+    /// Cluster-wide overhead total (ns).
+    pub overhead_ns: u64,
+    /// Lowest per-PE utilization.
+    pub util_min: f64,
+    /// Highest per-PE utilization.
+    pub util_max: f64,
+    /// Sum of per-PE utilizations (avg = sum / pes).
+    pub util_sum: f64,
+    /// Sum of squared per-PE utilizations (for σ).
+    pub util_sumsq: f64,
+    /// Messages sent so far.
+    pub msgs_sent: u64,
+    /// Messages processed so far.
+    pub msgs_processed: u64,
+    /// Entry activations so far.
+    pub entries: u64,
+    /// Remote payload bytes so far.
+    pub bytes_remote: u64,
+    /// Buffered messages at the sample point.
+    pub queue: u64,
+    /// High-water buffered-message mark.
+    pub queue_max: u64,
+    /// Entry execution-time histogram (ns).
+    pub exec: Hist,
+    /// Send→deliver latency histogram (ns).
+    pub latency: Hist,
+    /// Hot chares, heaviest first: (label, weight_ns, max_overestimate).
+    pub top: Vec<(String, u64, u64)>,
+}
+
+impl FrameRec {
+    /// Mean per-PE utilization.
+    pub fn util_avg(&self) -> f64 {
+        if self.pes == 0 {
+            0.0
+        } else {
+            self.util_sum / self.pes as f64
+        }
+    }
+
+    /// Population standard deviation of per-PE utilization.
+    pub fn util_sigma(&self) -> f64 {
+        if self.pes == 0 {
+            return 0.0;
+        }
+        let n = self.pes as f64;
+        let mean = self.util_sum / n;
+        (self.util_sumsq / n - mean * mean).max(0.0).sqrt()
+    }
+}
+
+fn field<'a>(tok: &'a str, key: &str) -> Result<&'a str, String> {
+    match tok.split_once('=') {
+        Some((k, v)) if k == key => Ok(v),
+        _ => Err(format!("expected `{key}=...`, got `{tok}`")),
+    }
+}
+
+fn num<T: std::str::FromStr>(tok: &str, key: &str) -> Result<T, String> {
+    field(tok, key)?
+        .parse()
+        .map_err(|_| format!("bad numeric field `{tok}`"))
+}
+
+/// Parse a `charm-summary v1` artifact.
+pub fn parse_summary(text: &str) -> Result<Vec<SummaryPe>, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("charm-summary v1") {
+        return Err("not a charm-summary v1 artifact".into());
+    }
+    let mut pes: Vec<SummaryPe> = Vec::new();
+    for (no, line) in lines.enumerate() {
+        let no = no + 2;
+        let mut t = line.split_whitespace();
+        match t.next() {
+            Some("pe") => {
+                let mut p = SummaryPe {
+                    pe: t
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(format!("line {no}: bad pe number"))?,
+                    ..SummaryPe::default()
+                };
+                let err = |e| format!("line {no}: {e}");
+                p.wall_ns = num(t.next().unwrap_or(""), "wall_ns").map_err(err)?;
+                p.quantum_ns = num(t.next().unwrap_or(""), "quantum_ns").map_err(err)?;
+                p.merges = num(t.next().unwrap_or(""), "merges").map_err(err)?;
+                let bins: usize = num(t.next().unwrap_or(""), "bins").map_err(err)?;
+                p.busy_ns = num(t.next().unwrap_or(""), "busy_ns").map_err(err)?;
+                p.idle_ns = num(t.next().unwrap_or(""), "idle_ns").map_err(err)?;
+                p.overhead_ns = num(t.next().unwrap_or(""), "overhead_ns").map_err(err)?;
+                p.bins.reserve(bins);
+                pes.push(p);
+            }
+            Some("bin") => {
+                let p = pes
+                    .last_mut()
+                    .ok_or(format!("line {no}: bin before any pe header"))?;
+                let idx: usize = t
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(format!("line {no}: bad bin index"))?;
+                if idx != p.bins.len() {
+                    return Err(format!(
+                        "line {no}: bin index {idx} out of order (expected {})",
+                        p.bins.len()
+                    ));
+                }
+                let err = |e| format!("line {no}: {e}");
+                p.bins.push(SummaryBinRec {
+                    busy_ns: num(t.next().unwrap_or(""), "busy_ns").map_err(err)?,
+                    idle_ns: num(t.next().unwrap_or(""), "idle_ns").map_err(err)?,
+                    overhead_ns: num(t.next().unwrap_or(""), "overhead_ns").map_err(err)?,
+                    entries: num(t.next().unwrap_or(""), "entries").map_err(err)?,
+                    msgs: num(t.next().unwrap_or(""), "msgs").map_err(err)?,
+                    bytes: num(t.next().unwrap_or(""), "bytes").map_err(err)?,
+                });
+            }
+            None => continue,
+            Some(head) => return Err(format!("line {no}: unknown line head `{head}`")),
+        }
+    }
+    Ok(pes)
+}
+
+/// Parse a `charm-telemetry v1` artifact.
+pub fn parse_telemetry(text: &str) -> Result<Vec<FrameRec>, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("charm-telemetry v1") {
+        return Err("not a charm-telemetry v1 artifact".into());
+    }
+    let mut frames: Vec<FrameRec> = Vec::new();
+    for (no, line) in lines.enumerate() {
+        let no = no + 2;
+        let mut t = line.split_whitespace();
+        let err = |e| format!("line {no}: {e}");
+        match t.next() {
+            Some("frame") => {
+                let mut f = FrameRec::default();
+                f.seq = num(t.next().unwrap_or(""), "seq").map_err(err)?;
+                f.pes = num(t.next().unwrap_or(""), "pes").map_err(err)?;
+                f.at_ns = num(t.next().unwrap_or(""), "at_ns").map_err(err)?;
+                f.busy_ns = num(t.next().unwrap_or(""), "busy_ns").map_err(err)?;
+                f.idle_ns = num(t.next().unwrap_or(""), "idle_ns").map_err(err)?;
+                f.overhead_ns = num(t.next().unwrap_or(""), "overhead_ns").map_err(err)?;
+                f.util_min = num(t.next().unwrap_or(""), "util_min").map_err(err)?;
+                f.util_max = num(t.next().unwrap_or(""), "util_max").map_err(err)?;
+                f.util_sum = num(t.next().unwrap_or(""), "util_sum").map_err(err)?;
+                f.util_sumsq = num(t.next().unwrap_or(""), "util_sumsq").map_err(err)?;
+                f.msgs_sent = num(t.next().unwrap_or(""), "msgs_sent").map_err(err)?;
+                f.msgs_processed = num(t.next().unwrap_or(""), "msgs_processed").map_err(err)?;
+                f.entries = num(t.next().unwrap_or(""), "entries").map_err(err)?;
+                f.bytes_remote = num(t.next().unwrap_or(""), "bytes_remote").map_err(err)?;
+                f.queue = num(t.next().unwrap_or(""), "queue").map_err(err)?;
+                f.queue_max = num(t.next().unwrap_or(""), "queue_max").map_err(err)?;
+                frames.push(f);
+            }
+            Some("hist") => {
+                let f = frames
+                    .last_mut()
+                    .ok_or(format!("line {no}: hist before any frame"))?;
+                let which = t.next().ok_or(format!("line {no}: hist missing name"))?;
+                let sub_bits: u32 = num(t.next().unwrap_or(""), "sub_bits").map_err(err)?;
+                let mut h = Hist::new(sub_bits);
+                for bucket in t {
+                    let (lo, n) = bucket
+                        .split_once(':')
+                        .ok_or(format!("line {no}: bad bucket `{bucket}`"))?;
+                    let lo: u64 = lo
+                        .parse()
+                        .map_err(|_| format!("line {no}: bad bucket `{bucket}`"))?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("line {no}: bad bucket `{bucket}`"))?;
+                    // A bucket's lower bound re-buckets to itself, so the
+                    // rebuilt histogram sits on the original grid.
+                    h.record_n(lo, n);
+                }
+                match which {
+                    "exec" => f.exec = h,
+                    "latency" => f.latency = h,
+                    other => return Err(format!("line {no}: unknown hist `{other}`")),
+                }
+            }
+            Some("top") => {
+                let f = frames
+                    .last_mut()
+                    .ok_or(format!("line {no}: top before any frame"))?;
+                let label = field(t.next().unwrap_or(""), "label")
+                    .map_err(err)?
+                    .to_string();
+                let weight = num(t.next().unwrap_or(""), "weight").map_err(err)?;
+                let e = num(t.next().unwrap_or(""), "err").map_err(err)?;
+                f.top.push((label, weight, e));
+            }
+            None => continue,
+            Some(head) => return Err(format!("line {no}: unknown line head `{head}`")),
+        }
+    }
+    Ok(frames)
+}
+
+/// One track's span totals from a Chrome trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTrack {
+    /// Track id (`tid` — the PE number).
+    pub tid: u64,
+    /// Total `"X"` span time with category `entry` (µs).
+    pub entry_us: f64,
+    /// Total `"X"` span time with category `idle` (µs).
+    pub idle_us: f64,
+    /// `charm_stats` metadata: event-ring drops on this PE.
+    pub events_dropped: u64,
+    /// `charm_stats` metadata: encode-slab hit rate on this PE.
+    pub slab_hit_rate: f64,
+}
+
+/// A Chrome trace reduced to per-track totals plus a per-entry-name
+/// duration ranking (name, total µs, span count), heaviest first.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeProfile {
+    /// Per-PE tracks in tid order.
+    pub tracks: Vec<ChromeTrack>,
+    /// Entry spans ranked by total duration.
+    pub entries: Vec<(String, f64, u64)>,
+}
+
+/// Parse Chrome trace-event JSON (array form, as written by
+/// `TraceReport::write_chrome`) into per-track totals.
+pub fn parse_chrome(text: &str) -> Result<ChromeProfile, String> {
+    let doc = json::parse(text)?;
+    let arr = doc.as_arr().ok_or("chrome trace is not a JSON array")?;
+    let mut tracks: std::collections::BTreeMap<u64, ChromeTrack> = Default::default();
+    let mut entries: std::collections::BTreeMap<String, (f64, u64)> = Default::default();
+    for ev in arr {
+        let tid = ev.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        let track = tracks.entry(tid).or_insert_with(|| ChromeTrack {
+            tid,
+            ..ChromeTrack::default()
+        });
+        match ph {
+            "M" if name == "charm_stats" => {
+                if let Some(args) = ev.get("args") {
+                    track.events_dropped = args
+                        .get("events_dropped")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0) as u64;
+                    track.slab_hit_rate = args
+                        .get("slab_hit_rate")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0);
+                }
+            }
+            "X" => {
+                let dur = ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+                match ev.get("cat").and_then(Value::as_str) {
+                    Some("entry") => {
+                        track.entry_us += dur;
+                        let e = entries.entry(name.to_string()).or_insert((0.0, 0));
+                        e.0 += dur;
+                        e.1 += 1;
+                    }
+                    Some("idle") => track.idle_us += dur,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut ranked: Vec<(String, f64, u64)> =
+        entries.into_iter().map(|(n, (d, c))| (n, d, c)).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(ChromeProfile {
+        tracks: tracks.into_values().collect(),
+        entries: ranked,
+    })
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Utilization ramp for the text timeline: ten steps from blank to full.
+fn util_glyph(u: f64) -> char {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    RAMP[((u * 10.0) as usize).min(9)]
+}
+
+/// Load-imbalance report over a summary-mode profile: cross-checks each
+/// PE's bin totals against its header, then prints per-quantum max/avg
+/// utilization, σ, and the imbalance factor λ = max/avg (the Projections
+/// measure of how much a perfect balancer could save).
+pub fn summary_report(pes: &[SummaryPe]) -> String {
+    let mut out = String::new();
+    if pes.is_empty() {
+        out.push_str("summary: no PEs at summary level\n");
+        return out;
+    }
+    out.push_str("PE  wall_ms  busy_ms  idle_ms  ovhd_ms  util   bins merges totals\n");
+    for p in pes {
+        let (b, i, o) = p.bin_totals();
+        let ok = b == p.busy_ns && i == p.idle_ns && o == p.overhead_ns;
+        let wall = p.busy_ns + p.idle_ns + p.overhead_ns;
+        let util = if wall == 0 {
+            0.0
+        } else {
+            p.busy_ns as f64 / wall as f64
+        };
+        out.push_str(&format!(
+            "{:<3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>5.1}% {:>5} {:>6} {}\n",
+            p.pe,
+            ms(p.wall_ns),
+            ms(p.busy_ns),
+            ms(p.idle_ns),
+            ms(p.overhead_ns),
+            100.0 * util,
+            p.bins.len(),
+            p.merges,
+            if ok { "exact" } else { "MISMATCH" },
+        ));
+    }
+    let quanta = pes.iter().map(|p| p.bins.len()).max().unwrap_or(0);
+    if quanta > 0 {
+        out.push_str("\nquantum  util_max  util_avg  sigma   lambda\n");
+        for q in 0..quanta {
+            let utils: Vec<f64> = pes
+                .iter()
+                .filter(|p| q < p.bins.len())
+                .map(|p| p.bin_util(q))
+                .collect();
+            let n = utils.len() as f64;
+            let max = utils.iter().cloned().fold(0.0, f64::max);
+            let avg = utils.iter().sum::<f64>() / n;
+            let sigma = (utils.iter().map(|u| (u - avg) * (u - avg)).sum::<f64>() / n).sqrt();
+            let lambda = if avg > 0.0 { max / avg } else { 0.0 };
+            out.push_str(&format!(
+                "{:<8} {:>7.1}% {:>8.1}% {:>6.3} {:>7.3}\n",
+                q,
+                100.0 * max,
+                100.0 * avg,
+                sigma,
+                lambda,
+            ));
+        }
+        out.push('\n');
+        out.push_str(&timeline(pes));
+    }
+    out
+}
+
+/// Text timeline: one row per PE, one utilization glyph per quantum.
+pub fn timeline(pes: &[SummaryPe]) -> String {
+    let mut out = String::from("timeline (utilization per quantum; ' '=0% .. '@'=100%)\n");
+    for p in pes {
+        out.push_str(&format!("PE {:<3} |", p.pe));
+        for q in 0..p.bins.len() {
+            out.push(util_glyph(p.bin_util(q)));
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Telemetry time-series report: per-frame utilization spread, queue
+/// depths, exec/latency quantiles, then the final frame's hot chares.
+pub fn telemetry_report(frames: &[FrameRec], top_n: usize) -> String {
+    let mut out = String::new();
+    if frames.is_empty() {
+        out.push_str("telemetry: no frames\n");
+        return out;
+    }
+    out.push_str(
+        "seq  at_ms      util_avg util_min util_max sigma  queue qmax  exec_p50 exec_p99 lat_p50 lat_p99\n",
+    );
+    for f in frames {
+        let q = |h: &Hist, q: f64| h.quantile(q).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<4} {:>10.3} {:>7.1}% {:>7.1}% {:>7.1}% {:>6.3} {:>5} {:>4} {:>8} {:>8} {:>7} {:>7}\n",
+            f.seq,
+            ms(f.at_ns),
+            100.0 * f.util_avg(),
+            100.0 * f.util_min,
+            100.0 * f.util_max,
+            f.util_sigma(),
+            f.queue,
+            f.queue_max,
+            q(&f.exec, 0.5),
+            q(&f.exec, 0.99),
+            q(&f.latency, 0.5),
+            q(&f.latency, 0.99),
+        ));
+    }
+    let last = frames.last().expect("non-empty");
+    if !last.top.is_empty() {
+        out.push_str(&format!("\nhot chares (final frame, top {top_n}):\n"));
+        for (label, weight, err) in last.top.iter().take(top_n) {
+            out.push_str(&format!(
+                "  {label:<24} {:>10.3} ms (+/- {:.3})\n",
+                ms(*weight),
+                ms(*err),
+            ));
+        }
+    }
+    out
+}
+
+/// Chrome-trace report: per-track span totals plus the entry ranking and
+/// capture-health metadata.
+pub fn chrome_report(profile: &ChromeProfile, top_n: usize) -> String {
+    let mut out = String::from("PE  entry_ms  idle_ms  dropped slab_hit\n");
+    for t in &profile.tracks {
+        out.push_str(&format!(
+            "{:<3} {:>8.3} {:>8.3} {:>8} {:>7.1}%\n",
+            t.tid,
+            t.entry_us / 1e3,
+            t.idle_us / 1e3,
+            t.events_dropped,
+            100.0 * t.slab_hit_rate,
+        ));
+    }
+    if !profile.entries.is_empty() {
+        out.push_str(&format!("\nentries by total time (top {top_n}):\n"));
+        for (name, dur, count) in profile.entries.iter().take(top_n) {
+            out.push_str(&format!("  {name:<32} {:>10.3} ms  x{count}\n", dur / 1e3));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> String {
+        concat!(
+            "charm-summary v1\n",
+            "pe 0 wall_ns=3000 quantum_ns=1000 merges=0 bins=3 busy_ns=1500 idle_ns=900 overhead_ns=600\n",
+            "bin 0 busy_ns=1000 idle_ns=0 overhead_ns=0 entries=2 msgs=2 bytes=64\n",
+            "bin 1 busy_ns=500 idle_ns=400 overhead_ns=100 entries=1 msgs=1 bytes=32\n",
+            "bin 2 busy_ns=0 idle_ns=500 overhead_ns=500 entries=0 msgs=0 bytes=0\n",
+            "pe 1 wall_ns=3000 quantum_ns=1000 merges=1 bins=1 busy_ns=3000 idle_ns=0 overhead_ns=0\n",
+            "bin 0 busy_ns=3000 idle_ns=0 overhead_ns=0 entries=4 msgs=4 bytes=128\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn summary_round_trip_and_totals() {
+        let pes = parse_summary(&sample_summary()).expect("parses");
+        assert_eq!(pes.len(), 2);
+        assert_eq!(pes[0].bins.len(), 3);
+        assert_eq!(pes[0].bin_totals(), (1500, 900, 600));
+        assert_eq!(pes[1].merges, 1);
+        let report = summary_report(&pes);
+        assert!(report.contains("exact"), "totals cross-check: {report}");
+        assert!(!report.contains("MISMATCH"));
+        assert!(report.contains("lambda"));
+        assert!(report.contains("timeline"));
+    }
+
+    #[test]
+    fn summary_rejects_corruption() {
+        assert!(parse_summary("nope\n").is_err());
+        let mut bad = sample_summary();
+        bad.push_str("mystery 1 2 3\n");
+        assert!(parse_summary(&bad)
+            .unwrap_err()
+            .contains("unknown line head"));
+        let gap =
+            "charm-summary v1\nbin 0 busy_ns=1 idle_ns=0 overhead_ns=0 entries=0 msgs=0 bytes=0\n";
+        assert!(parse_summary(gap).unwrap_err().contains("before any pe"));
+    }
+
+    #[test]
+    fn summary_report_flags_total_mismatch() {
+        let mut pes = parse_summary(&sample_summary()).expect("parses");
+        pes[0].busy_ns += 1;
+        assert!(summary_report(&pes).contains("MISMATCH"));
+    }
+
+    #[test]
+    fn telemetry_round_trip_via_trace_writer() {
+        use charm_trace::MetricFrame;
+        let mut f = MetricFrame::default();
+        f.seq = 3;
+        f.pes = 4;
+        f.busy_ns = 1000;
+        f.util_min = 0.25;
+        f.util_max = 0.75;
+        f.util_sum = 2.0;
+        f.util_sumsq = 1.125;
+        f.queue_depth = 7;
+        for v in [10, 100, 1000, 10_000] {
+            f.exec.record(v);
+        }
+        f.top.push(charm_trace::TopItem {
+            label: "Worker[3]".into(),
+            weight: 900,
+            err: 0,
+        });
+        let text = charm_trace::frames_artifact(&[f.clone()]);
+        let frames = parse_telemetry(&text).expect("parses");
+        assert_eq!(frames.len(), 1);
+        let r = &frames[0];
+        assert_eq!((r.seq, r.pes, r.busy_ns, r.queue), (3, 4, 1000, 7));
+        assert!((r.util_avg() - 0.5).abs() < 1e-9);
+        assert_eq!(r.exec.count(), 4);
+        // Replayed bucket lows stay within the recorded relative error.
+        let p50 = r.exec.quantile(0.5).expect("quantile") as f64;
+        let orig = f.exec.quantile(0.5).expect("quantile") as f64;
+        let tol = f.exec.max_rel_error() * 2.0;
+        assert!((p50 - orig).abs() <= orig * tol + 1.0, "{p50} vs {orig}");
+        assert_eq!(r.top, vec![("Worker[3]".to_string(), 900, 0)]);
+        let report = telemetry_report(&frames, 5);
+        assert!(report.contains("Worker[3]"));
+        assert!(report.contains("exec_p50"));
+    }
+
+    #[test]
+    fn telemetry_rejects_corruption() {
+        assert!(parse_telemetry("charm-summary v1\n").is_err());
+        let orphan = "charm-telemetry v1\nhist exec sub_bits=5 0:1\n";
+        assert!(parse_telemetry(orphan)
+            .unwrap_err()
+            .contains("before any frame"));
+        let text = charm_trace::frames_artifact(&[charm_trace::MetricFrame::default()]);
+        let broken = text.replace("busy_ns=", "busy_ns=x");
+        assert!(parse_telemetry(&broken).is_err());
+    }
+
+    #[test]
+    fn chrome_profile_sums_spans_and_reads_stats() {
+        let trace = r#"[
+            {"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"PE 0"}},
+            {"ph":"M","pid":1,"tid":0,"name":"charm_stats","args":{"events_dropped":5,"slab_hit_rate":0.8}},
+            {"ph":"X","pid":1,"tid":0,"ts":0.0,"dur":10.5,"name":"Worker::receive","cat":"entry"},
+            {"ph":"X","pid":1,"tid":0,"ts":20.0,"dur":4.5,"name":"Worker::receive","cat":"entry"},
+            {"ph":"X","pid":1,"tid":0,"ts":30.0,"dur":7.0,"name":"idle","cat":"idle"},
+            {"ph":"i","pid":1,"tid":0,"ts":40.0,"s":"t","name":"mark","cat":"mark"}
+        ]"#;
+        let p = parse_chrome(trace).expect("parses");
+        assert_eq!(p.tracks.len(), 1);
+        let t = &p.tracks[0];
+        assert!((t.entry_us - 15.0).abs() < 1e-9);
+        assert!((t.idle_us - 7.0).abs() < 1e-9);
+        assert_eq!(t.events_dropped, 5);
+        assert_eq!(p.entries, vec![("Worker::receive".to_string(), 15.0, 2)]);
+        let report = chrome_report(&p, 3);
+        assert!(report.contains("Worker::receive"));
+        assert!(report.contains("80.0%"));
+        assert!(parse_chrome("{}").is_err());
+    }
+
+    #[test]
+    fn timeline_glyphs_cover_the_ramp() {
+        assert_eq!(util_glyph(0.0), ' ');
+        assert_eq!(util_glyph(0.55), '+');
+        assert_eq!(util_glyph(1.0), '@');
+    }
+}

@@ -1,0 +1,59 @@
+//! `charm-perf` — analyze charm-rs trace artifacts from the command line.
+//!
+//! ```text
+//! charm-perf summary   <file>           # charm-summary v1 artifact
+//! charm-perf telemetry <file> [--top N] # charm-telemetry v1 artifact
+//! charm-perf chrome    <file> [--top N] # Chrome trace-event JSON
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: charm-perf <summary|telemetry|chrome> <file> [--top N]";
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().ok_or(USAGE)?;
+    let path = args.next().ok_or(USAGE)?;
+    let mut top_n = 10usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--top" => {
+                top_n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--top needs a positive integer")?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    match mode.as_str() {
+        "summary" => Ok(charm_perf::summary_report(&charm_perf::parse_summary(
+            &text,
+        )?)),
+        "telemetry" => Ok(charm_perf::telemetry_report(
+            &charm_perf::parse_telemetry(&text)?,
+            top_n,
+        )),
+        "chrome" => Ok(charm_perf::chrome_report(
+            &charm_perf::parse_chrome(&text)?,
+            top_n,
+        )),
+        other => Err(format!("unknown mode `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("charm-perf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Order-sensitive FNV-1a hashing, shared by the logical-identity digests
+//! (telemetry frames, histogram fingerprints). Not a content-addressed or
+//! cryptographic hash — just a stable, dependency-free fingerprint two
+//! deterministic runs can be required to agree on.
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Start a fresh digest.
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Fold one byte in.
+    #[inline]
+    pub fn eat(&mut self, byte: u8) {
+        self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Fold a `u64` in, little-endian.
+    pub fn eat_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.eat(b);
+        }
+    }
+
+    /// Fold a string in, length-prefixed so concatenations can't collide
+    /// by sliding bytes between adjacent fields.
+    pub fn eat_str(&mut self, s: &str) {
+        self.eat_u64(s.len() as u64);
+        for b in s.bytes() {
+            self.eat(b);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_framing_sensitive() {
+        let mut a = Fnv::new();
+        a.eat_str("ab");
+        a.eat_str("c");
+        let mut b = Fnv::new();
+        b.eat_str("a");
+        b.eat_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.eat_u64(1);
+        c.eat_u64(2);
+        let mut d = Fnv::new();
+        d.eat_u64(2);
+        d.eat_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

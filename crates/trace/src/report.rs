@@ -5,7 +5,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::event::{EntryKind, Event, EventKind};
+use crate::hist::Hist;
 use crate::json;
+use crate::summary::PeSummary;
+use crate::telemetry::MetricFrame;
 use crate::tracer::EntryStat;
 
 /// Cheap per-PE performance counters — always present in `RunReport`,
@@ -143,6 +146,13 @@ pub struct PeTrace {
     pub entries: Vec<EntrySummary>,
     /// Captured events in record order (empty below full level).
     pub events: Vec<Event>,
+    /// Send→deliver latency distribution (empty below counters level).
+    pub latency: Hist,
+    /// Bounded time-bin profile (present at level ≥ summary).
+    pub summary: Option<PeSummary>,
+    /// Telemetry time series — populated on PE 0 only, when
+    /// `Runtime::telemetry` is armed (the reduction root retains it).
+    pub telemetry: Vec<MetricFrame>,
     /// Trace level was ≥ counters.
     pub enabled: bool,
     /// Trace level was full (events were captured).
@@ -207,6 +217,17 @@ impl TraceReport {
             let pe = t.perf.pe;
             objs.push(format!(
                 r#"{{"ph":"M","pid":1,"tid":{pe},"name":"thread_name","args":{{"name":"PE {pe}"}}}}"#
+            ));
+        }
+        // Per-PE health metadata: ring-drop count and encode-slab hit rate
+        // travel with the trace so a viewer (or charm-perf) can flag a
+        // truncated or allocation-bound capture without the RunReport.
+        for t in &self.pes {
+            let pe = t.perf.pe;
+            objs.push(format!(
+                r#"{{"ph":"M","pid":1,"tid":{pe},"name":"charm_stats","args":{{"events_dropped":{},"slab_hit_rate":{:.4}}}}}"#,
+                t.perf.events_dropped,
+                t.perf.slab_hit_rate()
             ));
         }
         for t in &self.pes {
@@ -407,37 +428,101 @@ impl TraceReport {
                 p.events_dropped,
             ));
         }
-        // Merge entry stats across PEs by (name, kind).
+        // Merge entry stats across PEs by (name, kind) — histograms merge
+        // bucket-wise, so the p50/p99 columns are cluster-wide quantiles.
         let mut merged: BTreeMap<(String, EntryKind), EntryStat> = BTreeMap::new();
         for t in &self.pes {
             for e in &t.entries {
-                let m = merged.entry((e.name.clone(), e.kind)).or_default();
-                m.calls += e.stat.calls;
-                m.total_ns += e.stat.total_ns;
-                m.max_ns = m.max_ns.max(e.stat.max_ns);
-                for (dst, src) in m.hist.iter_mut().zip(e.stat.hist.iter()) {
-                    *dst += src;
-                }
+                merged
+                    .entry((e.name.clone(), e.kind))
+                    .or_default()
+                    .merge(&e.stat);
             }
         }
         if !merged.is_empty() {
             out.push_str(&format!(
-                "\n{:<48} {:<16} {:>8} {:>12} {:>10} {:>10}\n",
-                "entry", "kind", "calls", "total_ms", "max_us", "avg_us"
+                "\n{:<48} {:<16} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+                "entry", "kind", "calls", "total_ms", "max_us", "avg_us", "p50_us", "p99_us"
             ));
             for ((name, kind), s) in &merged {
+                let q = |p: f64| s.hist.quantile(p).unwrap_or(0) as f64 / 1e3;
                 out.push_str(&format!(
-                    "{:<48} {:<16} {:>8} {:>12.3} {:>10.1} {:>10.1}\n",
+                    "{:<48} {:<16} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
                     name,
                     kind.label(),
                     s.calls,
                     s.total_ns as f64 / 1e6,
                     s.max_ns as f64 / 1e3,
                     s.mean_ns() as f64 / 1e3,
+                    q(0.5),
+                    q(0.99),
+                ));
+            }
+        }
+        // Cluster-wide send→deliver latency distribution.
+        let mut lat = Hist::default();
+        for t in &self.pes {
+            lat.merge(&t.latency);
+        }
+        if lat.count() > 0 {
+            let q = |p: f64| lat.quantile(p).unwrap_or(0) as f64 / 1e3;
+            out.push_str(&format!(
+                "\nmsg latency: n={} p50={:.1}us p99={:.1}us p999={:.1}us max={:.1}us\n",
+                lat.count(),
+                q(0.5),
+                q(0.99),
+                q(0.999),
+                lat.max() as f64 / 1e3,
+            ));
+        }
+        // Summary-mode profile digest (full bins live in the artifact).
+        for t in &self.pes {
+            if let Some(s) = &t.summary {
+                out.push_str(&format!(
+                    "summary: PE {} quantum={}ns bins={} merges={}\n",
+                    t.perf.pe,
+                    s.quantum_ns,
+                    s.bins.len(),
+                    s.merges,
                 ));
             }
         }
         out
+    }
+
+    /// Plain-text summary-mode artifact (`charm-summary v1`): one `pe`
+    /// header per PE that ran at summary level, followed by its time bins.
+    /// The per-class nanosecond totals in the header equal the `PePerf`
+    /// counters exactly — `charm-perf` re-derives and checks this.
+    pub fn summary_artifact(&self) -> String {
+        let mut out = String::from("charm-summary v1\n");
+        for t in &self.pes {
+            let Some(s) = &t.summary else { continue };
+            let p = &t.perf;
+            out.push_str(&format!(
+                "pe {} wall_ns={} quantum_ns={} merges={} bins={} busy_ns={} idle_ns={} overhead_ns={}\n",
+                p.pe,
+                p.wall_ns,
+                s.quantum_ns,
+                s.merges,
+                s.bins.len(),
+                p.busy_ns,
+                p.idle_ns,
+                p.overhead_ns,
+            ));
+            for (i, b) in s.bins.iter().enumerate() {
+                out.push_str(&format!(
+                    "bin {i} busy_ns={} idle_ns={} overhead_ns={} entries={} msgs={} bytes={}\n",
+                    b.busy_ns, b.idle_ns, b.overhead_ns, b.entries, b.msgs, b.bytes,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Write the summary-mode artifact to `path`.
+    pub fn write_summary_artifact(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.summary_artifact())
     }
 
     /// Distinct event-kind names captured across all PEs (paired spans
@@ -554,6 +639,7 @@ mod tests {
                 events,
                 enabled: true,
                 captured: true,
+                ..PeTrace::default()
             }],
         }
     }
@@ -711,6 +797,86 @@ mod tests {
         // Untouched blocks report 0, not NaN.
         assert_eq!(PePerf::default().slab_hit_rate(), 0.0);
         assert_eq!(PePerf::default().dispatch_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn chrome_metadata_surfaces_drops_and_slab_rate() {
+        let mut rep = one_pe(Vec::new());
+        rep.pes[0].perf.events_dropped = 42;
+        rep.pes[0].perf.slab_hits = 3;
+        rep.pes[0].perf.slab_misses = 1;
+        let doc = parse(&rep.chrome_json()).expect("exporter emits valid JSON");
+        let arr = doc.as_arr().expect("top level is an array");
+        let stats = arr
+            .iter()
+            .find(|o| o.get("name").and_then(Value::as_str) == Some("charm_stats"))
+            .expect("charm_stats metadata row present");
+        let args = stats.get("args").expect("args object");
+        assert_eq!(
+            args.get("events_dropped").and_then(Value::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            args.get("slab_hit_rate").and_then(Value::as_f64),
+            Some(0.75)
+        );
+    }
+
+    #[test]
+    fn summary_artifact_lists_bins_and_matches_perf() {
+        use crate::summary::{PeSummary, SummaryBin};
+        let mut rep = one_pe(Vec::new());
+        {
+            let t = &mut rep.pes[0];
+            t.perf.busy_ns = 30;
+            t.perf.idle_ns = 20;
+            t.perf.overhead_ns = 950;
+            t.summary = Some(PeSummary {
+                quantum_ns: 500,
+                merges: 1,
+                bins: vec![
+                    SummaryBin {
+                        busy_ns: 30,
+                        idle_ns: 20,
+                        overhead_ns: 450,
+                        entries: 2,
+                        msgs: 5,
+                        bytes: 160,
+                    },
+                    SummaryBin {
+                        overhead_ns: 500,
+                        ..SummaryBin::default()
+                    },
+                ],
+            });
+        }
+        let art = rep.summary_artifact();
+        assert!(art.starts_with("charm-summary v1\n"));
+        assert!(art.contains(
+            "pe 0 wall_ns=1000000 quantum_ns=500 merges=1 bins=2 busy_ns=30 idle_ns=20 overhead_ns=950"
+        ));
+        assert!(
+            art.contains("bin 0 busy_ns=30 idle_ns=20 overhead_ns=450 entries=2 msgs=5 bytes=160")
+        );
+        assert!(art.contains("bin 1 busy_ns=0 idle_ns=0 overhead_ns=500 entries=0 msgs=0 bytes=0"));
+        let text = rep.summary();
+        assert!(text.contains("summary: PE 0 quantum=500ns bins=2 merges=1"));
+        // A counters-only report emits the header and nothing else.
+        assert_eq!(one_pe(Vec::new()).summary_artifact(), "charm-summary v1\n");
+    }
+
+    #[test]
+    fn summary_reports_latency_quantiles() {
+        let mut rep = one_pe(Vec::new());
+        for v in [10_000u64, 20_000, 30_000, 40_000] {
+            rep.pes[0].latency.record(v);
+        }
+        let text = rep.summary();
+        assert!(text.contains("msg latency: n=4"));
+        assert!(text.contains("p50="));
+        assert!(text.contains("p99="));
+        // No latency samples → no latency line.
+        assert!(!one_pe(Vec::new()).summary().contains("msg latency"));
     }
 
     #[test]

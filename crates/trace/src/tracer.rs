@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 
 use crate::event::{EntryKind, Event, EventKind, Ring};
+use crate::hist::Hist;
 use crate::report::{EntrySummary, PePerf, PeTrace};
+use crate::summary::{BinClass, SummaryRec};
 use crate::{TraceConfig, TraceLevel};
 
 /// Message/byte counters (quiescence detection + `RunReport`). Maintained
@@ -37,8 +39,11 @@ pub enum WorkClass {
     Overhead,
 }
 
-/// Per-(chare type, entry kind) call statistics with a log2 time histogram.
-#[derive(Debug, Clone, PartialEq)]
+/// Per-(chare type, entry kind) call statistics with a log-linear
+/// execution-time histogram ([`Hist`]): `stat.hist.quantile(0.99)` answers
+/// the p99 question the serving scenario's SLOs need, with bounded
+/// relative error and exact cross-PE merging.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EntryStat {
     /// Activations recorded.
     pub calls: u64,
@@ -46,20 +51,8 @@ pub struct EntryStat {
     pub total_ns: u64,
     /// Longest single activation.
     pub max_ns: u64,
-    /// `hist[b]` counts activations with `floor(log2(ns)) == b`, clamped
-    /// to bucket 31 (≥ 2 s); zero-ns readings land in bucket 0.
-    pub hist: [u64; 32],
-}
-
-impl Default for EntryStat {
-    fn default() -> Self {
-        EntryStat {
-            calls: 0,
-            total_ns: 0,
-            max_ns: 0,
-            hist: [0; 32],
-        }
-    }
+    /// Activation-time distribution (quantiles via [`Hist::quantile`]).
+    pub hist: Hist,
 }
 
 impl EntryStat {
@@ -68,10 +61,15 @@ impl EntryStat {
         self.calls += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
         self.max_ns = self.max_ns.max(ns);
-        let b = (63 - (ns | 1).leading_zeros()).min(31) as usize;
-        if let Some(slot) = self.hist.get_mut(b) {
-            *slot += 1;
-        }
+        self.hist.record(ns);
+    }
+
+    /// Fold another stat block (same entry, another PE) into this one.
+    pub fn merge(&mut self, other: &EntryStat) {
+        self.calls += other.calls;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.hist.merge(&other.hist);
     }
 
     /// Mean activation time (0 when nothing was recorded).
@@ -125,6 +123,11 @@ pub struct PeTracer {
     idle_ns: u64,
     overhead_ns: u64,
     entries: BTreeMap<(u32, EntryKind), EntryStat>,
+    /// Send→deliver latency distribution (one sample per QD-counted
+    /// delivery, on the receiver's clock; level ≥ counters).
+    latency: Hist,
+    /// Bounded time-bin profile (level ≥ summary).
+    summary: Option<Box<SummaryRec>>,
     ring: Ring,
     /// Last ring timestamp; [`PeTracer::push`] clamps to it so the ring
     /// stays monotone even when a coroutine begin is back-dated
@@ -157,6 +160,8 @@ impl Default for PeTracer {
             idle_ns: 0,
             overhead_ns: 0,
             entries: BTreeMap::new(),
+            latency: Hist::default(),
+            summary: None,
             ring: Ring::default(),
             last_ts: 0,
         }
@@ -173,6 +178,8 @@ impl PeTracer {
             } else {
                 Ring::default()
             },
+            summary: (cfg.level >= TraceLevel::Summary)
+                .then(|| Box::new(SummaryRec::new(cfg.quantum_ns, cfg.max_bins))),
             ..PeTracer::default()
         }
     }
@@ -181,6 +188,12 @@ impl PeTracer {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.level >= TraceLevel::Counters
+    }
+
+    /// Summary time-binning (and everything above) is on.
+    #[inline]
+    pub fn summary_on(&self) -> bool {
+        self.level >= TraceLevel::Summary
     }
 
     /// Full event capture is on.
@@ -212,6 +225,41 @@ impl PeTracer {
         }
     }
 
+    /// Classify `ns` of charged time ending at clock stamp `end_ns`, so
+    /// summary mode can bin the span `[end_ns - ns, end_ns)`. Equivalent
+    /// to [`PeTracer::work`] below summary level.
+    #[inline]
+    pub fn work_at(&mut self, class: WorkClass, ns: u64, end_ns: u64) {
+        self.work(class, ns);
+        if ns > 0 {
+            if let Some(s) = self.summary.as_deref_mut() {
+                let bc = match class {
+                    WorkClass::Entry => BinClass::Busy,
+                    WorkClass::Overhead => BinClass::Overhead,
+                };
+                s.span(bc, end_ns.saturating_sub(ns), end_ns);
+            }
+        }
+    }
+
+    /// Record one send→deliver latency sample (receiver side; level ≥
+    /// counters).
+    #[inline]
+    pub fn latency(&mut self, ns: u64) {
+        if self.level >= TraceLevel::Counters {
+            self.latency.record(ns);
+        }
+    }
+
+    /// Bin emitted-message counts at `ts_ns` (no-op below summary level;
+    /// the caller keeps the logical counters itself).
+    #[inline]
+    pub fn summary_msg(&mut self, ts_ns: u64, msgs: u64, bytes: u64) {
+        if let Some(s) = self.summary.as_deref_mut() {
+            s.count(ts_ns, 0, msgs, bytes);
+        }
+    }
+
     /// Record one entry-method activation: per-entry stats, plus an
     /// adjacent begin/end event pair under full capture. `measured_ns` is
     /// the charged execution time; `begin_ns`/`end_ns` are clock stamps.
@@ -230,6 +278,11 @@ impl PeTracer {
             .entry((ctype, kind))
             .or_default()
             .record(measured_ns);
+        if let Some(s) = self.summary.as_deref_mut() {
+            // Busy time is binned by `work_at` (the charge path); here only
+            // the activation count, stamped where the activation ended.
+            s.count(end_ns.max(begin_ns), 1, 0, 0);
+        }
         if self.level == TraceLevel::Full {
             self.push(begin_ns, EventKind::EntryBegin { ctype, kind });
             self.push(end_ns.max(begin_ns), EventKind::EntryEnd { ctype, kind });
@@ -244,6 +297,11 @@ impl PeTracer {
         }
         let d = end_ns.saturating_sub(begin_ns);
         self.idle_ns += d;
+        if d > 0 {
+            if let Some(s) = self.summary.as_deref_mut() {
+                s.span(BinClass::Idle, begin_ns, end_ns);
+            }
+        }
         if self.level == TraceLevel::Full && d > 0 {
             self.push(begin_ns, EventKind::IdleBegin);
             self.push(end_ns, EventKind::IdleEnd);
@@ -282,10 +340,30 @@ impl PeTracer {
         self.batch_msgs += msgs;
     }
 
+    /// Live time-split `(busy, idle, overhead)` ns so far — what the
+    /// telemetry frame sampler reads mid-run.
+    pub fn time_split(&self) -> (u64, u64, u64) {
+        (self.busy_ns, self.idle_ns, self.overhead_ns)
+    }
+
+    /// Merged execution-time histogram across all entries so far.
+    pub fn exec_hist(&self) -> Hist {
+        let mut h = Hist::default();
+        for stat in self.entries.values() {
+            h.merge(&stat.hist);
+        }
+        h
+    }
+
+    /// The send→deliver latency histogram recorded so far.
+    pub fn latency_hist(&self) -> &Hist {
+        &self.latency
+    }
+
     /// Finish the PE: fold unattributed time into overhead and produce the
     /// per-PE trace. `name_of` resolves a chare type id to a display name.
     pub fn finish(
-        self,
+        mut self,
         pe: usize,
         wall_ns: u64,
         bytes_encoded: u64,
@@ -305,6 +383,19 @@ impl PeTracer {
             // decomposition sums to wall time exactly.
             overhead_ns += wall_ns.saturating_sub(busy_ns + idle_ns + overhead_ns);
         }
+        let summary = self.summary.take().map(|mut s| {
+            // Reconcile: any time that reached the counters without being
+            // span-binned (plus the slack fold above) lands in the tail
+            // bin, so the summary's per-class totals equal the PePerf
+            // totals to the nanosecond — the exactness `charm-perf`
+            // re-derives from the artifact.
+            let (sb, si, so) = s.totals();
+            let tail = wall_ns.saturating_sub(1);
+            s.charge_point(BinClass::Busy, busy_ns.saturating_sub(sb), tail);
+            s.charge_point(BinClass::Idle, idle_ns.saturating_sub(si), tail);
+            s.charge_point(BinClass::Overhead, overhead_ns.saturating_sub(so), tail);
+            s.finish()
+        });
         let c = self.counters;
         let perf = PePerf {
             pe,
@@ -341,8 +432,7 @@ impl PeTracer {
             dispatch_misses: 0,
             events_dropped: dropped,
         };
-        let entries = self
-            .entries
+        let entries = std::mem::take(&mut self.entries)
             .into_iter()
             .map(|((ctype, kind), stat)| EntrySummary {
                 ctype,
@@ -355,6 +445,9 @@ impl PeTracer {
             perf,
             entries,
             events,
+            latency: std::mem::take(&mut self.latency),
+            summary,
+            telemetry: Vec::new(),
             enabled,
             captured,
         }
@@ -406,10 +499,17 @@ mod tests {
         s.record(1024);
         s.record(u64::MAX);
         assert_eq!(s.calls, 4);
-        assert_eq!(s.hist[0], 2);
-        assert_eq!(s.hist[10], 1);
-        assert_eq!(s.hist[31], 1);
+        assert_eq!(s.hist.count(), 4);
+        assert_eq!(s.hist.min(), 0);
         assert_eq!(s.max_ns, u64::MAX);
+        // Quantiles answer within the grid's relative-error bound.
+        let p50 = s.hist.quantile(0.5).unwrap();
+        assert!((p50 as f64 - 1.0).abs() <= 1.0 * s.hist.max_rel_error() + 0.5);
+        let mut other = EntryStat::default();
+        other.record(1024);
+        s.merge(&other);
+        assert_eq!(s.calls, 5);
+        assert_eq!(s.hist.count(), 5);
     }
 
     #[test]
@@ -444,6 +544,39 @@ mod tests {
         assert_eq!(p.perf.batches_sent, 2);
         assert_eq!(p.perf.batch_msgs, 11);
         assert!((p.perf.batch_occupancy() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_level_bins_and_conserves_wall() {
+        let cfg = TraceConfig::summary().quantum_ns(100).max_bins(4);
+        let mut t = PeTracer::new(&cfg);
+        assert!(t.summary_on() && !t.full());
+        t.work_at(WorkClass::Entry, 150, 150);
+        t.idle(150, 400);
+        t.work_at(WorkClass::Overhead, 50, 450);
+        t.entry(100, 150, 150, 1, EntryKind::Receive);
+        t.summary_msg(200, 3, 96);
+        t.latency(40);
+        let p = t.finish(0, 1_000, 0, |_| String::new());
+        let s = p.summary.as_ref().expect("summary profile present");
+        assert!(s.bins.len() <= 4);
+        let (b, i, o) = s.totals();
+        assert_eq!(b, p.perf.busy_ns);
+        assert_eq!(i, p.perf.idle_ns);
+        assert_eq!(o, p.perf.overhead_ns);
+        assert_eq!(b + i + o, p.perf.wall_ns, "quanta sum exactly to wall");
+        let msgs: u64 = s.bins.iter().map(|x| x.msgs).sum();
+        let entries: u64 = s.bins.iter().map(|x| x.entries).sum();
+        assert_eq!((msgs, entries), (3, 1));
+        assert_eq!(p.latency.count(), 1);
+    }
+
+    #[test]
+    fn counters_level_has_no_summary() {
+        let mut t = PeTracer::new(&TraceConfig::counters());
+        t.work_at(WorkClass::Entry, 10, 10);
+        let p = t.finish(0, 100, 0, |_| String::new());
+        assert!(p.summary.is_none());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property test: [`Hist::quantile`] against a sorted-vector oracle over
+//! deterministic pseudo-random samples, plus merge equivalence — the
+//! bounded-relative-error contract charm-perf and the telemetry reducer
+//! lean on.
+
+use charm_trace::Hist;
+
+/// splitmix64 — tiny deterministic PRNG, no dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Draw a value whose magnitude spans many orders (exercises both the
+/// exact sub-2^sub_bits region and the log-linear region).
+fn sample(rng: &mut SplitMix64) -> u64 {
+    let shift = (rng.next() % 48) as u32;
+    rng.next() >> (16 + shift % 48)
+}
+
+/// Oracle: nearest-rank quantile on the sorted sample vector.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantiles_match_oracle_within_relative_error() {
+    for seed in [1u64, 0xdead_beef, 0x1234_5678_9abc_def0] {
+        let mut rng = SplitMix64(seed);
+        let mut h = Hist::default();
+        let mut vals: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = sample(&mut rng);
+            h.record(v);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        let tol = h.max_rel_error();
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q).expect("non-empty histogram") as f64;
+            let want = oracle(&vals, q) as f64;
+            // The histogram's answer must sit within the grid's relative
+            // error of SOME sample adjacent to the oracle rank: buckets
+            // blur ties, so compare against the nearest bucket-compatible
+            // truth, allowing one rank of slack on either side.
+            let n = vals.len();
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let lo = vals[rank.saturating_sub(2)] as f64;
+            let hi = vals[(rank).min(n - 1)] as f64;
+            let ok = got >= lo * (1.0 - tol) - 1.0 && got <= hi * (1.0 + tol) + 1.0;
+            assert!(
+                ok,
+                "seed {seed:#x} q={q}: got {got}, oracle {want} (window [{lo}, {hi}], tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_histogram_equals_histogram_of_union() {
+    let mut rng = SplitMix64(42);
+    let mut a = Hist::default();
+    let mut b = Hist::default();
+    let mut whole = Hist::default();
+    for i in 0..4_000 {
+        let v = sample(&mut rng);
+        if i % 2 == 0 {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        whole.record(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), whole.count());
+    assert_eq!(a.min(), whole.min());
+    assert_eq!(a.max(), whole.max());
+    assert_eq!(a.digest(), whole.digest(), "merge is bucket-exact");
+    for &q in &[0.5, 0.9, 0.99] {
+        assert_eq!(a.quantile(q), whole.quantile(q));
+    }
+}
+
+#[test]
+fn extremes_and_degenerate_inputs() {
+    let mut h = Hist::default();
+    assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+    h.record(7);
+    assert_eq!(h.quantile(0.0), Some(7));
+    assert_eq!(h.quantile(1.0), Some(7));
+    let mut big = Hist::default();
+    big.record(u64::MAX);
+    big.record(0);
+    assert_eq!(big.quantile(0.0), Some(0));
+    assert_eq!(big.quantile(1.0), Some(u64::MAX), "clamped to observed max");
+}
