@@ -20,8 +20,10 @@
 //!   methods are asynchronous and must never block the PE.
 //! * **`nondeterminism`** — no `HashMap`/`HashSet` iteration-order
 //!   dependence (`.keys()`, `.values()`, `.drain()`, …) and no wall-clock
-//!   reads (`Instant::now`) in the scheduling-order-sensitive paths: the
-//!   PE scheduler, the run drivers, the model checker and the sim crate.
+//!   reads (`Instant::now` / `SystemTime::now`) in the
+//!   scheduling-order-sensitive paths: the PE scheduler, the run drivers
+//!   (including the Net driver), the model checker, the sim crate and the
+//!   net crate.
 //!   Anything that feeds message emission order or virtual time must be
 //!   sorted/key-ordered or virtual; every surviving site documents why its
 //!   order or time cannot leak into observable scheduling. (The scanner is
@@ -120,7 +122,7 @@ impl Rule {
                 "no thread::sleep or blocking Mutex/RwLock in entry-method execution paths"
             }
             Rule::Nondeterminism => {
-                "no hash-order iteration or Instant::now() in scheduling-order-sensitive paths"
+                "no hash-order iteration or Instant/SystemTime::now() in scheduling-order-sensitive paths"
             }
             Rule::Annotation => "analyze: allow(..) annotations must be well-formed with a reason",
             Rule::StaleAllow => {
@@ -168,7 +170,8 @@ pub const PANIC_SCOPE: &[&str] = &[
 /// Directory prefixes subject to the `payload-copy` rule.
 pub const COPY_SCOPE: &[&str] = &["crates/core/src/", "crates/wire/src/"];
 
-/// Files subject to the `blocking` rule (entry-method execution paths).
+/// Files subject to the `blocking` rule (entry-method execution paths; the
+/// Net driver runs PE 0's scheduler loop in-process, so it counts).
 pub const BLOCKING_SCOPE: &[&str] = &[
     "crates/core/src/pe.rs",
     "crates/core/src/msg.rs",
@@ -177,7 +180,14 @@ pub const BLOCKING_SCOPE: &[&str] = &[
     "crates/core/src/reduction.rs",
     "crates/core/src/chare.rs",
     "crates/core/src/coro.rs",
+    "crates/core/src/net.rs",
 ];
+
+/// Directory prefixes subject to the `blocking` rule. The transport crate
+/// *does* block by design (writer threads, heartbeats, backoff sleeps) —
+/// scoping it forces every such site behind a reasoned `net-hook` allow,
+/// so a blocking call can never sneak into the crate unexamined.
+pub const BLOCKING_PREFIX: &[&str] = &["crates/net/src/"];
 
 /// Files subject to the `nondeterminism` rule: everything whose control
 /// flow decides message emission order or virtual time — the PE scheduler,
@@ -186,12 +196,15 @@ pub const NONDET_SCOPE: &[&str] = &[
     "crates/core/src/pe.rs",
     "crates/core/src/runtime.rs",
     "crates/core/src/check.rs",
+    "crates/core/src/net.rs",
 ];
 
-/// Directory prefixes subject to the `nondeterminism` rule (the whole sim
-/// crate: a virtual-time engine must never consult hash order or the host
-/// clock).
-pub const NONDET_PREFIX: &[&str] = &["crates/sim/src/"];
+/// Directory prefixes subject to the `nondeterminism` rule: the whole sim
+/// crate (a virtual-time engine must never consult hash order or the host
+/// clock) and the whole net crate (its wall-clock reads are legitimate but
+/// each must carry a `net-hook` allow naming why the time never feeds
+/// scheduling decisions visible to the deterministic backends).
+pub const NONDET_PREFIX: &[&str] = &["crates/sim/src/", "crates/net/src/"];
 
 /// A source line after lexical masking: `code` has comments and string
 /// literals replaced by spaces (same length), `comment` holds the text of
@@ -416,7 +429,13 @@ fn allowed(
     // `allow(telemetry-hook, "...")` covers the in-band telemetry sweep
     // and metric-sampling paths (frame encode, sink dispatch), where the
     // same pre-validated indexing and deliberate-panic patterns recur.
+    // `allow(net-hook, "...")` is the transport umbrella: it additionally
+    // covers the nondeterminism rule, because the Net backend's sanctioned
+    // sites are precisely blocking I/O *and* wall-clock reads (heartbeat
+    // deadlines, backoff sleeps) that by design never reach the
+    // deterministic schedulers.
     let umbrella = matches!(rule, Rule::Panic | Rule::Blocking);
+    let net_umbrella = matches!(rule, Rule::Panic | Rule::Blocking | Rule::Nondeterminism);
     let hit = |l: &MaskedLine| {
         parse_allows(&l.comment).iter().any(|a| {
             a.has_reason
@@ -424,7 +443,8 @@ fn allowed(
                     || (umbrella
                         && (a.rule == "trace-hook"
                             || a.rule == "recovery-hook"
-                            || a.rule == "telemetry-hook")))
+                            || a.rule == "telemetry-hook"))
+                    || (net_umbrella && a.rule == "net-hook"))
         })
     };
     if hit(&lines[idx]) {
@@ -456,6 +476,7 @@ fn check_annotations(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
     valid.push("trace-hook");
     valid.push("recovery-hook");
     valid.push("telemetry-hook");
+    valid.push("net-hook");
     for (i, l) in lines.iter().enumerate() {
         for a in parse_allows(&l.comment) {
             if !valid.contains(&a.rule.as_str()) {
@@ -593,7 +614,7 @@ fn scan_source(
         );
     }
 
-    if BLOCKING_SCOPE.contains(&path) {
+    if BLOCKING_SCOPE.contains(&path) || BLOCKING_PREFIX.iter().any(|p| path.starts_with(p)) {
         find_pattern(
             path,
             lines,
@@ -630,6 +651,7 @@ fn scan_source(
                 ".into_values()",
                 ".drain()",
                 "Instant::now(",
+                "SystemTime::now(",
             ],
             "hash-order iteration or wall-clock read in a scheduling-order-sensitive path:",
             out,
@@ -722,6 +744,7 @@ pub fn lint_file(path: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
     valid.push("trace-hook");
     valid.push("recovery-hook");
     valid.push("telemetry-hook");
+    valid.push("net-hook");
     for (i, l) in lines.iter().enumerate() {
         for a in parse_allows(&l.comment) {
             if a.has_reason && valid.contains(&a.rule.as_str()) && !used.contains(&i) {
@@ -915,6 +938,15 @@ pub fn self_test() -> Result<Vec<Finding>, Vec<Rule>> {
     if lint_source("crates/core/src/pe.rs", sampled)
         .iter()
         .any(|f| f.rule == Rule::Panic)
+    {
+        missed.push(Rule::Annotation);
+    }
+    // The net-hook umbrella must cover blocking I/O *and* wall-clock reads
+    // in the transport crate — but never a non-umbrella rule elsewhere.
+    let netted = "fn beat() {\n    // analyze: allow(net-hook, \"heartbeat cadence: wall-clock sleep on a supervision thread\")\n    std::thread::sleep(d());\n    // analyze: allow(net-hook, \"deadline arithmetic for the same heartbeat\")\n    let _ = std::time::Instant::now();\n}\n";
+    if lint_source("crates/net/src/peer.rs", netted)
+        .iter()
+        .any(|f| matches!(f.rule, Rule::Blocking | Rule::Nondeterminism))
     {
         missed.push(Rule::Annotation);
     }

@@ -82,6 +82,11 @@ fn main() -> ExitCode {
             );
             println!(
                 "{:<14} {}",
+                "net-hook",
+                "allow-key for the net transport: suppresses panic + blocking + nondeterminism on the annotated line"
+            );
+            println!(
+                "{:<14} {}",
                 "stale-allow",
                 "audit: allow(..) annotations that suppress nothing (warning; finding under --strict)"
             );

@@ -200,6 +200,39 @@ fn telemetry_hook_does_not_suppress_payload_copy() {
 }
 
 #[test]
+fn net_hook_suppresses_blocking_and_nondeterminism_in_net_scope() {
+    // The transport crate and the core Net driver are in the blocking and
+    // nondeterminism scopes; one net-hook allow covers either rule.
+    let sleep = "fn beat() {\n    // analyze: allow(net-hook, \"heartbeat cadence sleep on a supervision thread\")\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(lint_source("crates/net/src/peer.rs", sleep).is_empty());
+    let clock = "fn deadline() -> std::time::Instant {\n    // analyze: allow(net-hook, \"transport deadlines are wall-clock by definition\")\n    std::time::Instant::now()\n}\n";
+    assert!(lint_source("crates/core/src/net.rs", clock).is_empty());
+}
+
+#[test]
+fn net_scope_fires_without_annotation() {
+    // Unannotated blocking I/O in the transport crate is a finding, as is
+    // an unannotated wall-clock read (Instant or SystemTime) in the core
+    // Net driver.
+    let mutex = "use std::sync::Mutex;\nstruct S {\n    m: Mutex<u32>,\n}\n";
+    assert!(rules(&lint_source("crates/net/src/node.rs", mutex)).contains(&Rule::Blocking));
+    let clock = "fn nonce() -> u64 {\n    std::time::SystemTime::now();\n    0\n}\n";
+    assert!(rules(&lint_source("crates/core/src/net.rs", clock)).contains(&Rule::Nondeterminism));
+}
+
+#[test]
+fn net_hook_does_not_suppress_payload_copy_or_leak_scope() {
+    // The umbrella covers panic/blocking/nondeterminism only...
+    let copy = "fn f(b: &WireBytes) -> Vec<u8> {\n    // analyze: allow(net-hook, \"not a transport path at all\")\n    b.to_vec()\n}\n";
+    assert!(rules(&lint_source("crates/wire/src/buffer.rs", copy)).contains(&Rule::PayloadCopy));
+    // ...and a reason is still mandatory.
+    let bare = "fn f() {\n    std::thread::sleep(d()); // analyze: allow(net-hook)\n}\n";
+    let got = rules(&lint_source("crates/net/src/peer.rs", bare));
+    assert!(got.contains(&Rule::Annotation));
+    assert!(got.contains(&Rule::Blocking));
+}
+
+#[test]
 fn nondeterminism_fires_on_hash_iteration_in_scope() {
     let src = "fn order(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
     assert!(rules(&lint_source(HOT, src)).contains(&Rule::Nondeterminism));

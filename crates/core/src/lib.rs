@@ -28,11 +28,13 @@
 //!
 //! ## Backends
 //!
-//! The same application runs on two interchangeable backends
-//! (`runtime::Backend`): real OS threads (one per PE), or a deterministic
+//! The same application runs on three interchangeable backends
+//! (`runtime::Backend`): real OS threads (one per PE), a deterministic
 //! virtual-time simulation driven by a `charm_sim::MachineModel` — the
 //! substitute for the paper's Cray testbeds that makes the scaling figures
-//! reproducible on any host.
+//! reproducible on any host — and real OS *processes* connected over TCP
+//! via `charm-net`, with heartbeat failure detection and process-kill
+//! recovery (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 
@@ -49,6 +51,8 @@ pub mod future;
 pub mod ids;
 pub mod lb;
 pub mod msg;
+pub(crate) mod net;
+pub(crate) mod netmsg;
 pub mod pe;
 pub mod proxy;
 pub mod quiescence;
@@ -76,6 +80,13 @@ pub use runtime::{
     AggCfg, Backend, DispatchMode, Main, RunError, RunReport, Runtime, TelemetryCfg, TelemetrySink,
 };
 pub use tree::TreeShape;
+
+// Net backend configuration and process-role helpers (DESIGN.md §13) —
+// re-exported so applications select `Backend::Net` without depending on
+// `charm-net` directly. `is_net_worker` lets a binary guard root-only work
+// that runs *before* `Runtime::run` (after it, worker processes have
+// already exited inside the runtime).
+pub use charm_net::{is_net_worker, BackoffCfg, NetCfg, Spawn};
 
 // Tracing & metrics (DESIGN.md §7) — the subsystem lives in `charm-trace`;
 // re-exported so applications configure and consume traces through one crate.

@@ -1,0 +1,739 @@
+//! Wire form of [`Envelope`] for the Net backend (DESIGN.md §13).
+//!
+//! In-process backends move [`Envelope`]s by ownership; the Net backend
+//! must turn them into bytes. Rather than forcing serde onto the runtime's
+//! hot-path types (whose payload variants — [`Payload::Local`] boxes,
+//! refcounted [`WireBytes`] handles — deliberately resist it), this module
+//! defines a one-to-one serde mirror, [`WKind`], and converts at the
+//! process boundary. The conversion is also where the backend's two
+//! structural limits are enforced as typed errors instead of corruption:
+//! a [`Payload::Local`] can never cross a process (it would mean the
+//! scheduler mis-classified a destination), and telemetry frames are not
+//! shipped (the Net backend rejects telemetry at configuration time).
+//!
+//! Cost note: crossing the boundary copies each `WireBytes` payload once
+//! into the mirror (and once back on receive). That is inherent to leaving
+//! the process — the refcounted sharing that makes in-process fan-out free
+//! has no meaning across address spaces.
+
+use charm_trace::PePerf;
+use charm_wire::{Codec, WireBytes};
+use serde::{Deserialize, Serialize};
+
+use crate::collections::CollSpec;
+use crate::ids::{ChareId, CollectionId, FutureId, Index, Pe};
+use crate::lb::LbChareStat;
+use crate::msg::{EnvKind, Envelope, Payload};
+use crate::reduction::{RedData, RedTarget, Reducer};
+
+/// Why an envelope could not cross the process boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum NetMsgError {
+    /// The envelope kind (or payload form) is not representable on the
+    /// wire; the message names it.
+    Unsupported(&'static str),
+    /// The codec failed (encode side: a bug; decode side: hostile or torn
+    /// bytes from the network).
+    Codec(String),
+}
+
+impl std::fmt::Display for NetMsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetMsgError::Unsupported(what) => write!(f, "not wire-representable: {what}"),
+            NetMsgError::Codec(e) => write!(f, "envelope codec: {e}"),
+        }
+    }
+}
+
+/// Serde mirror of [`EnvKind`]. Field meanings are documented on the
+/// original; this type exists only to cross the process boundary, so the
+/// variants stay in lockstep — a new `EnvKind` without a mirror arm is a
+/// compile error in `to_wire`/`from_wire`, not a silent wire gap.
+#[derive(Serialize, Deserialize)]
+enum WKind {
+    Entry {
+        to: ChareId,
+        payload: Vec<u8>,
+        reply: Option<FutureId>,
+        guard: Option<u32>,
+    },
+    Batch {
+        count: u32,
+        frame: Vec<u8>,
+    },
+    BroadcastEntry {
+        coll: CollectionId,
+        bytes: Vec<u8>,
+        root: Pe,
+    },
+    CreateCollection {
+        spec: CollSpec,
+        init: Vec<u8>,
+        root: Pe,
+    },
+    InsertElem {
+        coll: CollectionId,
+        index: Index,
+        init: Vec<u8>,
+        on_pe: Option<Pe>,
+        placed: bool,
+    },
+    DoneInserting {
+        coll: CollectionId,
+    },
+    FutureValue {
+        fid: FutureId,
+        payload: Vec<u8>,
+    },
+    RedPartial {
+        coll: CollectionId,
+        redno: u64,
+        count: u64,
+        data: RedData,
+        reducer: Reducer,
+        target: Option<RedTarget>,
+    },
+    RedDeliver {
+        to: ChareId,
+        tag: u32,
+        data: RedData,
+    },
+    RedBroadcast {
+        coll: CollectionId,
+        tag: u32,
+        data: RedData,
+        root: Pe,
+    },
+    MigrateChare {
+        coll: CollectionId,
+        index: Index,
+        data: Vec<u8>,
+        buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)>,
+        load_ns: u64,
+        red_seq: u64,
+        for_lb: bool,
+    },
+    LocationUpdate {
+        id: ChareId,
+        pe: Pe,
+    },
+    SubtreeAdd {
+        coll: CollectionId,
+        delta: i64,
+    },
+    LbPoll,
+    LbStats {
+        stats: Vec<LbChareStat>,
+        at_sync: u64,
+    },
+    LbDoMigrate {
+        moves: Vec<(ChareId, Pe)>,
+        total: u64,
+    },
+    LbMigrated,
+    LbResume {
+        root: Pe,
+    },
+    QdProbe {
+        round: u64,
+        root: Pe,
+    },
+    QdCounts {
+        round: u64,
+        sent: u64,
+        done: u64,
+        pes: u64,
+    },
+    CkptSave {
+        dir: Option<String>,
+        epoch: u64,
+        buddy: bool,
+    },
+    CkptBuddy {
+        owner: Pe,
+        initiator: Pe,
+        epoch: u64,
+        saved: u64,
+        image: Vec<u8>,
+    },
+    CkptAck {
+        saved: u64,
+    },
+    RestoreColl {
+        spec: CollSpec,
+        root: Pe,
+    },
+    QdRequest {
+        fid: FutureId,
+    },
+    TelemetryProbe {
+        seq: u64,
+        root: Pe,
+    },
+    Bootstrap,
+    Exit,
+    Halt,
+}
+
+/// Serde mirror of [`Envelope`].
+#[derive(Serialize, Deserialize)]
+struct WEnv {
+    src: Pe,
+    epoch: u64,
+    sent_ns: u64,
+    #[cfg(feature = "analyze")]
+    trace: crate::analyze::EnvTrace,
+    kind: WKind,
+}
+
+fn payload_bytes(p: Payload) -> Result<Vec<u8>, NetMsgError> {
+    match p {
+        // A Local payload reaching the network path means the scheduler
+        // classified a remote destination as same-PE — a runtime bug that
+        // must surface as a typed error, never as a silent drop of a box.
+        Payload::Local(_) => Err(NetMsgError::Unsupported(
+            "Payload::Local at a process boundary",
+        )),
+        // analyze: allow(payload-copy, "process boundary: refcounted sharing cannot cross address spaces, so the one copy here is the serialization itself")
+        Payload::Wire(b) => Ok(b.to_vec()),
+    }
+}
+
+fn wire_vec(b: WireBytes) -> Vec<u8> {
+    // analyze: allow(payload-copy, "process boundary: the wire mirror owns its bytes; see payload_bytes")
+    b.to_vec()
+}
+
+fn to_wire(kind: EnvKind) -> Result<WKind, NetMsgError> {
+    Ok(match kind {
+        EnvKind::Entry {
+            to,
+            payload,
+            reply,
+            guard,
+        } => WKind::Entry {
+            to,
+            payload: payload_bytes(payload)?,
+            reply,
+            guard,
+        },
+        EnvKind::Batch { count, frame } => WKind::Batch {
+            count,
+            frame: wire_vec(frame),
+        },
+        EnvKind::BroadcastEntry { coll, bytes, root } => WKind::BroadcastEntry {
+            coll,
+            bytes: wire_vec(bytes),
+            root,
+        },
+        EnvKind::CreateCollection { spec, init, root } => WKind::CreateCollection {
+            spec,
+            init: wire_vec(init),
+            root,
+        },
+        EnvKind::InsertElem {
+            coll,
+            index,
+            init,
+            on_pe,
+            placed,
+        } => WKind::InsertElem {
+            coll,
+            index,
+            init: payload_bytes(init)?,
+            on_pe,
+            placed,
+        },
+        EnvKind::DoneInserting { coll } => WKind::DoneInserting { coll },
+        EnvKind::FutureValue { fid, payload } => WKind::FutureValue {
+            fid,
+            payload: payload_bytes(payload)?,
+        },
+        EnvKind::RedPartial {
+            coll,
+            redno,
+            count,
+            data,
+            reducer,
+            target,
+        } => WKind::RedPartial {
+            coll,
+            redno,
+            count,
+            data,
+            reducer,
+            target,
+        },
+        EnvKind::RedDeliver { to, tag, data } => WKind::RedDeliver { to, tag, data },
+        EnvKind::RedBroadcast {
+            coll,
+            tag,
+            data,
+            root,
+        } => WKind::RedBroadcast {
+            coll,
+            tag,
+            data,
+            root,
+        },
+        EnvKind::MigrateChare {
+            coll,
+            index,
+            data,
+            buffered,
+            load_ns,
+            red_seq,
+            for_lb,
+        } => WKind::MigrateChare {
+            coll,
+            index,
+            data,
+            buffered,
+            load_ns,
+            red_seq,
+            for_lb,
+        },
+        EnvKind::LocationUpdate { id, pe } => WKind::LocationUpdate { id, pe },
+        EnvKind::SubtreeAdd { coll, delta } => WKind::SubtreeAdd { coll, delta },
+        EnvKind::LbPoll => WKind::LbPoll,
+        EnvKind::LbStats { stats, at_sync } => WKind::LbStats { stats, at_sync },
+        EnvKind::LbDoMigrate { moves, total } => WKind::LbDoMigrate { moves, total },
+        EnvKind::LbMigrated => WKind::LbMigrated,
+        EnvKind::LbResume { root } => WKind::LbResume { root },
+        EnvKind::QdProbe { round, root } => WKind::QdProbe { round, root },
+        EnvKind::QdCounts {
+            round,
+            sent,
+            done,
+            pes,
+        } => WKind::QdCounts {
+            round,
+            sent,
+            done,
+            pes,
+        },
+        EnvKind::CkptSave { dir, epoch, buddy } => WKind::CkptSave { dir, epoch, buddy },
+        EnvKind::CkptBuddy {
+            owner,
+            initiator,
+            epoch,
+            saved,
+            image,
+        } => WKind::CkptBuddy {
+            owner,
+            initiator,
+            epoch,
+            saved,
+            image: wire_vec(image),
+        },
+        EnvKind::CkptAck { saved } => WKind::CkptAck { saved },
+        EnvKind::RestoreColl { spec, root } => WKind::RestoreColl { spec, root },
+        EnvKind::QdRequest { fid } => WKind::QdRequest { fid },
+        EnvKind::TelemetryProbe { seq, root } => WKind::TelemetryProbe { seq, root },
+        // Telemetry is rejected when a Net runtime is configured; an
+        // in-flight frame here would mean that gate was bypassed.
+        EnvKind::TelemetryFrame { .. } => {
+            return Err(NetMsgError::Unsupported(
+                "telemetry frames on the Net backend",
+            ))
+        }
+        EnvKind::Bootstrap => WKind::Bootstrap,
+        EnvKind::Exit => WKind::Exit,
+        EnvKind::Halt => WKind::Halt,
+    })
+}
+
+fn from_wire(kind: WKind) -> EnvKind {
+    match kind {
+        WKind::Entry {
+            to,
+            payload,
+            reply,
+            guard,
+        } => EnvKind::Entry {
+            to,
+            payload: Payload::Wire(WireBytes::from_vec(payload)),
+            reply,
+            guard,
+        },
+        WKind::Batch { count, frame } => EnvKind::Batch {
+            count,
+            frame: WireBytes::from_vec(frame),
+        },
+        WKind::BroadcastEntry { coll, bytes, root } => EnvKind::BroadcastEntry {
+            coll,
+            bytes: WireBytes::from_vec(bytes),
+            root,
+        },
+        WKind::CreateCollection { spec, init, root } => EnvKind::CreateCollection {
+            spec,
+            init: WireBytes::from_vec(init),
+            root,
+        },
+        WKind::InsertElem {
+            coll,
+            index,
+            init,
+            on_pe,
+            placed,
+        } => EnvKind::InsertElem {
+            coll,
+            index,
+            init: Payload::Wire(WireBytes::from_vec(init)),
+            on_pe,
+            placed,
+        },
+        WKind::DoneInserting { coll } => EnvKind::DoneInserting { coll },
+        WKind::FutureValue { fid, payload } => EnvKind::FutureValue {
+            fid,
+            payload: Payload::Wire(WireBytes::from_vec(payload)),
+        },
+        WKind::RedPartial {
+            coll,
+            redno,
+            count,
+            data,
+            reducer,
+            target,
+        } => EnvKind::RedPartial {
+            coll,
+            redno,
+            count,
+            data,
+            reducer,
+            target,
+        },
+        WKind::RedDeliver { to, tag, data } => EnvKind::RedDeliver { to, tag, data },
+        WKind::RedBroadcast {
+            coll,
+            tag,
+            data,
+            root,
+        } => EnvKind::RedBroadcast {
+            coll,
+            tag,
+            data,
+            root,
+        },
+        WKind::MigrateChare {
+            coll,
+            index,
+            data,
+            buffered,
+            load_ns,
+            red_seq,
+            for_lb,
+        } => EnvKind::MigrateChare {
+            coll,
+            index,
+            data,
+            buffered,
+            load_ns,
+            red_seq,
+            for_lb,
+        },
+        WKind::LocationUpdate { id, pe } => EnvKind::LocationUpdate { id, pe },
+        WKind::SubtreeAdd { coll, delta } => EnvKind::SubtreeAdd { coll, delta },
+        WKind::LbPoll => EnvKind::LbPoll,
+        WKind::LbStats { stats, at_sync } => EnvKind::LbStats { stats, at_sync },
+        WKind::LbDoMigrate { moves, total } => EnvKind::LbDoMigrate { moves, total },
+        WKind::LbMigrated => EnvKind::LbMigrated,
+        WKind::LbResume { root } => EnvKind::LbResume { root },
+        WKind::QdProbe { round, root } => EnvKind::QdProbe { round, root },
+        WKind::QdCounts {
+            round,
+            sent,
+            done,
+            pes,
+        } => EnvKind::QdCounts {
+            round,
+            sent,
+            done,
+            pes,
+        },
+        WKind::CkptSave { dir, epoch, buddy } => EnvKind::CkptSave { dir, epoch, buddy },
+        WKind::CkptBuddy {
+            owner,
+            initiator,
+            epoch,
+            saved,
+            image,
+        } => EnvKind::CkptBuddy {
+            owner,
+            initiator,
+            epoch,
+            saved,
+            image: WireBytes::from_vec(image),
+        },
+        WKind::CkptAck { saved } => EnvKind::CkptAck { saved },
+        WKind::RestoreColl { spec, root } => EnvKind::RestoreColl { spec, root },
+        WKind::QdRequest { fid } => EnvKind::QdRequest { fid },
+        WKind::TelemetryProbe { seq, root } => EnvKind::TelemetryProbe { seq, root },
+        WKind::Bootstrap => EnvKind::Bootstrap,
+        WKind::Exit => EnvKind::Exit,
+        WKind::Halt => EnvKind::Halt,
+    }
+}
+
+/// Serialize an outbound envelope for the socket.
+pub(crate) fn encode_env(codec: Codec, env: Envelope) -> Result<Vec<u8>, NetMsgError> {
+    let w = WEnv {
+        src: env.src,
+        epoch: env.epoch,
+        sent_ns: env.sent_ns,
+        #[cfg(feature = "analyze")]
+        trace: env.trace,
+        kind: to_wire(env.kind)?,
+    };
+    codec
+        .encode(&w)
+        .map_err(|e| NetMsgError::Codec(e.to_string()))
+}
+
+/// Deserialize an inbound envelope. The bytes passed framing CRCs, but the
+/// decode is still fallible — a peer built with different features (or a
+/// corrupted allocator) must yield a typed error, not UB or a panic.
+pub(crate) fn decode_env(codec: Codec, bytes: &[u8]) -> Result<Envelope, NetMsgError> {
+    let w: WEnv = codec
+        .decode(bytes)
+        .map_err(|e| NetMsgError::Codec(e.to_string()))?;
+    Ok(Envelope {
+        src: w.src,
+        kind: from_wire(w.kind),
+        epoch: w.epoch,
+        sent_ns: w.sent_ns,
+        #[cfg(feature = "analyze")]
+        trace: w.trace,
+    })
+}
+
+/// Serde mirror of [`PePerf`] plus the per-PE LB-epoch count: a worker's
+/// end-of-run statistics block, shipped to the root at shutdown so the
+/// [`crate::runtime::RunReport`] covers every process.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct WirePerf {
+    pub pe: usize,
+    pub wall_ns: u64,
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+    pub overhead_ns: u64,
+    pub msgs_sent: u64,
+    pub msgs_processed: u64,
+    pub sent_remote: u64,
+    pub sent_local: u64,
+    pub bytes_sent_remote: u64,
+    pub bytes_sent_local: u64,
+    pub bytes_recv: u64,
+    pub bytes_encoded: u64,
+    pub entries: u64,
+    pub migrations: u64,
+    pub guard_buffered: u64,
+    pub guard_drained: u64,
+    pub red_contributes: u64,
+    pub red_delivers: u64,
+    pub bcast_relays: u64,
+    pub ckpt_bytes: u64,
+    pub stale_discarded: u64,
+    pub batches_sent: u64,
+    pub batch_msgs: u64,
+    pub slab_hits: u64,
+    pub slab_misses: u64,
+    pub inline_payloads: u64,
+    pub dispatch_hits: u64,
+    pub dispatch_misses: u64,
+    pub events_dropped: u64,
+    /// LB epochs this PE participated in (reduced to the report total).
+    pub lb_epochs: u64,
+}
+
+impl WirePerf {
+    pub(crate) fn of(perf: &PePerf, lb_epochs: u64) -> WirePerf {
+        WirePerf {
+            pe: perf.pe,
+            wall_ns: perf.wall_ns,
+            busy_ns: perf.busy_ns,
+            idle_ns: perf.idle_ns,
+            overhead_ns: perf.overhead_ns,
+            msgs_sent: perf.msgs_sent,
+            msgs_processed: perf.msgs_processed,
+            sent_remote: perf.sent_remote,
+            sent_local: perf.sent_local,
+            bytes_sent_remote: perf.bytes_sent_remote,
+            bytes_sent_local: perf.bytes_sent_local,
+            bytes_recv: perf.bytes_recv,
+            bytes_encoded: perf.bytes_encoded,
+            entries: perf.entries,
+            migrations: perf.migrations,
+            guard_buffered: perf.guard_buffered,
+            guard_drained: perf.guard_drained,
+            red_contributes: perf.red_contributes,
+            red_delivers: perf.red_delivers,
+            bcast_relays: perf.bcast_relays,
+            ckpt_bytes: perf.ckpt_bytes,
+            stale_discarded: perf.stale_discarded,
+            batches_sent: perf.batches_sent,
+            batch_msgs: perf.batch_msgs,
+            slab_hits: perf.slab_hits,
+            slab_misses: perf.slab_misses,
+            inline_payloads: perf.inline_payloads,
+            dispatch_hits: perf.dispatch_hits,
+            dispatch_misses: perf.dispatch_misses,
+            events_dropped: perf.events_dropped,
+            lb_epochs,
+        }
+    }
+
+    pub(crate) fn into_perf(self) -> (PePerf, u64) {
+        let perf = PePerf {
+            pe: self.pe,
+            wall_ns: self.wall_ns,
+            busy_ns: self.busy_ns,
+            idle_ns: self.idle_ns,
+            overhead_ns: self.overhead_ns,
+            msgs_sent: self.msgs_sent,
+            msgs_processed: self.msgs_processed,
+            sent_remote: self.sent_remote,
+            sent_local: self.sent_local,
+            bytes_sent_remote: self.bytes_sent_remote,
+            bytes_sent_local: self.bytes_sent_local,
+            bytes_recv: self.bytes_recv,
+            bytes_encoded: self.bytes_encoded,
+            entries: self.entries,
+            migrations: self.migrations,
+            guard_buffered: self.guard_buffered,
+            guard_drained: self.guard_drained,
+            red_contributes: self.red_contributes,
+            red_delivers: self.red_delivers,
+            bcast_relays: self.bcast_relays,
+            ckpt_bytes: self.ckpt_bytes,
+            stale_discarded: self.stale_discarded,
+            batches_sent: self.batches_sent,
+            batch_msgs: self.batch_msgs,
+            slab_hits: self.slab_hits,
+            slab_misses: self.slab_misses,
+            inline_payloads: self.inline_payloads,
+            dispatch_hits: self.dispatch_hits,
+            dispatch_misses: self.dispatch_misses,
+            events_dropped: self.events_dropped,
+        };
+        (perf, self.lb_epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChareId, CollectionId, Index};
+
+    fn entry_env(codec: Codec) -> Envelope {
+        let payload = codec.encode(&42u64).unwrap();
+        let mut env = Envelope::new(
+            1,
+            EnvKind::Entry {
+                to: ChareId {
+                    coll: CollectionId { creator: 0, seq: 7 },
+                    index: Index::new(&[]),
+                },
+                payload: Payload::Wire(WireBytes::from_vec(payload)),
+                reply: None,
+                guard: Some(3),
+            },
+        );
+        env.epoch = 2;
+        env.sent_ns = 99;
+        env
+    }
+
+    #[test]
+    fn envelope_round_trip_preserves_identity_fields() {
+        for codec in [Codec::Fast, Codec::Pickle] {
+            let bytes = encode_env(codec, entry_env(codec)).unwrap();
+            let back = decode_env(codec, &bytes).unwrap();
+            assert_eq!(back.src, 1);
+            assert_eq!(back.epoch, 2);
+            assert_eq!(back.sent_ns, 99);
+            match back.kind {
+                EnvKind::Entry {
+                    to,
+                    payload,
+                    reply,
+                    guard,
+                } => {
+                    assert_eq!(
+                        to,
+                        ChareId {
+                            coll: CollectionId { creator: 0, seq: 7 },
+                            index: Index::new(&[])
+                        }
+                    );
+                    assert_eq!(reply, None);
+                    assert_eq!(guard, Some(3));
+                    assert_eq!(payload.take::<u64>(codec), 42);
+                }
+                other => panic!("wrong kind after round trip: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn local_payload_is_a_typed_error_not_a_panic() {
+        let env = Envelope::new(
+            0,
+            EnvKind::Entry {
+                to: ChareId {
+                    coll: CollectionId { creator: 0, seq: 1 },
+                    index: Index::new(&[]),
+                },
+                payload: Payload::Local(Box::new(5u32)),
+                reply: None,
+                guard: None,
+            },
+        );
+        match encode_env(Codec::Fast, env) {
+            Err(NetMsgError::Unsupported(what)) => assert!(what.contains("Local")),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_typed_decode_error() {
+        for codec in [Codec::Fast, Codec::Pickle] {
+            assert!(matches!(
+                decode_env(codec, &[0xFF, 0x13, 0x37, 0x00, 0x01]),
+                Err(NetMsgError::Codec(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn control_kinds_round_trip() {
+        for kind in [
+            EnvKind::Bootstrap,
+            EnvKind::Exit,
+            EnvKind::Halt,
+            EnvKind::LbPoll,
+        ] {
+            let bytes = encode_env(Codec::Fast, Envelope::new(3, kind)).unwrap();
+            let back = decode_env(Codec::Fast, &bytes).unwrap();
+            assert_eq!(back.src, 3);
+        }
+    }
+
+    #[test]
+    fn wire_perf_round_trips_through_codec() {
+        let perf = PePerf {
+            pe: 2,
+            msgs_sent: 10,
+            bytes_recv: 1234,
+            stale_discarded: 5,
+            ..PePerf::default()
+        };
+        let w = WirePerf::of(&perf, 3);
+        let bytes = Codec::Fast.encode(&w).unwrap();
+        let back: WirePerf = Codec::Fast.decode(&bytes).unwrap();
+        let (p2, lb) = back.into_perf();
+        assert_eq!(p2, perf);
+        assert_eq!(lb, 3);
+    }
+}

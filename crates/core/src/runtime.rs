@@ -57,6 +57,12 @@ pub enum Backend {
     Threads,
     /// Deterministic virtual-time simulation under the given machine model.
     Sim(MachineModel),
+    /// One OS *process* per PE, exchanging envelopes over TCP through
+    /// `charm-net` (DESIGN.md §13). Worker processes are re-execs of the
+    /// current binary (or externally launched, [`charm_net::Spawn`]); a
+    /// worker killed mid-run is detected through heartbeats/child-reaping
+    /// and — with disk checkpointing armed — respawned and restored.
+    Net(charm_net::NetCfg),
 }
 
 /// TRAM-style per-destination message aggregation thresholds
@@ -200,6 +206,23 @@ pub enum RunError {
         /// The final failure.
         last: String,
     },
+    /// Net backend: a peer process was declared lost (heartbeat timeout or
+    /// child-process death after reconnects were exhausted) and restart
+    /// recovery was not armed — or, on a worker, the root itself vanished.
+    PeerLost {
+        /// The lost PE.
+        pe: Pe,
+        /// The machine incarnation it was lost in.
+        incarnation: u64,
+    },
+    /// Net backend: the process mesh never assembled — a worker failed to
+    /// register within the rendezvous window, spawning failed, the worker
+    /// environment was torn, or the configuration is unsupported.
+    Bootstrap(String),
+    /// Net backend: the run completed but shutdown could not finish
+    /// cleanly — queued frames were not flushed or a worker's final
+    /// statistics never arrived within the drain window.
+    Drain(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -219,6 +242,14 @@ impl std::fmt::Display for RunError {
                     "gave up after {attempts} restart(s); last failure: {last}"
                 )
             }
+            RunError::PeerLost { pe, incarnation } => {
+                write!(
+                    f,
+                    "peer process for PE {pe} lost in incarnation {incarnation}"
+                )
+            }
+            RunError::Bootstrap(msg) => write!(f, "net bootstrap failed: {msg}"),
+            RunError::Drain(msg) => write!(f, "net drain failed: {msg}"),
         }
     }
 }
@@ -602,9 +633,16 @@ impl Runtime {
             DispatchMode::Dynamic => Codec::Pickle,
         };
         let (is_sim, sim_model) = match &self.backend {
-            Backend::Threads => (false, None),
+            Backend::Threads | Backend::Net(_) => (false, None),
             Backend::Sim(m) => (true, Some(m.clone())),
         };
+        // Telemetry sweeps reduce `MetricFrame`s, which carry quantile
+        // sketches with no wire form — unsupported across processes (§13.5).
+        if matches!(self.backend, Backend::Net(_)) && self.telemetry.is_some() {
+            return Err(RunError::Bootstrap(
+                "telemetry sweeps are not supported on the Net backend".into(),
+            ));
+        }
         // Pre-validate a directory restore — a bad set is a typed error
         // here, not a panic mid-bootstrap — and start fresh checkpoint
         // generations strictly after the restored one.
@@ -699,6 +737,14 @@ impl Runtime {
                 #[cfg(feature = "analyze")]
                 self.inject,
             ),
+            Backend::Net(netcfg) => crate::net::run_net(
+                launch,
+                netcfg,
+                self.idle_timeout,
+                entry_fn,
+                #[cfg(feature = "analyze")]
+                self.inject,
+            ),
         }
     }
 }
@@ -764,7 +810,7 @@ impl Runtime {
         // model (only default delivery *priorities* depend on it).
         let model = match &self.backend {
             Backend::Sim(m) => m.clone(),
-            Backend::Threads => MachineModel::default(),
+            Backend::Threads | Backend::Net(_) => MachineModel::default(),
         };
         let registry = Arc::new(std::mem::take(&mut self.registry));
         let placements = Arc::new(self.placements.clone());
@@ -827,24 +873,24 @@ impl Runtime {
 
 /// Everything needed to (re)build a machine incarnation; the restart
 /// supervisors re-launch from this after a PE failure.
-struct Launch {
-    npes: usize,
+pub(crate) struct Launch {
+    pub(crate) npes: usize,
     registry: Arc<Registry>,
     placements: Arc<Placements>,
     reducers: Arc<CustomReducers>,
-    start: Instant,
-    mk_cfg: Box<dyn Fn(u64, Option<RestoreFrom>, u64) -> Arc<SchedCfg>>,
-    auto: Option<(u64, Store)>,
+    pub(crate) start: Instant,
+    pub(crate) mk_cfg: Box<dyn Fn(u64, Option<RestoreFrom>, u64) -> Arc<SchedCfg>>,
+    pub(crate) auto: Option<(u64, Store)>,
     recover: Option<Arc<dyn Fn(&mut Co<Main>) + Send + Sync>>,
-    max_restarts: u64,
+    pub(crate) max_restarts: u64,
     /// Restore source for the *first* incarnation (`run_restored`).
-    restore: Option<RestoreFrom>,
+    pub(crate) restore: Option<RestoreFrom>,
     /// First checkpoint generation the first incarnation may mint.
-    ckpt_seq_start: u64,
+    pub(crate) ckpt_seq_start: u64,
 }
 
 impl Launch {
-    fn mk_pe(
+    pub(crate) fn mk_pe(
         &self,
         pe: Pe,
         entry: Option<crate::pe::CoroLauncher>,
@@ -864,7 +910,7 @@ impl Launch {
 
     /// Fresh launcher for the recovery entry (it is a reusable `Fn`, unlike
     /// the `FnOnce` consumed by the first incarnation).
-    fn recovery_entry(&self) -> Option<crate::pe::CoroLauncher> {
+    pub(crate) fn recovery_entry(&self) -> Option<crate::pe::CoroLauncher> {
         let f = Arc::clone(self.recover.as_ref()?);
         Some(Box::new(move |side| {
             run_coroutine::<Main>(side, move |co: &mut Co<Main>| f(co))
@@ -872,7 +918,7 @@ impl Launch {
     }
 
     /// Whether a PE failure can even be turned into a restart.
-    fn recovery_armed(&self) -> bool {
+    pub(crate) fn recovery_armed(&self) -> bool {
         self.auto.is_some() && self.recover.is_some()
     }
 
@@ -881,7 +927,10 @@ impl Launch {
     /// or a full image set assembled from the salvaged in-memory stores
     /// under [`Store::Memory`] (a PE's own image when its store survived,
     /// the buddy-held copy otherwise). Returns `(generation, source)`.
-    fn recovery_source(&self, stores: &[Option<CkptStore>]) -> Result<(u64, RestoreFrom), String> {
+    pub(crate) fn recovery_source(
+        &self,
+        stores: &[Option<CkptStore>],
+    ) -> Result<(u64, RestoreFrom), String> {
         let store = match &self.auto {
             Some((_, s)) => s,
             None => return Err("automatic checkpointing is not armed".into()),

@@ -1,0 +1,873 @@
+//! The mesh node: rendezvous, connection lifecycle, failure detection.
+//!
+//! One [`NetNode`] per process owns the listener, one reader thread and one
+//! writer thread per live connection, and the supervision threads
+//! (reconnectors, readmission watchdogs). The runtime's scheduler consumes
+//! the node through two narrow surfaces: the [`NetEvent`] receiver (inbound
+//! payloads and lifecycle transitions) and the send methods.
+//!
+//! The transport is wall-clock code by nature — heartbeats, dial timeouts
+//! and backoff are *about* real time — which is exactly why it lives behind
+//! this crate boundary: the deterministic schedulers upstream never see a
+//! clock, only the ordered event stream.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::backoff::Backoff;
+use crate::cfg::NetCfg;
+use crate::error::NetError;
+use crate::frame;
+use crate::peer::{spawn_writer, PeerSender};
+use crate::proto::{
+    self, Hello, Restart, Table, TableEntry, K_BYE, K_HELLO, K_PAYLOAD, K_PING, K_RESTART, K_STATS,
+    K_TABLE,
+};
+
+/// Read the monotonic clock. Single sanctioned call site for the crate.
+pub(crate) fn now() -> Instant {
+    // analyze: allow(net-hook, "transport deadlines are wall-clock by definition; the deterministic schedulers never call into this crate")
+    Instant::now()
+}
+
+/// Sleep. Single sanctioned call site for the crate.
+pub(crate) fn pause(d: Duration) {
+    // analyze: allow(net-hook, "supervision threads (backoff, watchdogs, polls) sleep by design; never runs on a scheduler thread")
+    std::thread::sleep(d);
+}
+
+/// What the transport reports up to the runtime driver.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// An envelope arrived from `src`.
+    Payload {
+        /// Sending PE.
+        src: usize,
+        /// The encoded envelope, exactly as sent.
+        bytes: Vec<u8>,
+    },
+    /// A peer's connection was admitted (rendezvous, reconnect, readmit).
+    PeerUp {
+        /// The peer.
+        pe: usize,
+        /// Epoch the connection was admitted under.
+        epoch: u64,
+    },
+    /// A peer is gone for good: its connection died and reconnect (dialer
+    /// side) or the readmission window (acceptor side) was exhausted.
+    PeerLost {
+        /// The lost peer.
+        pe: usize,
+        /// Epoch its connection belonged to.
+        incarnation: u64,
+        /// Cause.
+        reason: String,
+    },
+    /// The root announced a recovery restart (worker side).
+    Restart {
+        /// New recovery epoch.
+        epoch: u64,
+        /// Checkpoint generation being restored.
+        generation: u64,
+    },
+    /// A worker's end-of-run counter block (root side; opaque bytes).
+    Stats {
+        /// Reporting PE.
+        pe: usize,
+        /// Runtime-encoded counters.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Transport counters (atomics; relaxed — they are diagnostics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) frames_sent: AtomicU64,
+    pub(crate) frames_recv: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) bytes_recv: AtomicU64,
+    pub(crate) pings_sent: AtomicU64,
+    pub(crate) pings_recv: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
+    pub(crate) disconnects: AtomicU64,
+    pub(crate) stale_conn_rejected: AtomicU64,
+    pub(crate) corrupt_frames: AtomicU64,
+    pub(crate) proto_errors: AtomicU64,
+    pub(crate) byes_recv: AtomicU64,
+    pub(crate) writers_done: AtomicU64,
+}
+
+/// A point-in-time copy of the transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Frames read off sockets.
+    pub frames_recv: u64,
+    /// Bytes written (headers included).
+    pub bytes_sent: u64,
+    /// Bytes read (headers included).
+    pub bytes_recv: u64,
+    /// Heartbeat pings emitted.
+    pub pings_sent: u64,
+    /// Heartbeat pings received.
+    pub pings_recv: u64,
+    /// Connections re-established after a loss.
+    pub reconnects: u64,
+    /// Connection losses observed.
+    pub disconnects: u64,
+    /// Handshakes rejected for a stale epoch or wrong nonce (zombie
+    /// connections fenced at the door).
+    pub stale_conn_rejected: u64,
+    /// Frames dropped by the hardened decoder.
+    pub corrupt_frames: u64,
+    /// Structurally invalid control messages from admitted peers.
+    pub proto_errors: u64,
+    /// Clean goodbyes received.
+    pub byes_recv: u64,
+}
+
+/// One peer's connection slot.
+#[derive(Default)]
+struct Slot {
+    /// Epoch of the live (or last) connection.
+    epoch: u64,
+    /// Bumps on every install/teardown; supervision threads carry the
+    /// generation they acted for and stand down when it has moved on.
+    gen: u64,
+    /// Live writer handle, `None` while down.
+    sender: Option<PeerSender>,
+    /// Shutdown handle on the live connection (a clone of the stream), so
+    /// an abrupt teardown can sever the socket out from under its threads.
+    raw: Option<TcpStream>,
+    /// The peer's advertised listener (root: from its Hello).
+    advertised: Option<SocketAddr>,
+    /// A clean goodbye was received on the current connection.
+    bye: bool,
+}
+
+struct Shared {
+    me: usize,
+    npes: usize,
+    nonce: u64,
+    cfg: NetCfg,
+    listen_addr: SocketAddr,
+    epoch: AtomicU64,
+    shutting: AtomicBool,
+    // analyze: allow(net-hook, "peer table and address book are shared with reader/supervision threads; guarded by coarse short-lived mutexes")
+    peers: Mutex<Vec<Slot>>,
+    // analyze: allow(net-hook, "see above: address book mutex")
+    table: Mutex<Vec<Option<(u64, SocketAddr)>>>,
+    events: mpsc::Sender<NetEvent>,
+    counters: Arc<Counters>,
+}
+
+impl Shared {
+    fn peers(&self) -> MutexGuard<'_, Vec<Slot>> {
+        // analyze: allow(net-hook, "single lock helper; poisoning cannot happen (no panics while held) and would only abort supervision")
+        self.peers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn addr_book(&self) -> MutexGuard<'_, Vec<Option<(u64, SocketAddr)>>> {
+        // analyze: allow(net-hook, "single lock helper for the address book")
+        self.table.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cur_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn emit(&self, ev: NetEvent) {
+        let _ = self.events.send(ev);
+    }
+
+    fn my_hello(&self) -> Hello {
+        Hello {
+            pe: self.me as u32,
+            npes: self.npes as u32,
+            epoch: self.cur_epoch(),
+            nonce: self.nonce,
+            listen_port: self.listen_addr.port(),
+        }
+    }
+
+    /// Dial `pe` at `addr`, handshake, and install the connection. The
+    /// handshake is a full exchange — the acceptor answers a valid `Hello`
+    /// with its own; a rejected dialer sees the connection close instead
+    /// and reports a dial failure, never a half-open "success".
+    fn dial(self: &Arc<Self>, pe: usize, addr: SocketAddr) -> Result<(), NetError> {
+        let stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.cfg.connect_timeout));
+        let hello = self.my_hello();
+        let mut s = &stream;
+        frame::write_frame(&mut s, K_HELLO, &hello.encode())?;
+        s.flush()?;
+        let ack = match frame::read_frame(&mut s, self.cfg.max_frame)? {
+            (K_HELLO, payload) => Hello::decode(&payload)?,
+            (k, _) => {
+                return Err(NetError::Proto(format!(
+                    "expected hello ack, got frame kind {k}"
+                )))
+            }
+        };
+        if ack.nonce != self.nonce || ack.pe as usize != pe {
+            return Err(NetError::Proto(format!(
+                "hello ack from wrong peer (pe {}, nonce mismatch: {})",
+                ack.pe,
+                ack.nonce != self.nonce
+            )));
+        }
+        self.install(pe, hello.epoch, None, stream);
+        Ok(())
+    }
+
+    /// Adopt a handshaken connection: spawn its writer and reader, replace
+    /// whatever the slot held, announce `PeerUp`.
+    fn install(
+        self: &Arc<Self>,
+        pe: usize,
+        conn_epoch: u64,
+        advertised: Option<SocketAddr>,
+        stream: TcpStream,
+    ) {
+        let _ = stream.set_read_timeout(Some(self.cfg.heartbeat_timeout));
+        let sender = spawn_writer(
+            pe,
+            match stream.try_clone() {
+                Ok(s) => s,
+                // No write half, no connection: let the reader die on the
+                // original stream and the normal loss path take over.
+                Err(_) => return,
+            },
+            self.cfg.heartbeat_every,
+            conn_epoch,
+            self.cfg.queue_cap,
+            Arc::clone(&self.counters),
+        );
+        let raw = stream.try_clone().ok();
+        let gen;
+        {
+            let mut peers = self.peers();
+            let slot = &mut peers[pe];
+            slot.gen += 1;
+            gen = slot.gen;
+            slot.epoch = conn_epoch;
+            slot.bye = false;
+            slot.sender = Some(sender);
+            slot.raw = raw;
+            if let Some(a) = advertised {
+                slot.advertised = Some(a);
+            }
+        }
+        let me = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name(format!("net-rd-{pe}"))
+            .spawn(move || me.reader_loop(pe, conn_epoch, gen, stream));
+        drop(spawned);
+        self.emit(NetEvent::PeerUp {
+            pe,
+            epoch: conn_epoch,
+        });
+    }
+
+    /// Read frames until the connection dies or says goodbye.
+    fn reader_loop(self: &Arc<Self>, pe: usize, conn_epoch: u64, gen: u64, mut stream: TcpStream) {
+        let reason = loop {
+            let (kind, payload) = match frame::read_frame(&mut stream, self.cfg.max_frame) {
+                Ok(f) => f,
+                Err(frame::FrameError::Closed) => break "connection closed".to_string(),
+                Err(frame::FrameError::Io(k, m))
+                    if k == std::io::ErrorKind::WouldBlock || k == std::io::ErrorKind::TimedOut =>
+                {
+                    let _ = m;
+                    break format!("heartbeat timeout ({:?})", self.cfg.heartbeat_timeout);
+                }
+                Err(e @ (frame::FrameError::Io(..) | frame::FrameError::Torn { .. })) => {
+                    break e.to_string();
+                }
+                Err(e) => {
+                    // Corrupt stream (bad magic/CRC/over-cap): typed, counted,
+                    // connection dropped — never panicked on.
+                    self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    break format!("corrupt frame: {e}");
+                }
+            };
+            self.counters.frames_recv.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .bytes_recv
+                .fetch_add((frame::HDR_LEN + payload.len()) as u64, Ordering::Relaxed);
+            match kind {
+                K_PING => {
+                    self.counters.pings_recv.fetch_add(1, Ordering::Relaxed);
+                }
+                K_PAYLOAD => match proto::decode_from(payload) {
+                    Ok((src, bytes)) => self.emit(NetEvent::Payload {
+                        src: src as usize,
+                        bytes,
+                    }),
+                    Err(_) => {
+                        self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                K_STATS => match proto::decode_from(payload) {
+                    Ok((src, bytes)) => self.emit(NetEvent::Stats {
+                        pe: src as usize,
+                        bytes,
+                    }),
+                    Err(_) => {
+                        self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                K_RESTART => match Restart::decode(&payload) {
+                    Ok(r) => {
+                        // The transport fences first, then tells the
+                        // scheduler: any handshake arriving after this
+                        // line is judged against the new epoch.
+                        self.epoch.fetch_max(r.epoch, Ordering::SeqCst);
+                        self.emit(NetEvent::Restart {
+                            epoch: r.epoch,
+                            generation: r.generation,
+                        });
+                    }
+                    Err(_) => {
+                        self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                K_TABLE => match Table::decode(&payload) {
+                    Ok(t) => self.handle_table(t),
+                    Err(_) => {
+                        self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                K_BYE => {
+                    self.counters.byes_recv.fetch_add(1, Ordering::Relaxed);
+                    let mut peers = self.peers();
+                    if peers[pe].gen == gen {
+                        peers[pe].bye = true;
+                    }
+                    break "goodbye".to_string();
+                }
+                K_HELLO => {
+                    self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    break "mid-stream handshake".to_string();
+                }
+                other => {
+                    self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    break format!("unknown frame kind {other}");
+                }
+            }
+        };
+        self.conn_down(pe, conn_epoch, gen, reason);
+    }
+
+    /// A connection died. Supersession-safe: only the reader of the slot's
+    /// current generation acts; everyone else already lost the race.
+    fn conn_down(self: &Arc<Self>, pe: usize, conn_epoch: u64, gen: u64, reason: String) {
+        if self.shutting.load(Ordering::SeqCst) {
+            return;
+        }
+        let (was_bye, want_gen);
+        {
+            let mut peers = self.peers();
+            let slot = &mut peers[pe];
+            if slot.gen != gen {
+                return;
+            }
+            was_bye = slot.bye;
+            slot.sender = None;
+            slot.raw = None;
+            slot.gen += 1;
+            want_gen = slot.gen;
+        }
+        self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+        if was_bye {
+            return;
+        }
+        let me = Arc::clone(self);
+        if self.me > pe {
+            // We are the dialer for this pair: reconnect with backoff.
+            let spawned = std::thread::Builder::new()
+                .name(format!("net-redial-{pe}"))
+                .spawn(move || me.reconnect(pe, conn_epoch, want_gen, reason));
+            drop(spawned);
+        } else {
+            // We accept for this pair: give the dialer (or, after a
+            // recovery, its respawned successor) a readmission window.
+            let spawned = std::thread::Builder::new()
+                .name(format!("net-wait-{pe}"))
+                .spawn(move || {
+                    pause(me.cfg.heartbeat_timeout);
+                    me.declare_lost_if_down(pe, conn_epoch, want_gen, reason);
+                });
+            drop(spawned);
+        }
+    }
+
+    /// Dialer-side repair: immediate first attempt, then the backoff
+    /// schedule; gives up into `PeerLost` when the budget is spent.
+    fn reconnect(self: &Arc<Self>, pe: usize, conn_epoch: u64, want_gen: u64, reason: String) {
+        let seed = self.nonce ^ ((self.me as u64) << 40) ^ ((pe as u64) << 20) ^ want_gen;
+        let mut bo = Backoff::new(self.cfg.reconnect, seed);
+        loop {
+            if self.shutting.load(Ordering::SeqCst) {
+                return;
+            }
+            {
+                let peers = self.peers();
+                if peers[pe].gen != want_gen || peers[pe].sender.is_some() {
+                    return; // superseded (e.g. a readmitted peer dialed us)
+                }
+            }
+            let addr = self.addr_book()[pe].map(|(_, a)| a);
+            if let Some(addr) = addr {
+                if self.dial(pe, addr).is_ok() {
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            match bo.next_delay() {
+                Some(d) => pause(d),
+                None => {
+                    let why = format!(
+                        "{reason}; reconnect gave up after {} attempts",
+                        bo.attempts()
+                    );
+                    self.declare_lost_if_down(pe, conn_epoch, want_gen, why);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Emit `PeerLost` unless the slot has been repaired or superseded.
+    fn declare_lost_if_down(&self, pe: usize, conn_epoch: u64, want_gen: u64, reason: String) {
+        if self.shutting.load(Ordering::SeqCst) {
+            return;
+        }
+        let down = {
+            let peers = self.peers();
+            peers[pe].gen == want_gen && peers[pe].sender.is_none()
+        };
+        if down {
+            self.emit(NetEvent::PeerLost {
+                pe,
+                incarnation: conn_epoch,
+                reason,
+            });
+        }
+    }
+
+    /// Merge a peer table and dial whichever lower peers we lack. (The
+    /// higher PE always dials, so entries above `me` are address book
+    /// updates only — those peers dial us.)
+    fn handle_table(self: &Arc<Self>, t: Table) {
+        {
+            let mut book = self.addr_book();
+            for e in &t.entries {
+                let pe = e.pe as usize;
+                if pe < book.len() {
+                    book[pe] = Some((e.epoch, e.addr));
+                }
+            }
+        }
+        for e in t.entries {
+            let pe = e.pe as usize;
+            if pe >= self.me || pe >= self.npes {
+                continue;
+            }
+            let need = {
+                let peers = self.peers();
+                peers[pe].sender.is_none() || peers[pe].epoch < e.epoch
+            };
+            if need {
+                let me = Arc::clone(self);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("net-dial-{pe}"))
+                    .spawn(move || {
+                        let gen = me.peers()[pe].gen;
+                        me.reconnect(pe, e.epoch, gen, "table update".to_string());
+                    });
+                drop(spawned);
+            }
+        }
+    }
+
+    /// Validate an inbound handshake and install the connection.
+    fn handshake_in(self: &Arc<Self>, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.cfg.connect_timeout));
+        let mut s = &stream;
+        let hello = match frame::read_frame(&mut s, self.cfg.max_frame) {
+            Ok((K_HELLO, payload)) => match Hello::decode(&payload) {
+                Ok(h) => h,
+                Err(_) => {
+                    self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            },
+            Ok(_) => {
+                self.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => {
+                self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let pe = hello.pe as usize;
+        let cur = self.cur_epoch();
+        // Fencing: wrong run, wrong topology, wrong dial direction, or a
+        // zombie from before a restart — all rejected at the door.
+        if hello.nonce != self.nonce
+            || hello.npes as usize != self.npes
+            || pe >= self.npes
+            || pe <= self.me
+            || hello.epoch < cur
+        {
+            self.counters
+                .stale_conn_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Accepted: answer with our own hello so the dialer knows the
+        // connection is admitted (a rejection above just closes it).
+        let mut s = &stream;
+        if frame::write_frame(&mut s, K_HELLO, &self.my_hello().encode()).is_err()
+            || s.flush().is_err()
+        {
+            return;
+        }
+        let advertised = stream
+            .peer_addr()
+            .ok()
+            .map(|a| SocketAddr::new(a.ip(), hello.listen_port));
+        self.install(pe, hello.epoch, advertised, stream);
+    }
+
+    /// Accept loop: non-blocking listener polled so shutdown can stop it.
+    fn accept_loop(self: &Arc<Self>, listener: TcpListener) {
+        let _ = listener.set_nonblocking(true);
+        loop {
+            if self.shutting.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let me = Arc::clone(self);
+                    let spawned = std::thread::Builder::new()
+                        .name("net-accept".to_string())
+                        .spawn(move || me.handshake_in(stream));
+                    drop(spawned);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    pause(Duration::from_millis(10));
+                }
+                Err(_) => pause(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    fn send_frame(&self, dst: usize, kind: u8, payload: Vec<u8>) -> Result<(), NetError> {
+        if dst >= self.npes {
+            return Err(NetError::PeerDown { pe: dst });
+        }
+        let sender = {
+            let peers = self.peers();
+            match &peers[dst].sender {
+                Some(s) => s.clone(),
+                None => return Err(NetError::PeerDown { pe: dst }),
+            }
+        };
+        sender.send(dst, kind, payload, self.cfg.send_timeout)
+    }
+}
+
+/// One process's endpoint in the mesh. See the crate docs for the
+/// lifecycle; the runtime driver is the only intended consumer.
+pub struct NetNode {
+    shared: Arc<Shared>,
+    events: mpsc::Receiver<NetEvent>,
+}
+
+impl NetNode {
+    fn bind(
+        cfg: &NetCfg,
+        me: usize,
+        npes: usize,
+        nonce: u64,
+        epoch: u64,
+    ) -> Result<NetNode, NetError> {
+        let bind_to = if me == 0 {
+            cfg.root_addr
+                .unwrap_or_else(|| SocketAddr::new(cfg.bind_ip, 0))
+        } else {
+            SocketAddr::new(cfg.bind_ip, 0)
+        };
+        let listener = TcpListener::bind(bind_to)?;
+        let listen_addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            me,
+            npes,
+            nonce,
+            cfg: cfg.clone(),
+            listen_addr,
+            epoch: AtomicU64::new(epoch),
+            shutting: AtomicBool::new(false),
+            // analyze: allow(net-hook, "constructing the shared peer table; see the field declarations")
+            peers: Mutex::new((0..npes).map(|_| Slot::default()).collect()),
+            // analyze: allow(net-hook, "constructing the shared address book; see the field declarations")
+            table: Mutex::new(vec![None; npes]),
+            events: tx,
+            counters: Arc::new(Counters::default()),
+        });
+        let accept = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("net-listen-{me}"))
+            .spawn(move || accept.accept_loop(listener))
+            .map_err(|e| NetError::Io(std::io::ErrorKind::Other, e.to_string()))?;
+        Ok(NetNode { shared, events: rx })
+    }
+
+    /// Bind the root's endpoint (PE 0). Workers are awaited separately so
+    /// the caller can spawn them knowing the actual listen address.
+    pub fn root(cfg: &NetCfg, npes: usize, nonce: u64) -> Result<NetNode, NetError> {
+        NetNode::bind(cfg, 0, npes, nonce, 0)
+    }
+
+    /// Root: wait for every worker's handshake, then broadcast the peer
+    /// table that completes the mesh.
+    pub fn await_workers(&self) -> Result<(), NetError> {
+        self.wait_mesh(self.shared.cfg.rendezvous_timeout)?;
+        self.broadcast_table();
+        Ok(())
+    }
+
+    /// Bootstrap a worker: bind, dial the root, then wait for the table
+    /// and the full mesh.
+    pub fn worker(
+        cfg: &NetCfg,
+        me: usize,
+        npes: usize,
+        nonce: u64,
+        root: SocketAddr,
+        epoch: u64,
+    ) -> Result<NetNode, NetError> {
+        let node = NetNode::bind(cfg, me, npes, nonce, epoch)?;
+        node.shared.addr_book()[0] = Some((epoch, root));
+        let deadline = now() + cfg.rendezvous_timeout;
+        // The root may not be listening yet under an external launcher;
+        // keep dialing until the rendezvous window closes.
+        loop {
+            match node.shared.dial(0, root) {
+                Ok(()) => break,
+                Err(e) => {
+                    if now() >= deadline {
+                        return Err(NetError::Bootstrap(format!(
+                            "worker {me} could not reach root at {root}: {e}"
+                        )));
+                    }
+                    pause(Duration::from_millis(50));
+                }
+            }
+        }
+        node.wait_mesh(deadline.saturating_duration_since(now()))?;
+        Ok(node)
+    }
+
+    /// Poll until every remote slot has a live connection.
+    fn wait_mesh(&self, budget: Duration) -> Result<(), NetError> {
+        let deadline = now() + budget;
+        loop {
+            let missing: Vec<usize> = {
+                let peers = self.shared.peers();
+                (0..self.shared.npes)
+                    .filter(|&p| p != self.shared.me && peers[p].sender.is_none())
+                    .collect()
+            };
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if now() >= deadline {
+                return Err(NetError::Bootstrap(format!(
+                    "mesh incomplete after {budget:?}: no connection to PE(s) {missing:?}"
+                )));
+            }
+            pause(Duration::from_millis(5));
+        }
+    }
+
+    /// The local listener's address.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// The lifecycle/payload event stream.
+    pub fn events(&self) -> &mpsc::Receiver<NetEvent> {
+        &self.events
+    }
+
+    /// Current recovery epoch as the transport knows it.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cur_epoch()
+    }
+
+    /// Raise the transport's epoch fence (root, at the start of a
+    /// recovery). Monotone.
+    pub fn set_epoch(&self, e: u64) {
+        self.shared.epoch.fetch_max(e, Ordering::SeqCst);
+    }
+
+    /// Ship an encoded envelope to `dst`.
+    pub fn send_payload(&self, dst: usize, env: &[u8]) -> Result<(), NetError> {
+        self.shared.send_frame(
+            dst,
+            K_PAYLOAD,
+            proto::encode_from(self.shared.me as u32, env),
+        )
+    }
+
+    /// Worker: ship the end-of-run counter block to the root.
+    pub fn send_stats(&self, bytes: &[u8]) -> Result<(), NetError> {
+        self.shared
+            .send_frame(0, K_STATS, proto::encode_from(self.shared.me as u32, bytes))
+    }
+
+    /// Root: announce a recovery restart to every live peer (and fence the
+    /// local transport first).
+    pub fn broadcast_restart(&self, epoch: u64, generation: u64) {
+        self.set_epoch(epoch);
+        let payload = Restart { epoch, generation }.encode();
+        for pe in 0..self.shared.npes {
+            if pe != self.shared.me {
+                let _ = self.shared.send_frame(pe, K_RESTART, payload.clone());
+            }
+        }
+    }
+
+    /// Root: broadcast the current peer table (bootstrap completion, and
+    /// after every readmission so survivors re-dial the newcomer).
+    pub fn broadcast_table(&self) {
+        let table = {
+            let peers = self.shared.peers();
+            let mut entries = vec![TableEntry {
+                pe: self.shared.me as u32,
+                epoch: self.shared.cur_epoch(),
+                addr: self.shared.listen_addr,
+            }];
+            for (pe, slot) in peers.iter().enumerate() {
+                if pe == self.shared.me {
+                    continue;
+                }
+                if let Some(addr) = slot.advertised {
+                    entries.push(TableEntry {
+                        pe: pe as u32,
+                        epoch: slot.epoch,
+                        addr,
+                    });
+                }
+            }
+            Table {
+                epoch: self.shared.cur_epoch(),
+                entries,
+            }
+        };
+        let payload = table.encode();
+        for pe in 0..self.shared.npes {
+            if pe != self.shared.me {
+                let _ = self.shared.send_frame(pe, K_TABLE, payload.clone());
+            }
+        }
+    }
+
+    /// Whether `pe` has a live connection.
+    pub fn peer_live(&self, pe: usize) -> bool {
+        pe < self.shared.npes && self.shared.peers()[pe].sender.is_some()
+    }
+
+    /// Whether `pe` is live on a connection admitted at exactly `epoch`
+    /// (readmission check after a respawn).
+    pub fn peer_at_epoch(&self, pe: usize, epoch: u64) -> bool {
+        if pe >= self.shared.npes {
+            return false;
+        }
+        let peers = self.shared.peers();
+        peers[pe].sender.is_some() && peers[pe].epoch == epoch
+    }
+
+    /// Whether `pe`'s current/last connection ended with a clean goodbye.
+    pub fn peer_bye(&self, pe: usize) -> bool {
+        pe < self.shared.npes && self.shared.peers()[pe].bye
+    }
+
+    /// Snapshot the transport counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        let c = &self.shared.counters;
+        CounterSnapshot {
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_recv: c.frames_recv.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_recv: c.bytes_recv.load(Ordering::Relaxed),
+            pings_sent: c.pings_sent.load(Ordering::Relaxed),
+            pings_recv: c.pings_recv.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            stale_conn_rejected: c.stale_conn_rejected.load(Ordering::Relaxed),
+            corrupt_frames: c.corrupt_frames.load(Ordering::Relaxed),
+            proto_errors: c.proto_errors.load(Ordering::Relaxed),
+            byes_recv: c.byes_recv.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Abrupt teardown: sever every socket with no goodbye and stop the
+    /// listener. From the peers' point of view this is indistinguishable
+    /// from a process death — which is exactly its purpose: in-process
+    /// fault-injection tests use it where the multi-process suite uses a
+    /// real `SIGKILL`, and the runtime driver uses it to abandon a run
+    /// whose drain already failed.
+    pub fn kill(&self) {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+        let mut peers = self.shared.peers();
+        for slot in peers.iter_mut() {
+            slot.sender = None; // writers exit on disconnect, silently
+            if let Some(raw) = slot.raw.take() {
+                let _ = raw.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Graceful shutdown: stop supervision, ask every writer to drain its
+    /// queue and say goodbye, and wait (bounded) for the flushes.
+    pub fn drain(&self, timeout: Duration) -> Result<(), NetError> {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+        let deadline = now() + timeout;
+        let done0 = self.shared.counters.writers_done.load(Ordering::SeqCst);
+        let taken: Vec<PeerSender> = {
+            let mut peers = self.shared.peers();
+            peers.iter_mut().filter_map(|s| s.sender.take()).collect()
+        };
+        let live = taken.len() as u64;
+        for sender in taken {
+            sender.close(timeout / 4);
+            // The handle drops here; the writer exits after the queued
+            // Close (or the disconnect) reaches it.
+        }
+        let target = done0.saturating_add(live);
+        while self.shared.counters.writers_done.load(Ordering::SeqCst) < target {
+            if now() >= deadline {
+                return Err(NetError::Drain(format!(
+                    "{} writer(s) still flushing after {timeout:?}",
+                    target - self.shared.counters.writers_done.load(Ordering::SeqCst)
+                )));
+            }
+            pause(Duration::from_millis(2));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-peer outbound writer: a bounded queue drained by one thread that
+//! owns the connection's write half.
+//!
+//! One writer thread per connection keeps the scheduler's send path
+//! non-blocking up to the queue bound (backpressure past it is a *signal* —
+//! a peer that cannot drain its queue for a whole send timeout is treated
+//! like a dead one). The writer doubles as the heartbeat source: whenever
+//! the queue has been idle for `heartbeat_every` it emits a ping, so the
+//! peer's read timeout only ever fires on genuine silence.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame;
+use crate::node::Counters;
+use crate::proto::{encode_ping, K_BYE, K_PING};
+
+/// What the owning node asks of a writer.
+pub(crate) enum WriteCmd {
+    /// Emit one frame.
+    Frame {
+        /// Frame kind byte.
+        kind: u8,
+        /// Frame payload.
+        payload: Vec<u8>,
+    },
+    /// Drain the queue, send `Bye`, close the write half, exit.
+    Close,
+}
+
+/// Handle to one connection's writer thread. Dropping the last handle
+/// (without `close`) makes the writer flush what it has and exit silently —
+/// the teardown used when a connection is superseded rather than drained.
+#[derive(Clone)]
+pub(crate) struct PeerSender {
+    tx: SyncSender<WriteCmd>,
+}
+
+impl PeerSender {
+    /// Enqueue a frame, waiting up to `timeout` on a full queue.
+    pub(crate) fn send(
+        &self,
+        pe: usize,
+        kind: u8,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<(), NetError> {
+        let deadline = crate::node::now() + timeout;
+        let mut cmd = WriteCmd::Frame { kind, payload };
+        loop {
+            match self.tx.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(c)) => {
+                    if crate::node::now() >= deadline {
+                        return Err(NetError::QueueTimeout { pe });
+                    }
+                    cmd = c;
+                    crate::node::pause(Duration::from_millis(1));
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(NetError::PeerDown { pe }),
+            }
+        }
+    }
+
+    /// Ask the writer to drain, say goodbye and exit. Best-effort: gives up
+    /// after `budget` if the queue never opens (the drain deadline catches
+    /// the writer either way).
+    pub(crate) fn close(&self, budget: Duration) {
+        let deadline = crate::node::now() + budget;
+        let mut cmd = WriteCmd::Close;
+        loop {
+            match self.tx.try_send(cmd) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => return,
+                Err(TrySendError::Full(c)) => {
+                    if crate::node::now() >= deadline {
+                        return;
+                    }
+                    cmd = c;
+                    crate::node::pause(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+/// Spawn the writer thread for one connection. `epoch` is stamped into
+/// heartbeat pings; `counters.writers_done` ticks when the thread exits, so
+/// a drain can wait for flush completion without a timed join.
+pub(crate) fn spawn_writer(
+    pe: usize,
+    stream: TcpStream,
+    heartbeat_every: Duration,
+    epoch: u64,
+    cap: usize,
+    counters: Arc<Counters>,
+) -> PeerSender {
+    let (tx, rx) = sync_channel::<WriteCmd>(cap.max(1));
+    let builder = std::thread::Builder::new().name(format!("net-wr-{pe}"));
+    let spawned = builder.spawn(move || {
+        writer_loop(stream, rx, heartbeat_every, epoch, &counters);
+        counters.writers_done.fetch_add(1, Ordering::SeqCst);
+    });
+    // A spawn failure leaves the channel sender-less; sends surface it as
+    // PeerDown and the peer lifecycle treats the connection as dead.
+    drop(spawned);
+    PeerSender { tx }
+}
+
+fn write_one(out: &mut TcpStream, kind: u8, payload: &[u8], counters: &Counters) -> bool {
+    if frame::write_frame(out, kind, payload).is_err() {
+        return false;
+    }
+    counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    counters
+        .bytes_sent
+        .fetch_add((frame::HDR_LEN + payload.len()) as u64, Ordering::Relaxed);
+    true
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<WriteCmd>,
+    heartbeat_every: Duration,
+    epoch: u64,
+    counters: &Counters,
+) {
+    loop {
+        match rx.recv_timeout(heartbeat_every) {
+            Ok(WriteCmd::Frame { kind, payload }) => {
+                if !write_one(&mut stream, kind, &payload, counters) {
+                    return;
+                }
+            }
+            Ok(WriteCmd::Close) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle: prove liveness.
+                if !write_one(&mut stream, K_PING, &encode_ping(epoch), counters) {
+                    return;
+                }
+                counters.pings_sent.fetch_add(1, Ordering::Relaxed);
+                if stream.flush().is_err() {
+                    return;
+                }
+            }
+            // The sender was dropped: the connection was superseded. Flush
+            // what we hold and exit without a goodbye.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = stream.flush();
+                return;
+            }
+        }
+        // Opportunistically drain whatever queued while writing, then
+        // flush once for the burst.
+        loop {
+            match rx.try_recv() {
+                Ok(WriteCmd::Frame { kind, payload }) => {
+                    if !write_one(&mut stream, kind, &payload, counters) {
+                        return;
+                    }
+                }
+                Ok(WriteCmd::Close) => {
+                    let _ = stream.flush();
+                    goodbye(&mut stream, counters);
+                    return;
+                }
+                Err(_) => break,
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+    }
+    // Close requested from the blocking wait: drain anything still queued,
+    // then say goodbye.
+    while let Ok(cmd) = rx.try_recv() {
+        if let WriteCmd::Frame { kind, payload } = cmd {
+            if !write_one(&mut stream, kind, &payload, counters) {
+                return;
+            }
+        }
+    }
+    let _ = stream.flush();
+    goodbye(&mut stream, counters);
+}
+
+/// Final `Bye` + flush + half-close, so the peer's reader sees a clean
+/// goodbye followed by EOF instead of a death.
+fn goodbye(stream: &mut TcpStream, counters: &Counters) {
+    if write_one(stream, K_BYE, &[], counters) {
+        let _ = stream.flush();
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}

@@ -1,0 +1,177 @@
+//! Multi-process lifecycle test: the binary re-execs itself as workers.
+//!
+//! The root branch of the test spawns two worker processes through
+//! [`Launcher`] (each re-running this same test with the worker
+//! environment set), exchanges payloads, then orders one worker to
+//! `SIGKILL` itself mid-run. The death must surface as a real
+//! [`NetEvent::PeerLost`], the launcher must respawn the PE at a bumped
+//! epoch, and traffic must flow to the replacement. This is the transport
+//! half of the recovery story; the full checkpoint-restore loop on top of
+//! it lives in `charm-core`'s net tests.
+
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::Duration;
+
+use charm_net::{
+    is_net_worker, kill_self_hard, worker_env, BackoffCfg, Launcher, NetCfg, NetEvent, NetNode,
+};
+
+const TEST_NAME: &str = "sigkill_mid_run_recovers_with_respawned_worker";
+
+fn test_cfg() -> NetCfg {
+    NetCfg::new()
+        .worker_args([TEST_NAME, "--exact"])
+        .heartbeat(Duration::from_millis(100), Duration::from_millis(1500))
+        .rendezvous_timeout(Duration::from_secs(10))
+        .drain_timeout(Duration::from_secs(3))
+        .reconnect(BackoffCfg::new(
+            Duration::from_millis(20),
+            Duration::from_millis(100),
+            4,
+        ))
+}
+
+/// Worker branch: serve until told to die or exit.
+fn worker_main() -> ! {
+    let we = worker_env()
+        .expect("worker env set")
+        .expect("worker env parses");
+    let node = NetNode::worker(&test_cfg(), we.pe, we.npes, we.nonce, we.root, we.epoch)
+        .expect("worker bootstrap");
+    loop {
+        match node.events().recv_timeout(Duration::from_secs(20)) {
+            Ok(NetEvent::Payload { src, bytes }) => match bytes.as_slice() {
+                b"die" => kill_self_hard(),
+                b"exit" => {
+                    let _ = node.drain(Duration::from_secs(3));
+                    std::process::exit(0);
+                }
+                b"ping" => {
+                    let mut reply = vec![b'p', b'o', b'n', b'g', we.pe as u8, we.epoch as u8];
+                    reply.push(src as u8);
+                    node.send_payload(0, &reply).expect("echo");
+                }
+                _ => {}
+            },
+            // Survivors see the lost peer and the restart notice; neither
+            // ends their run.
+            Ok(NetEvent::PeerLost { pe, .. }) if pe != 0 => {}
+            Ok(NetEvent::Restart { .. }) | Ok(NetEvent::PeerUp { .. }) => {}
+            Ok(NetEvent::PeerLost { .. }) | Ok(NetEvent::Stats { .. }) => std::process::exit(0),
+            Err(RecvTimeoutError::Timeout) => std::process::exit(2),
+            Err(RecvTimeoutError::Disconnected) => std::process::exit(2),
+        }
+    }
+}
+
+/// Wait for one pong from each `(pe, epoch)` pair, in any arrival order —
+/// replies from different workers race on the event channel.
+fn expect_pongs(root: &NetNode, want: &[(usize, u8)]) {
+    let mut pending = want.to_vec();
+    while !pending.is_empty() {
+        match root.events().recv_timeout(Duration::from_secs(10)) {
+            Ok(NetEvent::Payload { src, bytes }) => {
+                if let Some(i) = pending.iter().position(|&(pe, _)| pe == src) {
+                    let (pe, epoch) = pending.remove(i);
+                    assert_eq!(
+                        bytes.as_slice(),
+                        &[b'p', b'o', b'n', b'g', pe as u8, epoch, 0],
+                        "bad echo from pe {pe}"
+                    );
+                }
+            }
+            Ok(_) => {}
+            Err(e) => panic!("missing pong(s) from {pending:?}: {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn sigkill_mid_run_recovers_with_respawned_worker() {
+    if is_net_worker() {
+        worker_main();
+    }
+    let npes = 3;
+    let cfg = test_cfg();
+    // Nonce from pid + clock: only needs to differ between overlapping runs.
+    let nonce = u64::from(std::process::id())
+        ^ std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+    let root = NetNode::root(&cfg, npes, nonce).expect("root bind");
+    let mut launcher =
+        Launcher::spawn_all(&cfg, npes, root.listen_addr(), nonce, 0).expect("spawn workers");
+    root.await_workers().expect("rendezvous");
+
+    // Healthy traffic with both workers.
+    for pe in 1..npes {
+        root.send_payload(pe, b"ping").expect("ping");
+    }
+    expect_pongs(&root, &[(1, 0), (2, 0)]);
+
+    // Order worker 2 to SIGKILL itself: a real process death, no goodbye.
+    root.send_payload(2, b"die").expect("send die");
+
+    // The launcher's child poll is the fast detector...
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let dead = launcher.poll_exited();
+        if dead.contains(&2) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "child never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // ...and the transport's own detection must concur (heartbeat timeout
+    // or EOF on the severed socket), yielding a typed loss event.
+    loop {
+        match root.events().recv_timeout(Duration::from_secs(10)) {
+            Ok(NetEvent::PeerLost {
+                pe, incarnation, ..
+            }) => {
+                assert_eq!((pe, incarnation), (2, 0));
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => panic!("SIGKILL not surfaced as PeerLost: {e:?}"),
+        }
+    }
+    assert!(!root.peer_live(2));
+    assert!(root.peer_live(1), "survivor must be unaffected");
+
+    // Recovery: bump the epoch, notify the survivor, respawn PE 2.
+    root.broadcast_restart(1, 1);
+    launcher.respawn(2, 1, 1).expect("respawn");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !root.peer_at_epoch(2, 1) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "readmission timed out"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    root.broadcast_table();
+
+    // The replacement serves at the new epoch; the survivor still answers.
+    root.send_payload(2, b"ping").expect("ping replacement");
+    expect_pongs(&root, &[(2, 1)]);
+    root.send_payload(1, b"ping").expect("ping survivor");
+    expect_pongs(&root, &[(1, 0)]);
+
+    // Clean shutdown: both workers exit on request, then the root drains.
+    root.send_payload(1, b"exit").expect("exit 1");
+    root.send_payload(2, b"exit").expect("exit 2");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while root.counters().byes_recv < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers never drained"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    root.drain(cfg.drain_timeout).expect("root drain");
+    let c = root.counters();
+    assert!(c.disconnects >= 1, "the kill must register: {c:?}");
+    launcher.kill_all();
+}

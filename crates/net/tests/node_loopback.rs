@@ -1,0 +1,272 @@
+//! Loopback mesh lifecycle tests: real sockets, real threads, one process.
+//!
+//! Each test builds a small mesh of [`NetNode`]s on 127.0.0.1 inside this
+//! process (one node per would-be PE) and drives the full lifecycle:
+//! rendezvous, payload exchange, abrupt connection loss, reconnect,
+//! epoch-fenced readmission, and drain. The multi-*process* flavour (with
+//! real `SIGKILL`s) lives in `multiproc.rs`; this file isolates the
+//! transport state machine from process management.
+
+use std::net::SocketAddr;
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::Duration;
+
+use charm_net::{BackoffCfg, NetCfg, NetEvent, NetNode};
+
+/// Short timeouts so failure paths run in test time, with a heartbeat
+/// window generous enough that healthy connections never trip it.
+fn test_cfg() -> NetCfg {
+    NetCfg::new()
+        .heartbeat(Duration::from_millis(100), Duration::from_millis(1500))
+        .rendezvous_timeout(Duration::from_secs(5))
+        .drain_timeout(Duration::from_secs(3))
+        .reconnect(BackoffCfg::new(
+            Duration::from_millis(20),
+            Duration::from_millis(100),
+            4,
+        ))
+}
+
+/// Assemble an `npes` mesh in-process: root node plus worker nodes, all
+/// rendezvoused. Returns the nodes indexed by PE.
+fn mesh(cfg: &NetCfg, npes: usize, nonce: u64) -> Vec<NetNode> {
+    let root = NetNode::root(cfg, npes, nonce).expect("root bind");
+    let root_addr = root.listen_addr();
+    let mut handles = Vec::new();
+    for pe in 1..npes {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            NetNode::worker(&cfg, pe, npes, nonce, root_addr, 0).expect("worker bootstrap")
+        }));
+    }
+    root.await_workers().expect("rendezvous");
+    let mut nodes = vec![root];
+    for h in handles {
+        nodes.push(h.join().expect("worker thread"));
+    }
+    nodes
+}
+
+/// Pull events until `f` accepts one; panics after `timeout` of silence.
+fn wait_event<T>(node: &NetNode, timeout: Duration, mut f: impl FnMut(NetEvent) -> Option<T>) -> T {
+    loop {
+        match node.events().recv_timeout(timeout) {
+            Ok(ev) => {
+                if let Some(v) = f(ev) {
+                    return v;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => panic!("no matching event within {timeout:?}"),
+            Err(RecvTimeoutError::Disconnected) => panic!("event channel closed"),
+        }
+    }
+}
+
+#[test]
+fn four_node_rendezvous_and_all_pairs_payloads() {
+    let cfg = test_cfg();
+    let nodes = mesh(&cfg, 4, 0x1111);
+    // Drain the PeerUp noise, then ship one tagged payload over every
+    // ordered pair and check each arrives intact and attributed.
+    for (src, node) in nodes.iter().enumerate() {
+        for dst in 0..nodes.len() {
+            if dst != src {
+                node.send_payload(dst, &[src as u8, dst as u8, 0xAB])
+                    .expect("send");
+            }
+        }
+    }
+    for (me, node) in nodes.iter().enumerate() {
+        let mut seen = vec![false; nodes.len()];
+        for _ in 0..nodes.len() - 1 {
+            let (src, bytes) = wait_event(node, Duration::from_secs(5), |ev| match ev {
+                NetEvent::Payload { src, bytes } => Some((src, bytes)),
+                _ => None,
+            });
+            assert_eq!(bytes, vec![src as u8, me as u8, 0xAB]);
+            assert!(!seen[src], "duplicate payload from {src}");
+            seen[src] = true;
+        }
+    }
+    for node in &nodes {
+        node.drain(cfg.drain_timeout).expect("drain");
+    }
+}
+
+#[test]
+fn dropped_node_surfaces_as_peer_lost_after_retries() {
+    let cfg = test_cfg();
+    let mut nodes = mesh(&cfg, 3, 0x2222);
+    // Kill node 2 abruptly: sockets severed with no goodbye, exactly what
+    // its peers would observe if the process died.
+    let dead = nodes.pop().unwrap();
+    dead.kill();
+    drop(dead);
+    // Node 0 (acceptor side for 2) and node 1 (acceptor side for 2) must
+    // both observe the loss once reconnect/readmission windows lapse.
+    for node in &nodes {
+        let (pe, incarnation) = wait_event(node, Duration::from_secs(10), |ev| match ev {
+            NetEvent::PeerLost {
+                pe, incarnation, ..
+            } => Some((pe, incarnation)),
+            _ => None,
+        });
+        assert_eq!(pe, 2);
+        assert_eq!(incarnation, 0);
+        assert!(node.counters().disconnects >= 1);
+    }
+    for node in &nodes {
+        node.drain(cfg.drain_timeout).expect("drain");
+    }
+}
+
+#[test]
+fn stale_epoch_handshake_rejected_and_counted() {
+    let cfg = test_cfg();
+    let npes = 2;
+    let root = NetNode::root(&cfg, npes, 0x3333).expect("root");
+    let root_addr = root.listen_addr();
+    // The mesh has moved on to epoch 2 (as after a recovery)...
+    root.set_epoch(2);
+    // ...and a zombie worker from epoch 0 tries to register.
+    let stale = NetNode::worker(&cfg, 1, npes, 0x3333, root_addr, 0);
+    assert!(stale.is_err(), "stale worker must not complete bootstrap");
+    assert!(
+        root.counters().stale_conn_rejected >= 1,
+        "rejection must be counted: {:?}",
+        root.counters()
+    );
+    assert!(!root.peer_live(1));
+    // A worker at the current epoch is admitted on the same listener.
+    let fresh = NetNode::worker(&cfg, 1, npes, 0x3333, root_addr, 2).expect("fresh worker");
+    root.await_workers().expect("rendezvous at epoch 2");
+    assert!(root.peer_at_epoch(1, 2));
+    fresh.drain(cfg.drain_timeout).expect("drain");
+    root.drain(cfg.drain_timeout).expect("drain");
+}
+
+#[test]
+fn wrong_nonce_rejected() {
+    let cfg = test_cfg();
+    let root = NetNode::root(&cfg, 2, 0x4444).expect("root");
+    let addr = root.listen_addr();
+    let crossed = NetNode::worker(&cfg, 1, 2, 0xBEEF, addr, 0);
+    assert!(crossed.is_err(), "crossed-run worker must be fenced out");
+    assert!(root.counters().stale_conn_rejected >= 1);
+    root.drain(cfg.drain_timeout).expect("drain");
+}
+
+#[test]
+fn restart_broadcast_reaches_workers_and_bumps_their_epoch() {
+    let cfg = test_cfg();
+    let nodes = mesh(&cfg, 3, 0x5555);
+    nodes[0].broadcast_restart(1, 7);
+    for w in &nodes[1..] {
+        let (epoch, generation) = wait_event(w, Duration::from_secs(5), |ev| match ev {
+            NetEvent::Restart { epoch, generation } => Some((epoch, generation)),
+            _ => None,
+        });
+        assert_eq!((epoch, generation), (1, 7));
+        assert_eq!(w.epoch(), 1, "transport fence must move with the restart");
+    }
+    for node in &nodes {
+        node.drain(cfg.drain_timeout).expect("drain");
+    }
+}
+
+#[test]
+fn readmission_after_loss_uses_new_epoch_and_table_rebroadcast() {
+    let cfg = test_cfg();
+    let mut nodes = mesh(&cfg, 3, 0x6666);
+    // Lose worker 2, as a recovery would: root learns, bumps the epoch,
+    // announces the restart, and a replacement joins at the new epoch.
+    let dead = nodes.pop().unwrap();
+    dead.kill();
+    drop(dead);
+    let root_addr = nodes[0].listen_addr();
+    wait_event(&nodes[0], Duration::from_secs(10), |ev| match ev {
+        NetEvent::PeerLost { pe: 2, .. } => Some(()),
+        _ => None,
+    });
+    // Recovery sequence, exactly as the runtime driver performs it: bump
+    // the epoch, tell the survivors, admit the replacement, re-broadcast
+    // the table so the survivor (PE 1 — lower than 2, so 2 dials it) is
+    // reachable again. The replacement bootstraps concurrently because its
+    // own mesh wait cannot finish before the table goes out.
+    nodes[0].broadcast_restart(1, 0);
+    let join = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || NetNode::worker(&cfg, 2, 3, 0x6666, root_addr, 1))
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !nodes[0].peer_at_epoch(2, 1) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "readmission timed out"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    nodes[0].broadcast_table();
+    let replacement = join
+        .join()
+        .expect("replacement thread")
+        .expect("replacement bootstrap");
+    // Payload flows both ways between survivor 1 and replacement 2.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while replacement.send_payload(1, b"hello-from-2").is_err() {
+        assert!(std::time::Instant::now() < deadline, "2->1 link timed out");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (src, bytes) = wait_event(&nodes[1], Duration::from_secs(5), |ev| match ev {
+        NetEvent::Payload { src, bytes } => Some((src, bytes)),
+        _ => None,
+    });
+    assert_eq!((src, bytes.as_slice()), (2, b"hello-from-2".as_slice()));
+    nodes[1].send_payload(2, b"hello-from-1").expect("1->2");
+    let (src, bytes) = wait_event(&replacement, Duration::from_secs(5), |ev| match ev {
+        NetEvent::Payload { src, bytes } => Some((src, bytes)),
+        _ => None,
+    });
+    assert_eq!((src, bytes.as_slice()), (1, b"hello-from-1".as_slice()));
+    for node in nodes.iter().chain(std::iter::once(&replacement)) {
+        node.drain(cfg.drain_timeout).expect("drain");
+    }
+}
+
+#[test]
+fn drain_sends_bye_so_peer_sees_clean_close_not_death() {
+    let cfg = test_cfg();
+    let nodes = mesh(&cfg, 2, 0x7777);
+    nodes[1].drain(cfg.drain_timeout).expect("worker drain");
+    // The root must see a goodbye, not a PeerLost.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while nodes[0].counters().byes_recv == 0 {
+        assert!(std::time::Instant::now() < deadline, "no bye within window");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(nodes[0].peer_bye(1), "close must be recorded as clean");
+    match nodes[0].events().recv_timeout(Duration::from_millis(300)) {
+        Err(RecvTimeoutError::Timeout) => {}
+        Ok(NetEvent::PeerUp { .. }) | Err(RecvTimeoutError::Disconnected) => {}
+        Ok(NetEvent::PeerLost { pe, reason, .. }) => {
+            panic!("clean close misread as loss of {pe}: {reason}")
+        }
+        Ok(_) => {}
+    }
+    nodes[0].drain(cfg.drain_timeout).expect("root drain");
+}
+
+#[test]
+fn bootstrap_times_out_when_a_worker_never_arrives() {
+    let mut cfg = test_cfg().rendezvous_timeout(Duration::from_millis(400));
+    cfg.root_addr = Some("127.0.0.1:0".parse::<SocketAddr>().unwrap());
+    let root = NetNode::root(&cfg, 3, 0x8888).expect("root bind");
+    // Only one of two workers shows up.
+    let addr = root.listen_addr();
+    let cfg2 = cfg.clone();
+    let w1 = std::thread::spawn(move || NetNode::worker(&cfg2, 1, 3, 0x8888, addr, 0));
+    let err = root.await_workers().expect_err("mesh cannot complete");
+    let msg = err.to_string();
+    assert!(msg.contains('2'), "error should name the missing PE: {msg}");
+    let _ = w1.join();
+}

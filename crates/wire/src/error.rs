@@ -30,6 +30,9 @@ pub enum WireError {
     Unsupported(&'static str),
     /// Error message propagated from serde itself.
     Custom(String),
+    /// A framing-layer failure on an untrusted byte stream (bad magic,
+    /// checksum mismatch, torn read, over-cap length).
+    Frame(crate::frame::FrameError),
 }
 
 impl fmt::Display for WireError {
@@ -47,11 +50,18 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             WireError::Unsupported(what) => write!(f, "unsupported serde feature: {what}"),
             WireError::Custom(msg) => write!(f, "{msg}"),
+            WireError::Frame(e) => write!(f, "framing error: {e}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+impl From<crate::frame::FrameError> for WireError {
+    fn from(e: crate::frame::FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
 
 impl serde::ser::Error for WireError {
     fn custom<T: fmt::Display>(msg: T) -> Self {

@@ -1,0 +1,383 @@
+//! Hardened length-prefixed framing for untrusted byte streams.
+//!
+//! This module is the *only* layer that parses raw socket bytes, so it is
+//! written defensively: every malformed input maps to a typed [`FrameError`]
+//! and nothing here panics on attacker-controlled data. The same source file
+//! is compiled into `charm-net` (via `#[path]`) so the transport crate stays
+//! std-only while the canonical definition lives with the codec crate.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     MAGIC        0x43AE ("charm" frame marker)
+//! 2       1     VERSION      currently 1
+//! 3       1     KIND         application tag byte (opaque to this layer)
+//! 4       4     LEN          payload length in bytes
+//! 8       4     HDR_CRC      FNV-1a over bytes 0..8
+//! 12      4     PAYLOAD_CRC  FNV-1a over the payload bytes
+//! 16      LEN   payload
+//! ```
+//!
+//! The header checksum rejects desynchronised or bit-flipped headers before
+//! the length field can be trusted; the length is additionally capped by a
+//! caller-supplied maximum so a corrupt-but-checksummed frame can never make
+//! the reader allocate unbounded memory. A clean EOF *between* frames is
+//! reported as [`FrameError::Closed`] (normal disconnect); an EOF *inside* a
+//! frame is [`FrameError::Torn`] (crash or truncation mid-write).
+
+use std::io::{Read, Write};
+
+/// Frame marker; deliberately asymmetric so byte-swapped streams fail fast.
+pub const MAGIC: u16 = 0x43AE;
+/// Current frame layout version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HDR_LEN: usize = 16;
+/// Default cap on payload length readers enforce (64 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Typed decode/IO failures for untrusted frame streams.
+///
+/// `Closed` and `Torn` are connection-lifecycle signals; the rest indicate a
+/// corrupt or hostile stream and should terminate the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF on a frame boundary: the peer closed the stream.
+    Closed,
+    /// EOF (or short read) in the middle of a header or payload.
+    Torn { needed: usize, got: usize },
+    /// First two header bytes are not [`MAGIC`].
+    BadMagic { found: u16 },
+    /// Header version byte is not [`VERSION`].
+    BadVersion { found: u8 },
+    /// Declared payload length exceeds the reader's cap.
+    TooLarge { len: usize, max: usize },
+    /// Header checksum mismatch: desynchronised or bit-flipped header.
+    BadHeaderCrc { expected: u32, found: u32 },
+    /// Payload checksum mismatch: payload corrupted in flight.
+    BadPayloadCrc { expected: u32, found: u32 },
+    /// Underlying transport error (timeout, reset, ...).
+    Io(std::io::ErrorKind, String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed on a frame boundary"),
+            FrameError::Torn { needed, got } => {
+                write!(f, "torn frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#06x} (expected {MAGIC:#06x})")
+            }
+            FrameError::BadVersion { found } => {
+                write!(f, "bad frame version {found} (expected {VERSION})")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::BadHeaderCrc { expected, found } => {
+                write!(
+                    f,
+                    "header checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
+            FrameError::BadPayloadCrc { expected, found } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
+            FrameError::Io(kind, msg) => write!(f, "frame io error ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.kind(), e.to_string())
+    }
+}
+
+/// FNV-1a 32-bit: tiny, allocation-free, good enough to catch stream
+/// desynchronisation and random corruption (not an integrity MAC).
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Build the 16-byte header for `payload` tagged with `kind`.
+pub fn encode_header(kind: u8, payload: &[u8]) -> [u8; HDR_LEN] {
+    let mut hdr = [0u8; HDR_LEN];
+    hdr[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    hdr[2] = VERSION;
+    hdr[3] = kind;
+    hdr[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let hcrc = fnv1a(&hdr[0..8]);
+    hdr[8..12].copy_from_slice(&hcrc.to_le_bytes());
+    hdr[12..16].copy_from_slice(&fnv1a(payload).to_le_bytes());
+    hdr
+}
+
+/// Validate a header and return `(kind, payload_len, payload_crc)`.
+///
+/// `max` caps the payload length this reader is willing to accept.
+pub fn parse_header(hdr: &[u8; HDR_LEN], max: usize) -> Result<(u8, usize, u32), FrameError> {
+    let magic = u16::from_le_bytes([hdr[0], hdr[1]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    if hdr[2] != VERSION {
+        return Err(FrameError::BadVersion { found: hdr[2] });
+    }
+    let expected = fnv1a(&hdr[0..8]);
+    let found = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
+    if expected != found {
+        return Err(FrameError::BadHeaderCrc { expected, found });
+    }
+    let len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let pcrc = u32::from_le_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]);
+    Ok((hdr[3], len, pcrc))
+}
+
+/// Write one frame (header + payload). Does not flush.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    let hdr = encode_header(kind, payload);
+    w.write_all(&hdr)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes, distinguishing a clean EOF at offset 0
+/// (`Closed` is only reported when `at_boundary`) from a torn mid-frame EOF.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && at_boundary {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Torn {
+                    needed: buf.len(),
+                    got,
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Read and validate one frame, returning `(kind, payload)`.
+///
+/// `max` caps the payload length; use [`DEFAULT_MAX_FRAME`] unless the
+/// protocol knows better. Never panics on malformed input.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut hdr = [0u8; HDR_LEN];
+    read_full(r, &mut hdr, true)?;
+    let (kind, len, pcrc) = parse_header(&hdr, max)?;
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, false)?;
+    let found = fnv1a(&payload);
+    if found != pcrc {
+        return Err(FrameError::BadPayloadCrc {
+            expected: pcrc,
+            found,
+        });
+    }
+    Ok((kind, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hello charm".to_vec();
+        let bytes = frame_bytes(7, &payload);
+        assert_eq!(bytes.len(), HDR_LEN + payload.len());
+        let (kind, got) = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, 7);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn round_trip_empty_payload() {
+        let bytes = frame_bytes(0, b"");
+        let (kind, got) = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn several_frames_back_to_back() {
+        let mut stream = Vec::new();
+        for i in 0..5u8 {
+            stream.extend(frame_bytes(i, &vec![i; i as usize * 3]));
+        }
+        let mut cur = Cursor::new(&stream);
+        for i in 0..5u8 {
+            let (kind, payload) = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(kind, i);
+            assert_eq!(payload, vec![i; i as usize * 3]);
+        }
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        );
+    }
+
+    #[test]
+    fn torn_header_is_torn_not_panic() {
+        let bytes = frame_bytes(1, b"payload");
+        for cut in 1..HDR_LEN {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME).unwrap_err();
+            assert_eq!(
+                err,
+                FrameError::Torn {
+                    needed: HDR_LEN,
+                    got: cut
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn torn_payload_is_torn_not_panic() {
+        let payload = b"twelve bytes".to_vec();
+        let bytes = frame_bytes(1, &payload);
+        for cut in HDR_LEN..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME).unwrap_err();
+            assert_eq!(
+                err,
+                FrameError::Torn {
+                    needed: payload.len(),
+                    got: cut - HDR_LEN
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = frame_bytes(1, b"x");
+        bytes[0] ^= 0xff;
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, FrameError::BadMagic { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = frame_bytes(1, b"x");
+        bytes[2] = VERSION + 1;
+        // A version flip also breaks the header CRC; re-seal the CRC so the
+        // version check itself is exercised.
+        let crc = fnv1a(&bytes[0..8]);
+        bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err, FrameError::BadVersion { found: VERSION + 1 });
+    }
+
+    #[test]
+    fn flipped_header_bit_fails_header_crc() {
+        for bit in 0..8 * 8usize {
+            let mut bytes = frame_bytes(3, b"some payload");
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::BadMagic { .. }
+                        | FrameError::BadVersion { .. }
+                        | FrameError::BadHeaderCrc { .. }
+                ),
+                "bit {bit}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_payload_crc() {
+        let mut bytes = frame_bytes(3, b"some payload");
+        let k = HDR_LEN + 4;
+        bytes[k] ^= 0x10;
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, FrameError::BadPayloadCrc { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversize_length_capped_before_allocation() {
+        // A syntactically valid header declaring a huge payload must be
+        // rejected by the cap, not trusted into a giant allocation.
+        let big = u32::MAX as usize - 1;
+        let mut hdr = [0u8; HDR_LEN];
+        hdr[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        hdr[2] = VERSION;
+        hdr[3] = 9;
+        hdr[4..8].copy_from_slice(&(big as u32).to_le_bytes());
+        let crc = fnv1a(&hdr[0..8]);
+        hdr[8..12].copy_from_slice(&crc.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&hdr[..]), 1024).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TooLarge {
+                len: big,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn max_boundary_is_inclusive() {
+        let payload = vec![0xabu8; 64];
+        let bytes = frame_bytes(2, &payload);
+        assert!(read_frame(&mut Cursor::new(&bytes), 64).is_ok());
+        let err = read_frame(&mut Cursor::new(&bytes), 63).unwrap_err();
+        assert_eq!(err, FrameError::TooLarge { len: 64, max: 63 });
+    }
+
+    #[test]
+    fn garbage_stream_never_panics() {
+        // Deterministic pseudo-random garbage: decoding must produce typed
+        // errors (or improbably a valid frame), never a panic.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut garbage = vec![0u8; 4096];
+        for b in garbage.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        let _ = read_frame(&mut Cursor::new(&garbage), 1024);
+    }
+}

@@ -18,12 +18,14 @@
 pub mod buffer;
 pub mod error;
 pub mod fast;
+pub mod frame;
 pub mod pickle;
 pub mod pool;
 pub mod varint;
 
 pub use buffer::{Buf, Scalar, WireBytes, INLINE_CAP};
 pub use error::{Result, WireError};
+pub use frame::FrameError;
 pub use pool::EncodePool;
 
 use serde::de::DeserializeOwned;
