@@ -13,15 +13,29 @@
 //!
 //! Expected shape: flat-ish lines, charm++ ≤ mpi4py ≈ charmpy, charmpy
 //! within ~10% of charm++.
+//!
+//! Scale knobs (the full-figure run reaches the paper's 65k cores):
+//!   * `CHARMRS_MAX_PES=65536` extends the series to 65,536 simulated PEs —
+//!     shrink the block (`CHARMRS_BLOCK=8`) to keep host memory bounded
+//!     (each chare allocates `(b+2)^3` f64 plus ghost faces).
+//!   * `CHARMRS_SERIES=charm` runs only the charm-rs native series (the
+//!     other two triple the wall time at large scale).
+//!   * `CHARMRS_EFF_GATE=<pct>` exits non-zero unless weak-scaling
+//!     efficiency `t(first)/t(last)` of the native series stays at or
+//!     above `<pct>`% — the CI regression gate for the scheduler's
+//!     per-PE scale structures.
 
 use charm_apps::stencil3d::{charm::run_charm, mpi::run_mpi, StencilParams};
-use charm_bench::{best_of, env_usize, pe_series, print_ratios, print_table, Series};
+use charm_bench::{
+    best_of, env_usize, env_usize_opt, pe_series, print_ratios, print_table, Series,
+};
 use charm_core::{Backend, DispatchMode, Runtime};
 use charm_sim::MachineModel;
 
 fn main() {
     let iters = env_usize("CHARMRS_ITERS", 30) as u32;
     let block = env_usize("CHARMRS_BLOCK", 64);
+    let all_series = std::env::var("CHARMRS_SERIES").as_deref() != Ok("charm");
     let pes = pe_series(1, 64);
 
     let params_for = |p: usize| StencilParams::new([block * p, block, block], [p, 1, 1], iters);
@@ -49,14 +63,22 @@ fn main() {
     for &p in &pes {
         let t = best_of(|| run_charm(params_for(p), rt(p, DispatchMode::Native)).time_per_step_ms);
         charmxx.points.push((p, t));
-        let t = best_of(|| run_mpi(params_for(p), rt(p, DispatchMode::Native)).time_per_step_ms);
-        mpi4py.points.push((p, t));
-        let t = best_of(|| run_charm(params_for(p), rt(p, DispatchMode::Dynamic)).time_per_step_ms);
-        charmpy.points.push((p, t));
+        if all_series {
+            let t =
+                best_of(|| run_mpi(params_for(p), rt(p, DispatchMode::Native)).time_per_step_ms);
+            mpi4py.points.push((p, t));
+            let t =
+                best_of(|| run_charm(params_for(p), rt(p, DispatchMode::Dynamic)).time_per_step_ms);
+            charmpy.points.push((p, t));
+        }
         eprintln!("fig1: {p} PEs done");
     }
 
-    let series = [charmxx, mpi4py, charmpy];
+    let series = if all_series {
+        vec![charmxx, mpi4py, charmpy]
+    } else {
+        vec![charmxx]
+    };
     print_table(
         &format!(
             "Fig 1: stencil3d weak scaling, {block}^3 block/PE, {iters} iters, \
@@ -65,7 +87,26 @@ fn main() {
         "PEs",
         &series,
     );
-    print_ratios("fig1", &series[2], &series[0]);
+    if all_series {
+        print_ratios("fig1", &series[2], &series[0]);
+    }
+
+    // Weak-scaling efficiency of the native series: per-step time should be
+    // flat as PEs grow, so t(first)/t(last) ≈ 1. `CHARMRS_EFF_GATE=<pct>`
+    // turns it into a pass/fail gate.
+    let native = &series[0];
+    if let (Some(&(p0, t0)), Some(&(p1, t1))) = (native.points.first(), native.points.last()) {
+        if p1 > p0 && t1 > 0.0 {
+            let eff = t0 / t1 * 100.0;
+            println!("\n## weak-scaling efficiency {p0} -> {p1} PEs: {eff:.1}%");
+            if let Some(gate) = env_usize_opt("CHARMRS_EFF_GATE") {
+                if eff < gate as f64 {
+                    eprintln!("fig1: efficiency {eff:.1}% below gate {gate}%");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     // CHARMRS_TRACE_DIR=<dir>: re-run the largest point under full capture
     // and drop a Chrome trace + utilization summary (DESIGN.md §7).

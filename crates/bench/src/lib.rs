@@ -22,6 +22,11 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Like [`env_usize`], but with no default: `None` when unset or invalid.
+pub fn env_usize_opt(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
 /// Geometric PE series `start, 2·start, …` capped by `CHARMRS_MAX_PES`
 /// (default `max_default`).
 pub fn pe_series(start: usize, max_default: usize) -> Vec<usize> {

@@ -112,6 +112,61 @@ impl CollSpec {
         dims.iter().map(|&d| d.max(0) as u64).product()
     }
 
+    /// The index at row-major linear position `lin` — the inverse of
+    /// [`CollSpec::linear`]. Lets placement fast paths enumerate only a
+    /// PE's own linear range instead of walking the whole index space.
+    pub fn dense_index_at(dims: &[i32], mut lin: u64) -> Index {
+        let mut coords = [0i32; crate::ids::MAX_DIMS];
+        for i in (0..dims.len()).rev() {
+            let d = dims[i].max(1) as u64;
+            coords[i] = (lin % d) as i32;
+            lin /= d;
+        }
+        Index::new(&coords[..dims.len()])
+    }
+
+    /// The contiguous linear range `[lo, hi)` of a dense array that
+    /// [`Placement::Block`] assigns to `pe` — closed form, so creation
+    /// does not have to test every index in the array against `place()`.
+    /// `place` maps `lin → (lin · npes) / total`, so PE `p` owns
+    /// `lin ∈ [ceil(p · total / npes), ceil((p+1) · total / npes))`.
+    pub fn block_range(dims: &[i32], pe: Pe, npes: usize) -> (u64, u64) {
+        let total = Self::dense_len(dims);
+        let n = npes as u64;
+        let lo = (pe as u64 * total).div_ceil(n);
+        let hi = ((pe as u64 + 1) * total).div_ceil(n);
+        (lo, hi.min(total))
+    }
+
+    /// Per-PE member counts a dense array's placement produces, in closed
+    /// form where the policy allows (`Block`, `RoundRobin`) — O(npes)
+    /// instead of the O(members) enumeration that `Hash`/`Custom`
+    /// placements require. Returns `false` when no closed form exists
+    /// (the caller falls back to enumeration).
+    pub fn dense_counts_closed(&self, counts: &mut [u64], npes: usize) -> bool {
+        let CollKind::Dense { dims } = &self.kind else {
+            return false;
+        };
+        let total = Self::dense_len(dims);
+        match self.placement {
+            Placement::Block => {
+                for (pe, c) in counts.iter_mut().enumerate().take(npes) {
+                    let (lo, hi) = Self::block_range(dims, pe, npes);
+                    *c += hi - lo;
+                }
+                true
+            }
+            Placement::RoundRobin => {
+                let n = npes as u64;
+                for (pe, c) in counts.iter_mut().enumerate().take(npes) {
+                    *c += total / n + u64::from((pe as u64) < total % n);
+                }
+                true
+            }
+            Placement::Hash | Placement::Custom(_) => false,
+        }
+    }
+
     /// Row-major linear position of `index` within `dims`.
     pub fn linear(dims: &[i32], index: &Index) -> u64 {
         let mut lin: u64 = 0;
@@ -271,6 +326,56 @@ mod tests {
         for pe in 0..8usize {
             assert_eq!(spec.place(&Index::pe(pe), 8, &pls), pe);
             assert_eq!(spec.home_pe(&Index::pe(pe), 8), pe);
+        }
+    }
+
+    #[test]
+    fn dense_index_at_inverts_linear() {
+        let dims = [3, 4, 5];
+        for (i, ix) in CollSpec::dense_indices(&dims).enumerate() {
+            assert_eq!(CollSpec::dense_index_at(&dims, i as u64), ix);
+        }
+    }
+
+    #[test]
+    fn closed_form_counts_match_enumeration() {
+        let pls = Placements::default();
+        for placement in [Placement::Block, Placement::RoundRobin] {
+            for (dims, npes) in [
+                (vec![8], 4usize),
+                (vec![7], 3),
+                (vec![10, 10], 7),
+                (vec![3], 5), // fewer members than PEs
+                (vec![4, 3, 2], 5),
+            ] {
+                let spec = dense_spec(dims.clone(), placement);
+                let mut expected = vec![0u64; npes];
+                for ix in CollSpec::dense_indices(&dims) {
+                    expected[spec.place(&ix, npes, &pls)] += 1;
+                }
+                let mut got = vec![0u64; npes];
+                assert!(spec.dense_counts_closed(&mut got, npes));
+                assert_eq!(got, expected, "{placement:?} {dims:?} over {npes}");
+            }
+        }
+        // No closed form for hash placement: caller must enumerate.
+        let spec = dense_spec(vec![8], Placement::Hash);
+        let mut got = vec![0u64; 4];
+        assert!(!spec.dense_counts_closed(&mut got, 4));
+    }
+
+    #[test]
+    fn block_range_partitions_index_space() {
+        for (dims, npes) in [(vec![8], 4usize), (vec![7], 3), (vec![100], 7)] {
+            let total = CollSpec::dense_len(&dims);
+            let mut next = 0u64;
+            for pe in 0..npes {
+                let (lo, hi) = CollSpec::block_range(&dims, pe, npes);
+                assert_eq!(lo, next, "ranges are contiguous");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, total, "ranges cover the space");
         }
     }
 

@@ -13,6 +13,48 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{ChareId, Pe};
+use crate::tree::TreeShape;
+
+/// How AtSync load balancing is coordinated across PEs
+/// (`Runtime::lb_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LbMode {
+    /// Every PE ships its full per-chare stats to PE 0, which runs the
+    /// configured [`LbStrategy`] over the global picture — the Charm++
+    /// CentralLB shape. Simple and optimal-information, but PE 0
+    /// materializes O(nchares) stats: fine to ~10^3 PEs, a serialization
+    /// point beyond.
+    #[default]
+    Central,
+    /// Hierarchical GreedyRefine: PEs reduce stats up a `group_size`-ary
+    /// spanning tree; each interior node refines placement *within its
+    /// subtree* (issuing migration orders directly) and passes only
+    /// bounded residual spill and a bounded acceptor list upward, so no
+    /// PE ever holds more than O(nchares/npes · group_size) stats.
+    /// `Tree { group_size: npes }` degenerates to a flat tree whose root
+    /// sees everything — it reproduces `Central` with charm-lb's
+    /// `GreedyRefineLb` migration-for-migration.
+    Tree {
+        /// Fan-in of the LB reduction tree (≥ 2 to be hierarchical).
+        group_size: usize,
+    },
+}
+
+impl LbMode {
+    /// The LB reduction tree for this mode: a flat `group_size`-ary tree
+    /// rooted at PE 0 (distinct from the broadcast tree, whose shape the
+    /// user picks independently).
+    pub fn tree_shape(&self) -> TreeShape {
+        let arity = match *self {
+            LbMode::Central => 4,
+            LbMode::Tree { group_size } => group_size.max(1),
+        };
+        TreeShape {
+            arity,
+            cores_per_node: None,
+        }
+    }
+}
 
 /// Measured load of one chare over the last LB epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,11 +81,20 @@ pub struct LbStats {
 impl LbStats {
     /// Per-PE total load implied by current placement, seconds.
     pub fn pe_loads(&self) -> Vec<f64> {
-        let mut loads = vec![0.0; self.npes];
+        let mut loads = Vec::new();
+        self.pe_loads_into(&mut loads);
+        loads
+    }
+
+    /// [`LbStats::pe_loads`] into a caller-owned buffer — the strategy
+    /// hot path reuses one buffer across epochs instead of allocating
+    /// an `npes`-sized vector per call.
+    pub fn pe_loads_into(&self, loads: &mut Vec<f64>) {
+        loads.clear();
+        loads.resize(self.npes, 0.0);
         for c in &self.chares {
             loads[c.pe] += c.load_ns as f64 / 1e9;
         }
-        loads
     }
 
     /// Max/avg PE load ratio — 1.0 is perfectly balanced.
@@ -78,19 +129,28 @@ pub trait LbStrategy: Send + Sync {
 pub struct LbPeState {
     /// Local participants that called `at_sync` this epoch.
     pub at_sync_count: u64,
-    /// Whether this PE already shipped its stats.
+    /// Whether this PE already shipped its stats (central) or its tree
+    /// report (hierarchical).
     pub stats_sent: bool,
 }
 
 /// Central (PE 0) protocol state.
 #[derive(Default)]
 pub struct LbCentral {
-    /// Stats received so far, one batch per PE.
-    pub batches: Vec<Vec<LbChareStat>>,
+    /// Stats received so far, folded flat on arrival (in arrival order —
+    /// the same order the old one-batch-per-PE drain produced). The
+    /// buffer's capacity is reused across epochs.
+    pub chares: Vec<LbChareStat>,
     /// PEs heard from.
     pub pes_reported: usize,
-    /// Migrations outstanding in the current epoch.
+    /// Migrations ordered in the current epoch.
     pub migrations_pending: u64,
+    /// Migrations that have landed (`LbMigrated` received). Kept as a
+    /// separate counter rather than decrementing `migrations_pending`
+    /// so completions may arrive *before* the total is known — which
+    /// happens under [`LbMode::Tree`], where interior nodes issue orders
+    /// before the root has finished its own merge.
+    pub migrations_done: u64,
     /// Whether an epoch is currently running.
     pub in_epoch: bool,
     /// Completed LB epochs (reported in `RunReport`).
@@ -98,6 +158,213 @@ pub struct LbCentral {
     /// Clock stamp of the current epoch's first stats arrival (traces the
     /// epoch duration).
     pub epoch_start_ns: u64,
+}
+
+/// One subtree's residual picture, reduced up the LB tree
+/// ([`LbMode::Tree`]). Everything a parent needs: subtree totals for the
+/// average, a bounded list of placement targets, and the bounded spill of
+/// chares the subtree could not place under the limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbTreeReport {
+    /// PEs in the subtree (drives the load average).
+    pub pe_count: u64,
+    /// Migratable candidates seen in the subtree (drives the spill cap).
+    pub chare_count: u64,
+    /// Total measured load in the subtree, migratable or not.
+    pub total_load_ns: u64,
+    /// Migration orders already issued inside the subtree.
+    pub ordered: u64,
+    /// Bounded (pe, load) placement targets, least-loaded retained.
+    pub acceptors: Vec<(Pe, u64)>,
+    /// Bounded residual candidates; loads are *not* included in any
+    /// acceptor entry (they are "lifted" until an ancestor places them
+    /// or the root lets them stay put).
+    pub spill: Vec<LbChareStat>,
+}
+
+/// Per-PE protocol state for one hierarchical LB epoch. Buffers are
+/// cleared, not dropped, between epochs.
+#[derive(Default)]
+pub struct LbTreePe {
+    /// This PE has seen the epoch's `LbTreePoll`.
+    pub polled: bool,
+    /// This PE already sent its `LbKick` to the root this epoch.
+    pub kicked: bool,
+    /// LB-tree children this PE relayed the epoch's poll to (and so owes
+    /// reports from before it can report itself).
+    pub children_expected: usize,
+    /// Child reports folded in so far.
+    pub children_seen: usize,
+    /// Folded accumulator over child reports (plus own contribution at
+    /// report time).
+    pub pe_count: u64,
+    /// See [`LbTreeReport::chare_count`].
+    pub chare_count: u64,
+    /// See [`LbTreeReport::total_load_ns`].
+    pub total_load_ns: u64,
+    /// Orders issued in this PE's subtree so far.
+    pub ordered: u64,
+    /// Folded child acceptors (own entry added at report time).
+    pub acceptors: Vec<(Pe, u64)>,
+    /// Folded child spill (own candidates added at report time).
+    pub spill: Vec<LbChareStat>,
+    /// Peak candidate-stat count materialized on this PE this run — the
+    /// O(nchares/npes · group_size) bound the scale tests assert.
+    pub peak_stats: u64,
+    /// LB epochs completed from this PE's point of view (resumes seen).
+    /// Tags kicks so the root can discard stragglers from finished
+    /// epochs; survives [`LbTreePe::reset`].
+    pub epoch: u64,
+    /// A next-epoch poll that outran this PE's `LbResume` (the poll wave
+    /// and the resume broadcast travel different trees). Replayed right
+    /// after the resume lands; survives [`LbTreePe::reset`].
+    pub pending_poll: Option<(u64, Pe)>,
+}
+
+impl LbTreePe {
+    /// Reset for the next epoch, keeping buffer capacity.
+    pub fn reset(&mut self) {
+        self.polled = false;
+        self.kicked = false;
+        self.children_expected = 0;
+        self.children_seen = 0;
+        self.pe_count = 0;
+        self.chare_count = 0;
+        self.total_load_ns = 0;
+        self.ordered = 0;
+        self.acceptors.clear();
+        self.spill.clear();
+    }
+
+    /// Fold one child report into the accumulator.
+    pub fn fold(&mut self, r: LbTreeReport) {
+        self.children_seen += 1;
+        self.pe_count += r.pe_count;
+        self.chare_count += r.chare_count;
+        self.total_load_ns += r.total_load_ns;
+        self.ordered += r.ordered;
+        self.acceptors.extend(r.acceptors);
+        self.spill.extend(r.spill);
+    }
+}
+
+/// Overload threshold shared by the hierarchical refine pass and
+/// `charm-lb`'s `GreedyRefineLb`: a PE is an eligible target while its
+/// load stays ≤ `avg · 1.05` (Charm++'s RefineLB default tolerance).
+pub const REFINE_THRESHOLD_PERMILLE: u64 = 1050;
+
+/// Per-PE load limit for a refine pass: `threshold/1000 · total/pe_count`
+/// in exact integer arithmetic (u128 intermediate, no float drift between
+/// PEs computing the same subtree).
+pub fn refine_limit(total_load_ns: u64, pe_count: u64, threshold_permille: u64) -> u64 {
+    if pe_count == 0 {
+        return 0;
+    }
+    let limit = (total_load_ns as u128 * threshold_permille as u128) / (1000 * pe_count as u128);
+    limit.min(u64::MAX as u128) as u64
+}
+
+/// Spill cap for one upward report: proportional to the subtree's
+/// chares-per-PE density so the per-PE stat bound holds, with a floor so
+/// leaves (pe_count 1) always pass *all* their candidates — required for
+/// `Tree { group_size: npes }` to reproduce `Central` exactly.
+pub fn spill_cap(chare_count: u64, pe_count: u64) -> usize {
+    (2 * chare_count.div_ceil(pe_count.max(1))).max(16) as usize
+}
+
+/// Result of one [`greedy_refine_place`] pass.
+#[derive(Debug, Default, PartialEq)]
+pub struct RefineOutcome {
+    /// Migration orders `(chare, current pe, destination)`; destination
+    /// always differs from the current pe.
+    pub moves: Vec<(ChareId, Pe, Pe)>,
+    /// Candidates no acceptor could take under the limit; they stay
+    /// lifted (spilled upward, or left in place at the root).
+    pub leftover: Vec<LbChareStat>,
+}
+
+/// The shared GreedyRefine placement core: place `candidates` (whose
+/// loads are counted in **no** acceptor entry) onto `acceptors` without
+/// pushing any acceptor past `limit`. Deterministic in its *set* of
+/// inputs — both lists are fully sorted internally, so arrival order
+/// (batch order at PE 0, child-report order at a tree node) cannot leak
+/// into the outcome. Heaviest candidates place first; each prefers its
+/// current PE when that PE is a listed acceptor with room (zero moves on
+/// a balanced system), else takes the least-loaded acceptor by
+/// `(load, pe)`. `acceptors` is updated in place with the placed loads.
+pub fn greedy_refine_place(
+    acceptors: &mut Vec<(Pe, u64)>,
+    mut candidates: Vec<LbChareStat>,
+    limit: u64,
+) -> RefineOutcome {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    acceptors.sort_unstable_by_key(|&(pe, _)| pe);
+    candidates.sort_unstable_by(|a, b| b.load_ns.cmp(&a.load_ns).then(a.id.cmp(&b.id)));
+    // Min-heap of (load, pe, index); entries go stale when an acceptor
+    // takes a chare and are skipped lazily.
+    let mut heap: BinaryHeap<Reverse<(u64, Pe, usize)>> = acceptors
+        .iter()
+        .enumerate()
+        .map(|(i, &(pe, load))| Reverse((load, pe, i)))
+        .collect();
+    let mut out = RefineOutcome::default();
+    for c in candidates {
+        // Prefer staying put: the current PE keeps the chare while it has
+        // room under the limit.
+        if let Ok(i) = acceptors.binary_search_by_key(&c.pe, |&(pe, _)| pe) {
+            let new = acceptors[i].1.saturating_add(c.load_ns);
+            if new <= limit {
+                acceptors[i].1 = new;
+                heap.push(Reverse((new, c.pe, i)));
+                continue;
+            }
+        }
+        // Least-loaded acceptor with room, skipping stale heap entries.
+        let mut placed = false;
+        while let Some(&Reverse((load, pe, i))) = heap.peek() {
+            if acceptors[i].1 != load {
+                heap.pop();
+                continue;
+            }
+            let new = load.saturating_add(c.load_ns);
+            if new > limit {
+                break;
+            }
+            heap.pop();
+            acceptors[i].1 = new;
+            heap.push(Reverse((new, pe, i)));
+            if pe != c.pe {
+                out.moves.push((c.id, c.pe, pe));
+            }
+            placed = true;
+            break;
+        }
+        if !placed {
+            out.leftover.push(c);
+        }
+    }
+    out
+}
+
+/// Truncate an upward report's acceptor list to the `cap` least-loaded
+/// entries (by `(load, pe)`), dropping the rest — their PEs simply take
+/// no further chares from ancestors.
+pub fn truncate_acceptors(acceptors: &mut Vec<(Pe, u64)>, cap: usize) {
+    if acceptors.len() > cap {
+        acceptors.sort_unstable_by_key(|&(pe, load)| (load, pe));
+        acceptors.truncate(cap);
+    }
+}
+
+/// Truncate an upward report's spill to the `cap` heaviest candidates
+/// (by `(load desc, id)`); the rest stay put on their current PEs.
+pub fn truncate_spill(spill: &mut Vec<LbChareStat>, cap: usize) {
+    if spill.len() > cap {
+        spill.sort_unstable_by(|a, b| b.load_ns.cmp(&a.load_ns).then(a.id.cmp(&b.id)));
+        spill.truncate(cap);
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +417,150 @@ mod tests {
             chares: vec![],
         };
         assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn pe_loads_into_reuses_buffer() {
+        let s = LbStats {
+            npes: 3,
+            chares: vec![stat(0, 10), stat(2, 30)],
+        };
+        let mut buf = vec![9.0; 7];
+        s.pe_loads_into(&mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf, s.pe_loads());
+    }
+
+    fn cand(pe: Pe, seq: u32, load_ms: u64) -> LbChareStat {
+        LbChareStat {
+            id: ChareId {
+                coll: CollectionId { creator: 0, seq },
+                index: Index::from(pe as i32),
+            },
+            pe,
+            load_ns: load_ms * 1_000_000,
+            migratable: true,
+        }
+    }
+
+    #[test]
+    fn refine_limit_integer_math() {
+        assert_eq!(refine_limit(1000, 4, 1050), 262);
+        assert_eq!(refine_limit(0, 4, 1050), 0);
+        assert_eq!(refine_limit(100, 0, 1050), 0);
+        // Saturates instead of wrapping near u64::MAX totals.
+        assert_eq!(refine_limit(u64::MAX, 1, 1050), u64::MAX);
+    }
+
+    #[test]
+    fn refine_place_balanced_input_stays_put() {
+        let mut acc = vec![(0, 0u64), (1, 0u64)];
+        let cands = vec![cand(0, 0, 50), cand(1, 1, 50)];
+        let limit = refine_limit(100_000_000, 2, REFINE_THRESHOLD_PERMILLE);
+        let out = greedy_refine_place(&mut acc, cands, limit);
+        assert!(out.moves.is_empty());
+        assert!(out.leftover.is_empty());
+        assert_eq!(acc[0].1, 50_000_000);
+    }
+
+    #[test]
+    fn refine_place_moves_off_overloaded_pe() {
+        // All load on PE 0; two PEs. avg=50ms, limit=52.5ms.
+        let mut acc = vec![(0, 0u64), (1, 0u64)];
+        let cands = vec![cand(0, 0, 50), cand(0, 1, 50)];
+        let limit = refine_limit(100_000_000, 2, REFINE_THRESHOLD_PERMILLE);
+        let out = greedy_refine_place(&mut acc, cands, limit);
+        assert_eq!(out.moves.len(), 1);
+        assert_eq!(out.moves[0].1, 0, "moved off its current PE");
+        assert_eq!(out.moves[0].2, 1, "onto the idle PE");
+        assert!(out.leftover.is_empty());
+    }
+
+    #[test]
+    fn refine_place_is_input_order_independent() {
+        let mut a1 = vec![(2, 10u64), (0, 500u64), (1, 0u64)];
+        let mut a2 = vec![(0, 500u64), (1, 0u64), (2, 10u64)];
+        let c1 = vec![cand(0, 0, 5), cand(0, 1, 3), cand(2, 2, 1)];
+        let c2 = vec![cand(2, 2, 1), cand(0, 1, 3), cand(0, 0, 5)];
+        let o1 = greedy_refine_place(&mut a1, c1, 3_000_000);
+        let o2 = greedy_refine_place(&mut a2, c2, 3_000_000);
+        assert_eq!(o1, o2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn refine_place_spills_what_cannot_fit() {
+        let mut acc = vec![(0, 0u64), (1, 0u64)];
+        // One chare heavier than the limit and foreign to both acceptors.
+        let cands = vec![cand(2, 0, 100)];
+        let out = greedy_refine_place(&mut acc, cands, 10);
+        assert!(out.moves.is_empty());
+        assert_eq!(out.leftover.len(), 1);
+        assert_eq!(out.leftover[0].pe, 2);
+    }
+
+    #[test]
+    fn spill_cap_floors_at_leaves() {
+        // A leaf (pe_count 1) must pass everything it has.
+        assert!(spill_cap(100, 1) >= 100);
+        assert!(spill_cap(3, 1) >= 3);
+        // Dense subtree: proportional to chares per PE, not total chares.
+        assert_eq!(spill_cap(1_000_000, 1_000), 2_000);
+    }
+
+    #[test]
+    fn truncation_keeps_least_loaded_acceptors_and_heaviest_spill() {
+        let mut acc = vec![(0, 30u64), (1, 10u64), (2, 20u64)];
+        truncate_acceptors(&mut acc, 2);
+        assert_eq!(acc, vec![(1, 10), (2, 20)]);
+        let mut spill = vec![cand(0, 0, 1), cand(1, 1, 9), cand(2, 2, 5)];
+        truncate_spill(&mut spill, 2);
+        assert_eq!(spill.len(), 2);
+        assert_eq!(spill[0].load_ns, 9_000_000);
+        assert_eq!(spill[1].load_ns, 5_000_000);
+    }
+
+    #[test]
+    fn tree_report_fold_accumulates() {
+        let mut t = LbTreePe::default();
+        t.fold(LbTreeReport {
+            pe_count: 3,
+            chare_count: 4,
+            total_load_ns: 100,
+            ordered: 2,
+            acceptors: vec![(1, 10)],
+            spill: vec![cand(1, 0, 1)],
+        });
+        t.fold(LbTreeReport {
+            pe_count: 2,
+            chare_count: 1,
+            total_load_ns: 50,
+            ordered: 0,
+            acceptors: vec![(4, 0)],
+            spill: vec![],
+        });
+        assert_eq!(t.children_seen, 2);
+        assert_eq!(t.pe_count, 5);
+        assert_eq!(t.chare_count, 5);
+        assert_eq!(t.total_load_ns, 150);
+        assert_eq!(t.ordered, 2);
+        assert_eq!(t.acceptors.len(), 2);
+        assert_eq!(t.spill.len(), 1);
+        let cap = t.acceptors.capacity();
+        t.reset();
+        assert_eq!(t.acceptors.capacity(), cap, "reset keeps capacity");
+        assert!(!t.polled && t.pe_count == 0);
+    }
+
+    #[test]
+    fn lb_mode_tree_shape_matches_group_size() {
+        let m = LbMode::Tree { group_size: 8 };
+        let shape = m.tree_shape();
+        assert_eq!(shape.arity, 8);
+        assert_eq!(shape.cores_per_node, None);
+        // group_size == npes degenerates to a flat tree: all PEs are
+        // direct children of root 0 (the Central-equivalence shape).
+        let flat = LbMode::Tree { group_size: 16 }.tree_shape();
+        assert_eq!(flat.children(0, 0, 16).len(), 15);
     }
 }

@@ -120,6 +120,36 @@ impl std::fmt::Debug for OutPayload {
     }
 }
 
+/// The body of a [`EnvKind::MigrateChare`] envelope: a migrating chare's
+/// packed state plus its runtime baggage. Boxed inside the envelope — the
+/// sim backend keeps up to 10^6 envelopes in flight, and an unboxed
+/// migration body (three vectors plus scalars) would dominate the enum
+/// size for every message kind.
+#[derive(Debug)]
+pub struct MigrateMsg {
+    /// Collection of the migrating chare.
+    pub coll: CollectionId,
+    /// Its index.
+    pub index: Index,
+    /// Serialized chare state.
+    pub data: Vec<u8>,
+    /// Buffered (when-guard deferred) messages, serialized, with
+    /// their pending reply futures and per-message guard ids.
+    pub buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)>,
+    /// Accumulated load since the last LB epoch, nanoseconds.
+    pub load_ns: u64,
+    /// The chare's reduction sequence number.
+    pub red_seq: u64,
+    /// Whether this migration is part of an LB epoch (completion is
+    /// then reported to the LB root).
+    pub for_lb: bool,
+    /// PEs this chare has left a forwarding stub on, oldest first. Each
+    /// hop appends the departing PE; when the trail reaches
+    /// [`crate::pe::MAX_FWD_HOPS`] the arrival PE collapses the chain by
+    /// sending every trail PE (and the home) a `LocationUpdate`.
+    pub trail: Vec<Pe>,
+}
+
 /// A unit of inter-PE communication.
 #[derive(Debug)]
 pub struct Envelope {
@@ -288,24 +318,11 @@ pub enum EnvKind {
         /// Tree root of the relay.
         root: Pe,
     },
-    /// A migrating chare: its packed state plus its runtime baggage.
+    /// A migrating chare: its packed state plus its runtime baggage
+    /// (boxed — see [`MigrateMsg`]).
     MigrateChare {
-        /// Collection of the migrating chare.
-        coll: CollectionId,
-        /// Its index.
-        index: Index,
-        /// Serialized chare state.
-        data: Vec<u8>,
-        /// Buffered (when-guard deferred) messages, serialized, with
-        /// their pending reply futures and per-message guard ids.
-        buffered: Vec<(Vec<u8>, Option<crate::ids::FutureId>, Option<u32>)>,
-        /// Accumulated load since the last LB epoch, nanoseconds.
-        load_ns: u64,
-        /// The chare's reduction sequence number.
-        red_seq: u64,
-        /// Whether this migration is part of an LB epoch (completion is
-        /// then reported to PE 0).
-        for_lb: bool,
+        /// The migration body.
+        msg: Box<MigrateMsg>,
     },
     /// Tell a PE where a chare now lives (location cache update).
     LocationUpdate {
@@ -345,6 +362,33 @@ pub enum EnvKind {
     LbResume {
         /// Tree root of the relay (PE 0).
         root: Pe,
+    },
+    /// Hierarchical LB ([`crate::lb::LbMode::Tree`]): a PE whose local
+    /// participants all reached at-sync nudges the LB root to start the
+    /// epoch's poll wave. At most one per PE per epoch; the root starts
+    /// the wave on the first matching kick and drops the rest.
+    LbKick {
+        /// The sender's LB epoch number (resumes seen); the root ignores
+        /// kicks from any epoch but its current one, so a kick that
+        /// arrives after its epoch completed cannot start a bogus wave.
+        epoch: u64,
+    },
+    /// Hierarchical LB: poll wave relayed down the LB group tree. A PE
+    /// reports up only after it has been polled, so child reports can
+    /// never race ahead of the epoch start.
+    LbTreePoll {
+        /// LB epoch this wave belongs to. A PE that receives next epoch's
+        /// poll before its own `LbResume` (the two travel different
+        /// trees) parks the poll until the resume lands.
+        epoch: u64,
+        /// LB tree root (PE 0).
+        root: Pe,
+    },
+    /// Hierarchical LB: a subtree's folded, bounded LB summary flowing up
+    /// the LB group tree (boxed — it carries three vectors).
+    LbTreeReport {
+        /// The subtree summary.
+        report: Box<crate::lb::LbTreeReport>,
     },
     /// Quiescence-detection probe (PE0 → all, relayed).
     QdProbe {
@@ -556,8 +600,13 @@ impl EnvKind {
             EnvKind::RedPartial { data, .. } => HDR + data.size_hint(),
             EnvKind::RedDeliver { data, .. } => HDR + data.size_hint(),
             EnvKind::RedBroadcast { data, .. } => HDR + data.size_hint(),
-            EnvKind::MigrateChare { data, buffered, .. } => {
-                HDR + data.len() + buffered.iter().map(|(b, ..)| b.len() + 16).sum::<usize>()
+            EnvKind::MigrateChare { msg } => {
+                HDR + msg.data.len()
+                    + msg
+                        .buffered
+                        .iter()
+                        .map(|(b, ..)| b.len() + 16)
+                        .sum::<usize>()
             }
             EnvKind::CkptBuddy { image, .. } => HDR + image.len(),
             // A frame wires two sparse histograms plus scalars; the cost
@@ -565,6 +614,9 @@ impl EnvKind {
             EnvKind::TelemetryFrame { .. } => HDR + 512,
             EnvKind::LbStats { stats, .. } => HDR + stats.len() * 48,
             EnvKind::LbDoMigrate { moves, .. } => HDR + moves.len() * 40,
+            EnvKind::LbTreeReport { report } => {
+                HDR + report.acceptors.len() * 16 + report.spill.len() * 48
+            }
             _ => HDR,
         }
     }
@@ -676,4 +728,37 @@ pub(crate) fn split_batch(
         envs.push(env);
     }
     Ok(envs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sim backend keeps up to 10^6 envelopes in flight, so every
+    /// in-flight event pays `size_of::<Envelope>()` whether or not it uses
+    /// a fat variant. Fat bodies (migration state, LB subtree summaries,
+    /// telemetry frames) are boxed to keep the enum at the size its
+    /// hot-path variants ([`EnvKind::Entry`] with an inline-capable
+    /// [`WireBytes`]) actually need. This pins the budget so a future
+    /// variant can't silently re-inflate it.
+    #[test]
+    fn envelope_stays_compact() {
+        // `Entry` is the floor: a chare id, a payload (inline-capable
+        // `WireBytes` dominates), and two options. Anything past that plus
+        // a tag word means some other variant carries fat inline.
+        let floor = std::mem::size_of::<ChareId>()
+            + std::mem::size_of::<Payload>()
+            + std::mem::size_of::<Option<FutureId>>()
+            + std::mem::size_of::<Option<u32>>();
+        assert!(
+            std::mem::size_of::<EnvKind>() <= floor + 16,
+            "EnvKind is {}B but its hot-path variant needs only {}B — box the fat variant's body",
+            std::mem::size_of::<EnvKind>(),
+            floor
+        );
+        // Boxing keeps the fat bodies out of every in-flight envelope:
+        // the migration body alone outweighs the whole enum.
+        assert!(std::mem::size_of::<MigrateMsg>() > std::mem::size_of::<EnvKind>());
+        assert!(std::mem::size_of::<Box<MigrateMsg>>() == std::mem::size_of::<usize>());
+    }
 }

@@ -113,6 +113,7 @@ enum WKind {
         load_ns: u64,
         red_seq: u64,
         for_lb: bool,
+        trail: Vec<Pe>,
     },
     LocationUpdate {
         id: ChareId,
@@ -277,23 +278,19 @@ fn to_wire(kind: EnvKind) -> Result<WKind, NetMsgError> {
             data,
             root,
         },
-        EnvKind::MigrateChare {
-            coll,
-            index,
-            data,
-            buffered,
-            load_ns,
-            red_seq,
-            for_lb,
-        } => WKind::MigrateChare {
-            coll,
-            index,
-            data,
-            buffered,
-            load_ns,
-            red_seq,
-            for_lb,
-        },
+        EnvKind::MigrateChare { msg } => {
+            let m = *msg;
+            WKind::MigrateChare {
+                coll: m.coll,
+                index: m.index,
+                data: m.data,
+                buffered: m.buffered,
+                load_ns: m.load_ns,
+                red_seq: m.red_seq,
+                for_lb: m.for_lb,
+                trail: m.trail,
+            }
+        }
         EnvKind::LocationUpdate { id, pe } => WKind::LocationUpdate { id, pe },
         EnvKind::SubtreeAdd { coll, delta } => WKind::SubtreeAdd { coll, delta },
         EnvKind::LbPoll => WKind::LbPoll,
@@ -333,6 +330,14 @@ fn to_wire(kind: EnvKind) -> Result<WKind, NetMsgError> {
         EnvKind::TelemetryProbe { seq, root } => WKind::TelemetryProbe { seq, root },
         // Telemetry is rejected when a Net runtime is configured; an
         // in-flight frame here would mean that gate was bypassed.
+        // Hierarchical LB is rejected when a Net runtime is configured
+        // (`LbMode::Tree` + `Backend::Net`); in-flight tree-protocol
+        // control here would mean that gate was bypassed.
+        EnvKind::LbKick { .. } | EnvKind::LbTreePoll { .. } | EnvKind::LbTreeReport { .. } => {
+            return Err(NetMsgError::Unsupported(
+                "hierarchical LB control messages on the Net backend",
+            ))
+        }
         EnvKind::TelemetryFrame { .. } => {
             return Err(NetMsgError::Unsupported(
                 "telemetry frames on the Net backend",
@@ -424,14 +429,18 @@ fn from_wire(kind: WKind) -> EnvKind {
             load_ns,
             red_seq,
             for_lb,
+            trail,
         } => EnvKind::MigrateChare {
-            coll,
-            index,
-            data,
-            buffered,
-            load_ns,
-            red_seq,
-            for_lb,
+            msg: Box::new(crate::msg::MigrateMsg {
+                coll,
+                index,
+                data,
+                buffered,
+                load_ns,
+                red_seq,
+                for_lb,
+                trail,
+            }),
         },
         WKind::LocationUpdate { id, pe } => EnvKind::LocationUpdate { id, pe },
         WKind::SubtreeAdd { coll, delta } => EnvKind::SubtreeAdd { coll, delta },
@@ -543,6 +552,8 @@ pub(crate) struct WirePerf {
     pub dispatch_hits: u64,
     pub dispatch_misses: u64,
     pub events_dropped: u64,
+    pub fwd_hops: u64,
+    pub lb_peak_stats: u64,
     /// LB epochs this PE participated in (reduced to the report total).
     pub lb_epochs: u64,
 }
@@ -580,6 +591,8 @@ impl WirePerf {
             dispatch_hits: perf.dispatch_hits,
             dispatch_misses: perf.dispatch_misses,
             events_dropped: perf.events_dropped,
+            fwd_hops: perf.fwd_hops,
+            lb_peak_stats: perf.lb_peak_stats,
             lb_epochs,
         }
     }
@@ -616,6 +629,8 @@ impl WirePerf {
             dispatch_hits: self.dispatch_hits,
             dispatch_misses: self.dispatch_misses,
             events_dropped: self.events_dropped,
+            fwd_hops: self.fwd_hops,
+            lb_peak_stats: self.lb_peak_stats,
         };
         (perf, self.lb_epochs)
     }

@@ -24,8 +24,12 @@ use crate::coro::{CoroHandle, CoroInput, CoroSide, CoroYield, WaitKind};
 use crate::ctx::{Ctx, CtxSeed, Op};
 use crate::future::{FutState, FutTable};
 use crate::ids::{ChareId, CollectionId, CoroId, FutureId, Index, Pe};
-use crate::lb::{LbCentral, LbChareStat, LbPeState, LbStats, LbStrategy};
-use crate::msg::{BoxMsg, EnvKind, Envelope, OutPayload, Payload};
+use crate::lb::{
+    greedy_refine_place, refine_limit, spill_cap, truncate_acceptors, truncate_spill, LbCentral,
+    LbChareStat, LbMode, LbPeState, LbStats, LbStrategy, LbTreePe, LbTreeReport,
+    REFINE_THRESHOLD_PERMILLE,
+};
+use crate::msg::{BoxMsg, EnvKind, Envelope, MigrateMsg, OutPayload, Payload};
 use crate::quiescence::{QdCentral, QdPeState};
 use crate::reduction::{combine, CustomReducers, RedData, RedTable, RedTarget, Reducer};
 use crate::tree::TreeShape;
@@ -39,6 +43,9 @@ pub(crate) struct SchedCfg {
     pub same_pe_byref: bool,
     pub tree: TreeShape,
     pub lb: Option<Arc<dyn LbStrategy>>,
+    /// How AtSync load balancing is coordinated (`Central` reproduces the
+    /// pre-hierarchical protocol bit for bit).
+    pub lb_mode: LbMode,
     /// Charge measured handler time to the virtual clock (sim backend).
     pub meter: bool,
     /// Scale factor from host compute speed to target machine speed.
@@ -194,6 +201,11 @@ struct Slot {
     red_seq: u64,
     at_sync: bool,
     coros: Vec<CoroId>,
+    /// PEs that still hold a forwarding stub chain for this chare from its
+    /// previous migrations. Travels with the chare; when it reaches
+    /// [`MAX_FWD_HOPS`] the arrival PE broadcasts its location to every
+    /// stub holder and the chain collapses, bounding forward latency.
+    fwd_trail: Vec<Pe>,
 }
 
 impl Slot {
@@ -205,13 +217,17 @@ impl Slot {
             red_seq: 0,
             at_sync: false,
             coros: Vec::new(),
+            fwd_trail: Vec::new(),
         }
     }
 }
 
 enum Route {
     Local,
-    Remote(Pe),
+    /// `.1` is true when the destination came from a forwarding stub in
+    /// `locations` (the chare lived here and migrated away) rather than
+    /// a direct location record or initial placement.
+    Remote(Pe, bool),
     /// This PE is the element's home but does not (yet) know a location.
     BufferHere,
     UnknownColl,
@@ -322,6 +338,12 @@ pub(crate) struct PeState {
 
     lb: LbPeState,
     lb_central: LbCentral,
+    /// Hierarchical-LB ([`LbMode::Tree`]) per-epoch state; also tracks the
+    /// peak LB stat count this PE materialized (both modes).
+    lb_tree: LbTreePe,
+    /// Entry messages this PE forwarded on behalf of a departed chare (a
+    /// forwarding-stub hit in `locations`); reported as `PePerf::fwd_hops`.
+    fwd_hops: u64,
     /// In-progress checkpoint initiated on this PE.
     ckpt: Option<CkptPending>,
     /// In-memory images (own + buddy-held) under `Store::Memory`; salvaged
@@ -377,6 +399,14 @@ pub(crate) struct PeState {
     #[cfg(feature = "analyze")]
     pub det: crate::analyze::Detector,
 }
+
+/// Longest forwarding-pointer chain a repeatedly-migrating chare may leave
+/// behind. Each migration leaves a stub on the departing PE (so in-flight
+/// senders still reach the chare in one extra hop); once the trail carried
+/// in the migration message reaches this bound, the arrival PE collapses
+/// the whole chain with `LocationUpdate`s — location lookups stay O(1)
+/// with at most `MAX_FWD_HOPS` extra hops, independent of migration count.
+pub const MAX_FWD_HOPS: usize = 4;
 
 /// Identity of the built-in main chare (hosted on PE 0).
 pub(crate) fn main_chare_id() -> ChareId {
@@ -448,6 +478,8 @@ impl PeState {
             now_cache_ns: 0,
             lb: LbPeState::default(),
             lb_central: LbCentral::default(),
+            lb_tree: LbTreePe::default(),
+            fwd_hops: 0,
             ckpt: None,
             ckpt_store: CkptStore::default(),
             next_ckpt_epoch: cfg_seq_start,
@@ -794,7 +826,7 @@ impl PeState {
                     self.park_unknown_coll(coll, EnvKind::BroadcastEntry { coll, bytes, root });
                     return;
                 }
-                let children = self.cfg.tree.children(self.pe, root, self.npes);
+                let tree = self.cfg.tree;
                 let members = self.local_members(coll);
                 if self.tracer.enabled() {
                     self.tracer.bcast_relays += 1;
@@ -803,13 +835,13 @@ impl PeState {
                         self.tracer.push(
                             now,
                             charm_trace::EventKind::BcastFanout {
-                                children: children.len() as u32,
+                                children: tree.fanout(self.pe, root, self.npes) as u32,
                                 members: members.len() as u32,
                             },
                         );
                     }
                 }
-                for child in children {
+                tree.children_for_each(self.pe, root, self.npes, |child| {
                     self.emit(
                         child,
                         EnvKind::BroadcastEntry {
@@ -818,7 +850,7 @@ impl PeState {
                             root,
                         },
                     );
-                }
+                });
                 for id in members {
                     self.deliver_wire_entry(id, &bytes, None);
                 }
@@ -885,16 +917,16 @@ impl PeState {
                     );
                     return;
                 }
-                let children = self.cfg.tree.children(self.pe, root, self.npes);
+                let tree = self.cfg.tree;
                 let members = self.local_members(coll);
                 // Hand the reduced value out without a gratuitous per-hop
                 // deep copy: every consumer but the last clones, and the
                 // final one (last local member, or last child when this PE
                 // hosts none) takes the value by move.
-                let uses = children.len() + members.len();
+                let uses = tree.fanout(self.pe, root, self.npes) + members.len();
                 let mut data = Some(data);
                 let mut used = 0;
-                for child in children {
+                tree.children_for_each(self.pe, root, self.npes, |child| {
                     used += 1;
                     let d = if used == uses {
                         // analyze: allow(panic, "fan-out discipline: exactly `uses` consumers; the last takes, earlier ones clone, so the Option is Some")
@@ -912,7 +944,7 @@ impl PeState {
                             root,
                         },
                     );
-                }
+                });
                 for id in members {
                     used += 1;
                     let d = if used == uses {
@@ -925,15 +957,7 @@ impl PeState {
                     self.invoke(id, Invoke::Reduced(tag, d));
                 }
             }
-            EnvKind::MigrateChare {
-                coll,
-                index,
-                data,
-                buffered,
-                load_ns,
-                red_seq,
-                for_lb,
-            } => self.migrate_in(coll, index, data, buffered, load_ns, red_seq, for_lb),
+            EnvKind::MigrateChare { msg } => self.migrate_in(msg),
             EnvKind::LocationUpdate { id, pe } => {
                 if pe != self.pe {
                     self.locations.insert(id, pe);
@@ -969,22 +993,26 @@ impl PeState {
             }
             EnvKind::LbStats { stats, at_sync } => self.lb_central_stats(stats, at_sync),
             EnvKind::LbDoMigrate { moves, total: _ } => {
-                // (PE 0 already tracks the epoch's total.)
+                // (The ordering PE tracks the epoch's completion count.)
                 for (id, dst) in moves {
                     self.migrate_out(id, dst, true);
                 }
             }
             EnvKind::LbMigrated => {
-                self.lb_central.migrations_pending =
-                    self.lb_central.migrations_pending.saturating_sub(1);
-                if self.lb_central.migrations_pending == 0 && self.lb_central.in_epoch {
-                    self.lb_finish_epoch();
-                }
+                // A counter rather than a decrement: under `LbMode::Tree`,
+                // interior nodes issue orders before the root knows the
+                // epoch's total, so completions may arrive first.
+                self.lb_central.migrations_done += 1;
+                self.lb_maybe_finish_epoch();
             }
+            EnvKind::LbKick { epoch } => self.lb_tree_kick(epoch),
+            EnvKind::LbTreePoll { epoch, root } => self.lb_tree_poll(epoch, root),
+            EnvKind::LbTreeReport { report } => self.lb_tree_report_in(*report),
             EnvKind::LbResume { root } => {
-                for child in self.cfg.tree.children(self.pe, root, self.npes) {
+                let tree = self.cfg.tree;
+                tree.children_for_each(self.pe, root, self.npes, |child| {
                     self.emit(child, EnvKind::LbResume { root });
-                }
+                });
                 self.lb_resume_local();
             }
             EnvKind::CkptSave { dir, epoch, buddy } => self.ckpt_save(src, dir, epoch, buddy),
@@ -1056,7 +1084,7 @@ impl PeState {
             return Route::UnknownColl;
         };
         if let Some(&pe) = self.locations.get(id) {
-            return Route::Remote(pe);
+            return Route::Remote(pe, true);
         }
         match &cs.spec.kind {
             // Initial placement is globally computable for these kinds.
@@ -1066,7 +1094,7 @@ impl PeState {
                     // We host it (or will, when creation lands): buffer.
                     Route::BufferHere
                 } else {
-                    Route::Remote(pe)
+                    Route::Remote(pe, false)
                 }
             }
             CollKind::Sparse => {
@@ -1074,7 +1102,7 @@ impl PeState {
                 if home == self.pe {
                     Route::BufferHere
                 } else {
-                    Route::Remote(home)
+                    Route::Remote(home, false)
                 }
             }
         }
@@ -1094,8 +1122,11 @@ impl PeState {
     ) {
         match self.route_of(&to) {
             Route::Local => self.deliver_entry(to, payload, reply, guard),
-            Route::Remote(pe) => {
+            Route::Remote(pe, stub) => {
                 if src != self.pe {
+                    if stub {
+                        self.fwd_hops += 1;
+                    }
                     self.emit(src, EnvKind::LocationUpdate { id: to, pe });
                 }
                 let payload = self.reencode_for(pe, to.coll, payload);
@@ -1133,7 +1164,7 @@ impl PeState {
     fn route_reduced(&mut self, to: ChareId, tag: u32, data: RedData) {
         match self.route_of(&to) {
             Route::Local => self.invoke(to, Invoke::Reduced(tag, data)),
-            Route::Remote(pe) => self.emit(pe, EnvKind::RedDeliver { to, tag, data }),
+            Route::Remote(pe, _) => self.emit(pe, EnvKind::RedDeliver { to, tag, data }),
             Route::BufferHere => {
                 let env = self.wrap(EnvKind::RedDeliver { to, tag, data });
                 self.pending_chare.entry(to).or_default().push(env);
@@ -1510,7 +1541,7 @@ impl PeState {
                 } => {
                     let (is_local, dst) = match self.route_of(&to) {
                         Route::Local => (true, self.pe),
-                        Route::Remote(pe) => (false, pe),
+                        Route::Remote(pe, _) => (false, pe),
                         Route::BufferHere | Route::UnknownColl => (false, self.pe),
                     };
                     let (byref, codec) = (self.cfg.same_pe_byref, self.cfg.codec);
@@ -1548,7 +1579,7 @@ impl PeState {
                     for index in members {
                         let to = ChareId { coll, index };
                         let dst = match self.route_of(&to) {
-                            Route::Remote(pe) => pe,
+                            Route::Remote(pe, _) => pe,
                             _ => self.pe,
                         };
                         self.emit(
@@ -1926,9 +1957,15 @@ impl PeState {
             CollKind::Singleton { pe } => counts[*pe] += 1,
             CollKind::Group => counts.iter_mut().for_each(|c| *c += 1),
             CollKind::Dense { dims } => {
-                for ix in CollSpec::dense_indices(dims) {
-                    // analyze: allow(panic, "place() reduces indices mod npes; counts was sized to npes")
-                    counts[spec.place(&ix, self.npes, &self.placements)] += 1;
+                // Closed form for the analytic placements: every PE runs
+                // this at creation, so the enumeration fallback is
+                // O(members) per PE — O(npes · members) machine-wide,
+                // which dominates bootstrap at 65k PEs.
+                if !spec.dense_counts_closed(&mut counts, self.npes) {
+                    for ix in CollSpec::dense_indices(dims) {
+                        // analyze: allow(panic, "place() reduces indices mod npes; counts was sized to npes")
+                        counts[spec.place(&ix, self.npes, &self.placements)] += 1;
+                    }
                 }
             }
             CollKind::Sparse => {}
@@ -1938,18 +1975,16 @@ impl PeState {
 
     fn subtree_total(&self, counts: &[u64], pe: Pe) -> u64 {
         // analyze: allow(panic, "pe iterates 0..npes here; counts was sized to npes")
-        counts[pe]
-            + self
-                .cfg
-                .tree
-                .children(pe, 0, self.npes)
-                .iter()
-                .map(|&c| self.subtree_total(counts, c))
-                .sum::<u64>()
+        let mut total = counts[pe];
+        self.cfg
+            .tree
+            .children_for_each(pe, 0, self.npes, |c| total += self.subtree_total(counts, c));
+        total
     }
 
     fn create_collection(&mut self, spec: CollSpec, init: WireBytes, root: Pe) {
-        for child in self.cfg.tree.children(self.pe, root, self.npes) {
+        let tree = self.cfg.tree;
+        tree.children_for_each(self.pe, root, self.npes, |child| {
             self.emit(
                 child,
                 EnvKind::CreateCollection {
@@ -1958,7 +1993,7 @@ impl PeState {
                     root,
                 },
             );
-        }
+        });
         let counts = self.initial_counts(&spec);
         let coll = spec.id;
         let state = CollState {
@@ -1974,12 +2009,30 @@ impl PeState {
         self.dispatch_cache.clear();
 
         // Construct locally-placed members (deterministic index order).
+        // The analytic placements enumerate only this PE's own linear
+        // positions — the filter-everything fallback is O(members) per PE,
+        // O(npes · members) machine-wide.
         let mine: Vec<Index> = match &spec.kind {
             CollKind::Singleton { pe } if *pe == self.pe => vec![Index::SINGLE],
             CollKind::Group => vec![Index::pe(self.pe)],
-            CollKind::Dense { dims } => CollSpec::dense_indices(dims)
-                .filter(|ix| spec.place(ix, self.npes, &self.placements) == self.pe)
-                .collect(),
+            CollKind::Dense { dims } => match spec.placement {
+                crate::collections::Placement::Block => {
+                    let (lo, hi) = CollSpec::block_range(dims, self.pe, self.npes);
+                    (lo..hi)
+                        .map(|lin| CollSpec::dense_index_at(dims, lin))
+                        .collect()
+                }
+                crate::collections::Placement::RoundRobin => {
+                    let total = CollSpec::dense_len(dims);
+                    (self.pe as u64..total)
+                        .step_by(self.npes)
+                        .map(|lin| CollSpec::dense_index_at(dims, lin))
+                        .collect()
+                }
+                _ => CollSpec::dense_indices(dims)
+                    .filter(|ix| spec.place(ix, self.npes, &self.placements) == self.pe)
+                    .collect(),
+            },
             _ => Vec::new(),
         };
         for index in mine {
@@ -2376,46 +2429,45 @@ impl PeState {
                 },
             );
         }
+        // This PE joins the chare's stub chain; the arrival side collapses
+        // the chain once it reaches MAX_FWD_HOPS.
+        let mut trail = slot.fwd_trail;
+        trail.push(self.pe);
         self.emit(
             to,
             EnvKind::MigrateChare {
-                coll: id.coll,
-                index: id.index,
-                data,
-                buffered,
-                load_ns: if for_lb { 0 } else { slot.load_ns },
-                red_seq: slot.red_seq,
-                for_lb,
+                msg: Box::new(MigrateMsg {
+                    coll: id.coll,
+                    index: id.index,
+                    data,
+                    buffered,
+                    load_ns: if for_lb { 0 } else { slot.load_ns },
+                    red_seq: slot.red_seq,
+                    for_lb,
+                    trail,
+                }),
             },
         );
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn migrate_in(
-        &mut self,
-        coll: CollectionId,
-        index: Index,
-        data: Vec<u8>,
-        buffered: Vec<(Vec<u8>, Option<FutureId>, Option<u32>)>,
-        load_ns: u64,
-        red_seq: u64,
-        for_lb: bool,
-    ) {
-        let Some(cs) = self.colls.get(&coll) else {
-            self.park_unknown_coll(
-                coll,
-                EnvKind::MigrateChare {
-                    coll,
-                    index,
-                    data,
-                    buffered,
-                    load_ns,
-                    red_seq,
-                    for_lb,
-                },
-            );
+    fn migrate_in(&mut self, msg: Box<MigrateMsg>) {
+        if !self.colls.contains_key(&msg.coll) {
+            let coll = msg.coll;
+            self.park_unknown_coll(coll, EnvKind::MigrateChare { msg });
             return;
-        };
+        }
+        let MigrateMsg {
+            coll,
+            index,
+            data,
+            buffered,
+            load_ns,
+            red_seq,
+            for_lb,
+            mut trail,
+        } = *msg;
+        // analyze: allow(panic, "presence checked above")
+        let cs = self.colls.get(&coll).unwrap();
         let id = ChareId { coll, index };
         if self.tracer.full() {
             let now = self.now_ns();
@@ -2437,6 +2489,11 @@ impl PeState {
         slot.load_ns = load_ns;
         slot.red_seq = red_seq;
         slot.at_sync = for_lb; // LB migrants resume with everyone else
+        if trail.len() < MAX_FWD_HOPS {
+            // Chain still short: carry it along (emptying `trail` so the
+            // collapse loop below has nothing to send).
+            slot.fwd_trail = std::mem::take(&mut trail);
+        }
         for (bytes, reply, guard) in buffered {
             let msg = decode_msg(self.cfg.codec, &bytes)
                 // analyze: allow(panic, "buffered bytes come from the matching encoder; decode failure is a codec bug")
@@ -2458,6 +2515,14 @@ impl PeState {
         let home = cs_home(self.colls.get(&coll).unwrap(), &index, self.npes);
         if home != self.pe {
             self.emit(home, EnvKind::LocationUpdate { id, pe: self.pe });
+        }
+        // Chain at the hop bound: tell every stub holder the real location
+        // so future sends reach this PE in one hop (`trail` is empty unless
+        // the bound was hit above).
+        for p in trail {
+            if p != self.pe && p != home {
+                self.emit(p, EnvKind::LocationUpdate { id, pe: self.pe });
+            }
         }
         if for_lb {
             self.lb.at_sync_count += 1;
@@ -2496,6 +2561,22 @@ impl PeState {
         if participants.is_empty() || self.lb.at_sync_count < participants.len() as u64 {
             return;
         }
+        match self.cfg.lb_mode {
+            LbMode::Central => self.lb_send_central_stats(&participants),
+            LbMode::Tree { .. } => {
+                // Nudge the root to start the epoch's poll wave (once per
+                // PE per epoch); report up as soon as we are polled.
+                if !self.lb_tree.kicked {
+                    self.lb_tree.kicked = true;
+                    let epoch = self.lb_tree.epoch;
+                    self.emit(0, EnvKind::LbKick { epoch });
+                }
+                self.lb_tree_try_report();
+            }
+        }
+    }
+
+    fn lb_send_central_stats(&mut self, participants: &[ChareId]) {
         let stats: Vec<LbChareStat> = participants
             .iter()
             .map(|id| {
@@ -2515,7 +2596,7 @@ impl PeState {
             })
             .collect();
         // Loads reset at the epoch boundary.
-        for id in &participants {
+        for id in participants {
             // analyze: allow(panic, "participants are keys of self.chares collected above")
             self.chares.get_mut(id).unwrap().load_ns = 0;
         }
@@ -2526,7 +2607,13 @@ impl PeState {
 
     fn lb_central_stats(&mut self, stats: Vec<LbChareStat>, _at_sync: u64) {
         debug_assert_eq!(self.pe, 0, "LB stats routed to non-central PE");
-        self.lb_central.batches.push(stats);
+        // Fold each batch on arrival (same concatenation order the old
+        // per-batch buffer produced, without holding npes Vec headers).
+        self.lb_central.chares.extend(stats);
+        self.lb_tree.peak_stats = self
+            .lb_tree
+            .peak_stats
+            .max(self.lb_central.chares.len() as u64);
         self.lb_central.pes_reported += 1;
         if self.lb_central.pes_reported == 1 {
             // Epoch begins: stamp it for the trace, then poll every PE so
@@ -2540,7 +2627,7 @@ impl PeState {
         if self.lb_central.pes_reported < self.npes {
             return;
         }
-        let chares: Vec<LbChareStat> = self.lb_central.batches.drain(..).flatten().collect();
+        let chares = std::mem::take(&mut self.lb_central.chares);
         self.lb_central.pes_reported = 0;
         self.lb_central.in_epoch = true;
         let stats = LbStats {
@@ -2561,10 +2648,6 @@ impl PeState {
                 .collect(),
             None => Vec::new(),
         };
-        if moves.is_empty() {
-            self.lb_finish_epoch();
-            return;
-        }
         let mut per_pe: HashMap<Pe, Vec<(ChareId, Pe)>> = HashMap::new();
         let mut total = 0u64;
         for (id, dst) in moves {
@@ -2577,18 +2660,208 @@ impl PeState {
             total += 1;
             per_pe.entry(owner).or_default().push((id, dst));
         }
+        // Reclaim the stat buffer's capacity for the next epoch.
+        let mut buf = stats.chares;
+        buf.clear();
+        self.lb_central.chares = buf;
         if total == 0 {
             self.lb_finish_epoch();
             return;
         }
         self.lb_central.migrations_pending = total;
+        self.lb_central.migrations_done = 0;
         for (owner, moves) in per_pe {
             self.emit(owner, EnvKind::LbDoMigrate { moves, total });
         }
     }
 
+    // =====================================================================
+    // Hierarchical load balancing (`LbMode::Tree`)
+    //
+    // PEs fold chare stats up a group tree; interior nodes refine placement
+    // within their subtree, issue migration orders directly, and pass only
+    // a bounded residual (truncated acceptor list + capped spill) upward.
+    // No PE ever materializes the global stat vector. Orders flow as normal
+    // `LbDoMigrate`s; completion is counted at the root (`LbMigrated`),
+    // which finishes the epoch once every ordered migration landed.
+    // =====================================================================
+
+    fn lb_tree_kick(&mut self, epoch: u64) {
+        debug_assert_eq!(self.pe, 0, "LbKick routed to non-root PE");
+        // Redundant kicks for a running epoch and stragglers from finished
+        // ones are both dropped; only a kick for the current epoch starts
+        // the wave.
+        if self.lb_central.in_epoch || epoch != self.lb_central.epochs_done {
+            return;
+        }
+        self.lb_central.in_epoch = true;
+        self.lb_central.epoch_start_ns = self.now_ns();
+        // The order total is unknown until the root's own merge runs;
+        // block lb_maybe_finish_epoch until then.
+        self.lb_central.migrations_pending = u64::MAX;
+        self.lb_central.migrations_done = 0;
+        self.lb_tree_poll(epoch, 0);
+    }
+
+    fn lb_tree_poll(&mut self, epoch: u64, root: Pe) {
+        debug_assert!(
+            epoch <= self.lb_tree.epoch + 1,
+            "LB poll wave more than one epoch ahead"
+        );
+        if epoch == self.lb_tree.epoch + 1 {
+            // Next epoch's wave outran this PE's resume; hold it.
+            self.lb_tree.pending_poll = Some((epoch, root));
+            return;
+        }
+        if epoch != self.lb_tree.epoch || self.lb_tree.polled {
+            return; // straggler or duplicate
+        }
+        self.lb_tree.polled = true;
+        let tree = self.cfg.lb_mode.tree_shape();
+        let mut expected = 0usize;
+        tree.children_for_each(self.pe, root, self.npes, |child| {
+            expected += 1;
+            self.emit(child, EnvKind::LbTreePoll { epoch, root });
+        });
+        self.lb_tree.children_expected = expected;
+        self.lb_tree_try_report();
+    }
+
+    fn lb_tree_report_in(&mut self, report: LbTreeReport) {
+        // A child reports only after we polled it, and we cannot resume
+        // (reset) before our whole subtree reported — so a report always
+        // lands in its own epoch.
+        debug_assert!(self.lb_tree.polled, "LB tree report before poll");
+        self.lb_tree.fold(report);
+        let held = self.lb_tree.spill.len() as u64;
+        self.lb_tree.peak_stats = self.lb_tree.peak_stats.max(held);
+        self.lb_tree_try_report();
+    }
+
+    /// Report readiness check, run after every event that could complete
+    /// this PE's subtree: polled, every relayed child reported, and every
+    /// local participant reached at-sync.
+    fn lb_tree_try_report(&mut self) {
+        if !self.lb_tree.polled || self.lb.stats_sent {
+            return;
+        }
+        if self.lb_tree.children_seen < self.lb_tree.children_expected {
+            return;
+        }
+        let participants = self.lb_participants();
+        if !participants.is_empty() && self.lb.at_sync_count < participants.len() as u64 {
+            return;
+        }
+        let LbMode::Tree { group_size } = self.cfg.lb_mode else {
+            debug_assert!(false, "tree report in central mode");
+            return;
+        };
+        // Merge this PE's own contribution: migratable participants become
+        // placement candidates; everything pinned is this PE's fixed load.
+        let mut fixed = 0u64;
+        for id in &participants {
+            // analyze: allow(panic, "LB stats walk this PE's own chare map keys")
+            let slot = &self.chares[id];
+            let migratable = self
+                .registry
+                // analyze: allow(panic, "a chare's collection spec exists wherever the chare lives")
+                .vtable(self.colls[&id.coll].spec.ctype)
+                .migratable;
+            self.lb_tree.total_load_ns += slot.load_ns;
+            if migratable {
+                self.lb_tree.chare_count += 1;
+                self.lb_tree.spill.push(LbChareStat {
+                    id: *id,
+                    pe: self.pe,
+                    load_ns: slot.load_ns,
+                    migratable: true,
+                });
+            } else {
+                fixed += slot.load_ns;
+            }
+        }
+        // Loads reset at the epoch boundary, as in central mode.
+        for id in &participants {
+            // analyze: allow(panic, "participants are keys of self.chares collected above")
+            self.chares.get_mut(id).unwrap().load_ns = 0;
+        }
+        self.lb_tree.pe_count += 1;
+        self.lb_tree.acceptors.push((self.pe, fixed));
+        self.lb.stats_sent = true;
+        let held = self.lb_tree.spill.len() as u64;
+        self.lb_tree.peak_stats = self.lb_tree.peak_stats.max(held);
+
+        let is_root = self.pe == 0;
+        if is_root || self.lb_tree.children_expected > 0 {
+            // Interior (or root) node: refine placement within the subtree
+            // and issue orders directly. Leaves skip this — refining a
+            // single PE against its own average would keep every chare
+            // local and starve the upper levels of candidates.
+            let limit = refine_limit(
+                self.lb_tree.total_load_ns,
+                self.lb_tree.pe_count,
+                REFINE_THRESHOLD_PERMILLE,
+            );
+            let mut acceptors = std::mem::take(&mut self.lb_tree.acceptors);
+            let candidates = std::mem::take(&mut self.lb_tree.spill);
+            let outcome = greedy_refine_place(&mut acceptors, candidates, limit);
+            let mut per_pe: HashMap<Pe, Vec<(ChareId, Pe)>> = HashMap::new();
+            for (id, from, dst) in outcome.moves {
+                self.lb_tree.ordered += 1;
+                per_pe.entry(from).or_default().push((id, dst));
+            }
+            for (owner, moves) in per_pe {
+                let total = moves.len() as u64;
+                self.emit(owner, EnvKind::LbDoMigrate { moves, total });
+            }
+            self.lb_tree.acceptors = acceptors;
+            self.lb_tree.spill = outcome.leftover;
+        }
+        if is_root {
+            // Residual candidates stay put. The epoch's order total is now
+            // final; the epoch ends when that many LbMigrateds landed.
+            self.lb_central.migrations_pending = self.lb_tree.ordered;
+            self.lb_maybe_finish_epoch();
+        } else {
+            truncate_acceptors(&mut self.lb_tree.acceptors, group_size.max(16));
+            let cap = spill_cap(self.lb_tree.chare_count, self.lb_tree.pe_count);
+            truncate_spill(&mut self.lb_tree.spill, cap);
+            let tree = self.cfg.lb_mode.tree_shape();
+            let parent = tree.parent(self.pe, 0, self.npes);
+            // analyze: allow(panic, "every non-root PE has an LB tree parent")
+            let parent = parent.expect("non-root has parent");
+            let report = LbTreeReport {
+                pe_count: self.lb_tree.pe_count,
+                chare_count: self.lb_tree.chare_count,
+                total_load_ns: self.lb_tree.total_load_ns,
+                ordered: self.lb_tree.ordered,
+                acceptors: std::mem::take(&mut self.lb_tree.acceptors),
+                spill: std::mem::take(&mut self.lb_tree.spill),
+            };
+            self.emit(
+                parent,
+                EnvKind::LbTreeReport {
+                    report: Box::new(report),
+                },
+            );
+        }
+    }
+
+    /// Close the epoch once every ordered migration has landed. `pending`
+    /// holds `u64::MAX` from kick until the root's merge fixes the total,
+    /// so a completion arriving early can never finish the epoch.
+    fn lb_maybe_finish_epoch(&mut self) {
+        if self.lb_central.in_epoch
+            && self.lb_central.migrations_done >= self.lb_central.migrations_pending
+        {
+            self.lb_finish_epoch();
+        }
+    }
+
     fn lb_finish_epoch(&mut self) {
         self.lb_central.in_epoch = false;
+        self.lb_central.migrations_pending = 0;
+        self.lb_central.migrations_done = 0;
         self.lb_central.epochs_done += 1;
         if self.tracer.full() {
             let now = self.now_ns();
@@ -2602,6 +2875,13 @@ impl PeState {
     fn lb_resume_local(&mut self) {
         self.lb.at_sync_count = 0;
         self.lb.stats_sent = false;
+        self.lb_tree.reset();
+        self.lb_tree.epoch += 1;
+        // A buffered next-epoch poll (its wave outran this resume) can run
+        // now that the epoch counter caught up.
+        if let Some((epoch, root)) = self.lb_tree.pending_poll.take() {
+            self.lb_tree_poll(epoch, root);
+        }
         let resumed: Vec<ChareId> = self
             .chares
             .iter()
@@ -2640,6 +2920,8 @@ impl PeState {
         trace.perf.inline_payloads = self.encode_pool.inline_count();
         trace.perf.dispatch_hits = self.dispatch_cache.hits;
         trace.perf.dispatch_misses = self.dispatch_cache.misses;
+        trace.perf.fwd_hops = self.fwd_hops;
+        trace.perf.lb_peak_stats = self.lb_tree.peak_stats;
         // The telemetry series lives where the sweeps complete (PE 0).
         trace.telemetry = std::mem::take(&mut self.tel_series);
         trace
@@ -2735,18 +3017,18 @@ impl PeState {
         // flight; the two-consecutive-identical-rounds rule then converges
         // normally (just with extra rounds). See `QdCentral::round_complete`.
         self.flush_aggregation();
-        let children = self.cfg.tree.children(self.pe, root, self.npes);
+        let tree = self.cfg.tree;
         self.qd_pe = QdPeState {
             round,
-            pending_children: children.len(),
+            pending_children: tree.fanout(self.pe, root, self.npes),
             sent: self.tracer.counters.sent,
             done: self.tracer.counters.processed,
             pes: 1,
             active: true,
         };
-        for child in children {
+        tree.children_for_each(self.pe, root, self.npes, |child| {
             self.emit(child, EnvKind::QdProbe { round, root });
-        }
+        });
         self.qd_maybe_reply(root);
     }
 
@@ -2887,12 +3169,12 @@ impl PeState {
     /// machine is quiescent, so the counters are stable — and send the
     /// merged frame up once every child subtree has answered.
     fn telemetry_probe(&mut self, seq: u64, root: Pe) {
-        let children = self.cfg.tree.children(self.pe, root, self.npes);
-        self.tel_pending = children.len();
+        let tree = self.cfg.tree;
+        self.tel_pending = tree.fanout(self.pe, root, self.npes);
         self.tel_root = root;
-        for child in children {
+        tree.children_for_each(self.pe, root, self.npes, |child| {
             self.emit(child, EnvKind::TelemetryProbe { seq, root });
-        }
+        });
         let frame = self.sample_frame(seq);
         self.tel_acc = Some(Box::new(frame));
         self.tel_maybe_send_up(seq);
@@ -3251,7 +3533,8 @@ impl PeState {
     }
 
     fn restore_coll(&mut self, spec: CollSpec, root: Pe) {
-        for child in self.cfg.tree.children(self.pe, root, self.npes) {
+        let tree = self.cfg.tree;
+        tree.children_for_each(self.pe, root, self.npes, |child| {
             self.emit(
                 child,
                 EnvKind::RestoreColl {
@@ -3259,7 +3542,7 @@ impl PeState {
                     root,
                 },
             );
-        }
+        });
         // A restored collection starts empty everywhere; members arrive as
         // MigrateChare envelopes, which maintain local/subtree counts.
         let coll = spec.id;
@@ -3320,13 +3603,16 @@ impl PeState {
                 self.emit(
                     dest,
                     EnvKind::MigrateChare {
-                        coll: c.coll,
-                        index: c.index,
-                        data: c.data,
-                        buffered: c.buffered,
-                        load_ns: 0,
-                        red_seq: c.red_seq,
-                        for_lb: false,
+                        msg: Box::new(MigrateMsg {
+                            coll: c.coll,
+                            index: c.index,
+                            data: c.data,
+                            buffered: c.buffered,
+                            load_ns: 0,
+                            red_seq: c.red_seq,
+                            for_lb: false,
+                            trail: Vec::new(),
+                        }),
                     },
                 );
                 restored += 1;

@@ -307,6 +307,7 @@ pub struct Runtime {
     compute_scale: f64,
     tree: TreeShape,
     lb: Option<Arc<dyn LbStrategy>>,
+    lb_mode: LbMode,
     idle_timeout: Duration,
     registry: Registry,
     reducers: CustomReducers,
@@ -350,6 +351,7 @@ impl Runtime {
             compute_scale: 1.0,
             tree: TreeShape::default(),
             lb: None,
+            lb_mode: LbMode::default(),
             idle_timeout: Duration::from_secs(30),
             registry: Registry::default(),
             reducers: CustomReducers::default(),
@@ -465,6 +467,17 @@ impl Runtime {
     /// Install a load-balancing strategy (enables at-sync LB).
     pub fn lb_strategy(mut self, lb: Arc<dyn LbStrategy>) -> Self {
         self.lb = Some(lb);
+        self
+    }
+
+    /// How at-sync stats are collected and placement decided:
+    /// [`LbMode::Central`] (default) gathers every chare stat on PE 0 and
+    /// runs the installed [`LbStrategy`]; [`LbMode::Tree`] refines
+    /// hierarchically up a group tree so no PE materializes the global
+    /// stat vector (the strategy object is not consulted). Sim backend
+    /// only for `Tree`.
+    pub fn lb_mode(mut self, mode: LbMode) -> Self {
+        self.lb_mode = mode;
         self
     }
 
@@ -643,6 +656,14 @@ impl Runtime {
                 "telemetry sweeps are not supported on the Net backend".into(),
             ));
         }
+        // The hierarchical LB protocol's control messages have no wire
+        // form (orders are issued mid-fold from interior PEs, which the
+        // multi-process completion accounting does not cover yet).
+        if matches!(self.backend, Backend::Net(_)) && matches!(self.lb_mode, LbMode::Tree { .. }) {
+            return Err(RunError::Bootstrap(
+                "hierarchical LB (LbMode::Tree) is not supported on the Net backend".into(),
+            ));
+        }
         // Pre-validate a directory restore — a bad set is a typed error
         // here, not a panic mid-bootstrap — and start fresh checkpoint
         // generations strictly after the restored one.
@@ -671,6 +692,7 @@ impl Runtime {
             let same_pe_byref = self.same_pe_byref;
             let tree = self.tree;
             let lb = self.lb.clone();
+            let lb_mode = self.lb_mode;
             let meter = self.meter;
             let compute_scale = self.compute_scale;
             let sim_model = sim_model.clone();
@@ -689,6 +711,7 @@ impl Runtime {
                     same_pe_byref,
                     tree,
                     lb: lb.clone(),
+                    lb_mode,
                     meter,
                     compute_scale,
                     sim_model: sim_model.clone(),
@@ -820,6 +843,7 @@ impl Runtime {
             let same_pe_byref = self.same_pe_byref;
             let tree = self.tree;
             let lb = self.lb.clone();
+            let lb_mode = self.lb_mode;
             let compute_scale = self.compute_scale;
             let model = model.clone();
             let auto_ckpt = self.auto_ckpt.clone();
@@ -835,6 +859,7 @@ impl Runtime {
                     same_pe_byref,
                     tree,
                     lb: lb.clone(),
+                    lb_mode,
                     // Metering ties virtual time to measured host time;
                     // forced off so an execution is a pure function of its
                     // delivery order (the replay bit-identity contract).
@@ -1352,14 +1377,16 @@ pub(crate) fn finish_report(
 fn ship_outbox(
     src: Pe,
     now_ns: u64,
-    outbox: Vec<(Pe, Envelope)>,
+    outbox: &mut Vec<(Pe, Envelope)>,
     model: &MachineModel,
     permuter: &mut Option<charm_sim::PermuteSchedule>,
     events: &mut EventQueue<(Pe, Envelope)>,
     #[cfg(feature = "analyze")] inject_state: &mut Option<(crate::analyze::InjectFault, u64)>,
     #[cfg(feature = "analyze")] last_arrival: &mut std::collections::HashMap<(Pe, Pe), u64>,
 ) {
-    for (dst, env) in outbox {
+    // Drained in place: the caller keeps the Vec so its capacity is reused
+    // for the next event instead of reallocating once per delivery.
+    for (dst, env) in outbox.drain(..) {
         #[cfg(feature = "analyze")]
         let mut duplicate: Option<Envelope> = None;
         #[cfg(feature = "analyze")]
@@ -1462,12 +1489,12 @@ fn run_sim(
             for src in 0..npes {
                 if pes[src].flush_aggregation() {
                     flushed = true;
-                    let now = pes[src].clock_ns;
-                    let outbox: Vec<(Pe, Envelope)> = pes[src].outbox.drain(..).collect();
+                    let state = &mut pes[src];
+                    let now = state.clock_ns;
                     ship_outbox(
                         src,
                         now,
-                        outbox,
+                        &mut state.outbox,
                         &model,
                         &mut permuter,
                         &mut events,
@@ -1566,12 +1593,11 @@ fn run_sim(
         state.handle(env);
         state.clock_ns += std::mem::take(&mut state.event_work_ns);
         let now = state.clock_ns;
-        let outbox: Vec<(Pe, Envelope)> = state.outbox.drain(..).collect();
         let exited = state.exited;
         ship_outbox(
             pe,
             now,
-            outbox,
+            &mut state.outbox,
             &model,
             &mut permuter,
             &mut events,

@@ -65,17 +65,19 @@ impl TreeShape {
         }
     }
 
-    /// Children of `pe` in the tree rooted at `root`.
-    pub fn children(&self, pe: Pe, root: Pe, npes: usize) -> Vec<Pe> {
+    /// Visit the children of `pe` in the tree rooted at `root`, in the
+    /// same order [`TreeShape::children`] returns them, without allocating.
+    /// This is the hot-path form: broadcast/reduction relays at 10^5 PEs
+    /// call it per hop, where a `Vec` per relay would dominate.
+    pub fn children_for_each(&self, pe: Pe, root: Pe, npes: usize, mut f: impl FnMut(Pe)) {
         assert!(pe < npes && root < npes);
         let r = Self::rel(pe, root, npes);
-        let mut out = Vec::new();
         match self.cores_per_node {
             None => {
                 let k = self.arity.max(1);
                 for c in (k * r + 1)..=(k * r + k) {
                     if c < npes {
-                        out.push(Self::unrel(c, root, npes));
+                        f(Self::unrel(c, root, npes));
                     }
                 }
             }
@@ -88,7 +90,7 @@ impl TreeShape {
                     for l in 1..cpn {
                         let c = node * cpn + l;
                         if c < npes {
-                            out.push(Self::unrel(c, root, npes));
+                            f(Self::unrel(c, root, npes));
                         }
                     }
                     let nnodes = npes.div_ceil(cpn);
@@ -96,30 +98,89 @@ impl TreeShape {
                         if cn < nnodes {
                             let c = cn * cpn;
                             if c < npes {
-                                out.push(Self::unrel(c, root, npes));
+                                f(Self::unrel(c, root, npes));
                             }
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Children of `pe` in the tree rooted at `root`.
+    pub fn children(&self, pe: Pe, root: Pe, npes: usize) -> Vec<Pe> {
+        let mut out = Vec::new();
+        self.children_for_each(pe, root, npes, |c| out.push(c));
         out
     }
 
+    /// Closed-form size of the k-ary subtree rooted at relabeled index `r`
+    /// over `n` relabeled slots: walk the level ranges `[lo, hi]` —
+    /// children of `[lo, hi]` are `[k·lo+1, k·hi+k]` — clamping to `n`.
+    /// O(log_k n) per call, no recursion, no allocation.
+    fn kary_subtree(k: usize, r: usize, n: usize) -> usize {
+        let k = k.max(1);
+        if r >= n {
+            return 0;
+        }
+        // A 1-ary tree is a chain: the subtree of `r` is everything below.
+        if k == 1 {
+            return n - r;
+        }
+        let (mut lo, mut hi) = (r, r);
+        let mut size = 0usize;
+        while lo < n {
+            size += hi.min(n - 1) - lo + 1;
+            // Next level; saturate so arity-1 chains and huge n can't wrap.
+            lo = k.saturating_mul(lo).saturating_add(1);
+            hi = k.saturating_mul(hi).saturating_add(k);
+        }
+        size
+    }
+
     /// Number of PEs in the subtree rooted at `pe` (including itself).
+    /// Closed-form: O(log npes), independent of the subtree population —
+    /// the recursive formulation was O(subtree) per call and overflowed
+    /// the stack on arity-1 (chain) trees at scale.
     pub fn subtree_size(&self, pe: Pe, root: Pe, npes: usize) -> usize {
-        1 + self
-            .children(pe, root, npes)
-            .iter()
-            .map(|&c| self.subtree_size(c, root, npes))
-            .sum::<usize>()
+        assert!(pe < npes && root < npes);
+        let r = Self::rel(pe, root, npes);
+        match self.cores_per_node {
+            None => Self::kary_subtree(self.arity, r, npes),
+            Some(cpn) => {
+                let cpn = cpn.max(1);
+                let (node, lane) = (r / cpn, r % cpn);
+                if lane != 0 {
+                    // Non-leader lanes are leaves.
+                    return 1;
+                }
+                // Leader: the node-level k-ary subtree, where every node
+                // holds `cpn` PEs except the last, which holds the tail.
+                let nnodes = npes.div_ceil(cpn);
+                let nodes = Self::kary_subtree(self.arity, node, nnodes);
+                let mut size = nodes * cpn;
+                // The last node is in this subtree iff its whole level walk
+                // covers it; detect by asking whether the node subtree
+                // containing `nnodes - 1` includes `node` as an ancestor —
+                // equivalently, whether the tail node's chain of ancestors
+                // reaches `node`. Cheaper: the last node is in the subtree
+                // iff kary_subtree counted it, i.e. the subtree over
+                // `nnodes` differs from the subtree over `nnodes - 1`.
+                if nnodes > 0 && nodes != Self::kary_subtree(self.arity, node, nnodes - 1) {
+                    size -= cpn - (npes - (nnodes - 1) * cpn);
+                }
+                size
+            }
+        }
     }
 
     /// Relay fan-out of `pe` in the tree rooted at `root` — the number of
     /// PEs it forwards a broadcast to (what the trace's `bcast_fanout`
-    /// events record per hop).
+    /// events record per hop). Allocation-free.
     pub fn fanout(&self, pe: Pe, root: Pe, npes: usize) -> usize {
-        self.children(pe, root, npes).len()
+        let mut n = 0;
+        self.children_for_each(pe, root, npes, |_| n += 1);
+        n
     }
 }
 
@@ -232,5 +293,134 @@ mod tests {
         // Rooted at 3 in 5 PEs: relabeled children of root are 1..4 → PEs 4,0,1,2.
         assert_eq!(t.parent(3, 3, 5), None);
         assert_eq!(t.children(3, 3, 5), vec![4, 0, 1, 2]);
+    }
+
+    /// Reference implementation: the pre-closed-form recursive walk.
+    fn subtree_size_recursive(shape: &TreeShape, pe: Pe, root: Pe, npes: usize) -> usize {
+        1 + shape
+            .children(pe, root, npes)
+            .iter()
+            .map(|&c| subtree_size_recursive(shape, c, root, npes))
+            .sum::<usize>()
+    }
+
+    #[test]
+    fn closed_form_subtree_matches_recursive() {
+        for shape in [
+            TreeShape {
+                arity: 1,
+                cores_per_node: None,
+            },
+            TreeShape {
+                arity: 2,
+                cores_per_node: None,
+            },
+            TreeShape {
+                arity: 4,
+                cores_per_node: None,
+            },
+            TreeShape {
+                arity: 2,
+                cores_per_node: Some(3),
+            },
+            TreeShape {
+                arity: 3,
+                cores_per_node: Some(4),
+            },
+            TreeShape {
+                arity: 2,
+                cores_per_node: Some(1),
+            },
+        ] {
+            for npes in [1usize, 2, 5, 16, 33, 64, 100] {
+                for root in [0, npes / 3, npes - 1] {
+                    for pe in 0..npes {
+                        assert_eq!(
+                            shape.subtree_size(pe, root, npes),
+                            subtree_size_recursive(&shape, pe, root, npes),
+                            "shape {shape:?} pe {pe} root {root} npes {npes}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_for_each_matches_children_and_fanout() {
+        for shape in [
+            TreeShape {
+                arity: 4,
+                cores_per_node: None,
+            },
+            TreeShape {
+                arity: 2,
+                cores_per_node: Some(4),
+            },
+        ] {
+            for npes in [1usize, 7, 32, 65] {
+                for root in [0, npes - 1] {
+                    for pe in 0..npes {
+                        let mut seen = Vec::new();
+                        shape.children_for_each(pe, root, npes, |c| seen.push(c));
+                        assert_eq!(seen, shape.children(pe, root, npes));
+                        assert_eq!(seen.len(), shape.fanout(pe, root, npes));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The 65,536-PE invariant suite: parent/child agreement and span at
+    /// root 0 and a non-zero root, for the default flat tree and a
+    /// node-aware shape. Sampled parents (every PE checks its own parent
+    /// link) plus closed-form span keep this O(npes·arity).
+    #[test]
+    fn trees_span_at_65536_pes() {
+        let npes = 65_536;
+        for shape in [
+            TreeShape {
+                arity: 4,
+                cores_per_node: None,
+            },
+            TreeShape {
+                arity: 8,
+                cores_per_node: Some(32),
+            },
+        ] {
+            for root in [0, 12_345] {
+                assert_eq!(shape.subtree_size(root, root, npes), npes);
+                let mut covered = 0usize;
+                for pe in 0..npes {
+                    match shape.parent(pe, root, npes) {
+                        None => assert_eq!(pe, root),
+                        Some(p) => {
+                            let mut found = false;
+                            shape.children_for_each(p, root, npes, |c| found |= c == pe);
+                            assert!(found, "pe {pe} missing from parent {p}'s children");
+                        }
+                    }
+                    covered += 1;
+                }
+                assert_eq!(covered, npes);
+                // Fan-outs over the whole tree sum to the non-root count.
+                let total: usize = (0..npes).map(|pe| shape.fanout(pe, root, npes)).sum();
+                assert_eq!(total, npes - 1);
+            }
+        }
+    }
+
+    /// Arity-1 chains are the recursion-depth worst case: the closed form
+    /// must answer without O(npes) stack or time blowups per call.
+    #[test]
+    fn chain_tree_subtree_sizes() {
+        let t = TreeShape {
+            arity: 1,
+            cores_per_node: None,
+        };
+        let npes = 500_000;
+        assert_eq!(t.subtree_size(0, 0, npes), npes);
+        assert_eq!(t.subtree_size(npes / 2, 0, npes), npes - npes / 2);
+        assert_eq!(t.subtree_size(npes - 1, 0, npes), 1);
     }
 }

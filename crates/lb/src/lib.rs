@@ -8,6 +8,9 @@
 //!   least-loaded PE. Strong balance, unbounded migration count.
 //! * [`RefineLb`] — `RefineLB`: migrate only enough chares away from
 //!   overloaded PEs to bring them under a threshold; minimizes migrations.
+//! * [`GreedyRefineLb`] — the integer-exact greedy-refine core shared with
+//!   the runtime's hierarchical balancer (`LbMode::Tree`), run centrally
+//!   over the full stats; prefers keeping chares where they are.
 //! * [`RotateLb`] — moves every chare to the next PE; a correctness-testing
 //!   strategy, like Charm++'s rotate balancer.
 //! * [`RandLb`] — seeded random placement, a baseline for benchmarks.
@@ -17,7 +20,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use charm_core::{ChareId, LbStats, LbStrategy, Pe};
+use charm_core::{
+    greedy_refine_place, refine_limit, ChareId, LbStats, LbStrategy, Pe, REFINE_THRESHOLD_PERMILLE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,6 +127,44 @@ impl LbStrategy for RefineLb {
     }
     fn name(&self) -> &'static str {
         "RefineLB"
+    }
+}
+
+/// GreedyRefineLB: overloaded PEs shed their heaviest chares onto the
+/// least-loaded PEs until everyone fits under `avg · 1.05`, preferring to
+/// keep each chare where it already runs (Charm++'s `GreedyRefineLB`).
+///
+/// This is the same integer-exact core the hierarchical balancer runs at
+/// every interior tree node; `Runtime::lb_mode(LbMode::Tree { group_size:
+/// npes })` reproduces this strategy's central decisions
+/// migration-for-migration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyRefineLb;
+
+impl LbStrategy for GreedyRefineLb {
+    fn assign(&self, stats: &LbStats) -> Vec<(ChareId, Pe)> {
+        // Every PE is an acceptor carrying its pinned (non-migratable)
+        // load; every migratable chare is a placement candidate.
+        let mut acceptors: Vec<(Pe, u64)> = (0..stats.npes).map(|pe| (pe, 0u64)).collect();
+        let mut total = 0u64;
+        let mut candidates = Vec::new();
+        for c in &stats.chares {
+            total += c.load_ns;
+            if c.migratable {
+                candidates.push(c.clone());
+            } else if let Some(a) = acceptors.get_mut(c.pe) {
+                a.1 += c.load_ns;
+            }
+        }
+        let limit = refine_limit(total, stats.npes as u64, REFINE_THRESHOLD_PERMILLE);
+        greedy_refine_place(&mut acceptors, candidates, limit)
+            .moves
+            .into_iter()
+            .map(|(id, _, to)| (id, to))
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "GreedyRefineLB"
     }
 }
 
@@ -351,6 +394,45 @@ mod tests {
     }
 
     #[test]
+    fn greedy_refine_no_moves_when_balanced() {
+        let stats = mk_stats(3, &[(0, 30, true), (1, 30, true), (2, 30, true)]);
+        assert!(GreedyRefineLb.assign(&stats).is_empty());
+    }
+
+    #[test]
+    fn greedy_refine_balances_skewed_load() {
+        let stats = mk_stats(
+            4,
+            &[
+                (0, 40, true),
+                (0, 40, true),
+                (0, 40, true),
+                (0, 40, true),
+                (1, 40, true),
+                (2, 40, true),
+                (3, 40, true),
+            ],
+        );
+        let moves = GreedyRefineLb.assign(&stats);
+        check_valid(&stats, &moves);
+        let before = imbalance_of(&stats.pe_loads());
+        let after = imbalance_of(&loads_after(&stats, &moves));
+        assert!(after < before, "{before} -> {after}");
+        // The 1.05 tolerance admits exactly one extra 40ms chare above the
+        // 70ms average nowhere; a balanced outcome needs 3 moves off PE 0.
+        assert!(moves.len() <= 3, "refine moves few: {}", moves.len());
+    }
+
+    #[test]
+    fn greedy_refine_respects_non_migratable_and_is_deterministic() {
+        let stats = mk_stats(2, &[(0, 100, false), (0, 100, true), (1, 10, true)]);
+        let moves = GreedyRefineLb.assign(&stats);
+        check_valid(&stats, &moves);
+        assert!(!moves.iter().any(|(id, _)| *id == stats.chares[0].id));
+        assert_eq!(moves, GreedyRefineLb.assign(&stats));
+    }
+
+    #[test]
     fn rotate_moves_everything_one_step() {
         let stats = mk_stats(3, &[(0, 10, true), (1, 10, true), (2, 10, true)]);
         let moves = RotateLb.assign(&stats);
@@ -375,6 +457,7 @@ mod tests {
     fn strategies_handle_empty_stats() {
         let stats = mk_stats(4, &[]);
         assert!(GreedyLb.assign(&stats).is_empty());
+        assert!(GreedyRefineLb.assign(&stats).is_empty());
         assert!(RefineLb::default().assign(&stats).is_empty());
         assert!(RotateLb.assign(&stats).is_empty());
         assert!(RandLb::default().assign(&stats).is_empty());

@@ -1,0 +1,199 @@
+//! Hierarchical-LB equivalence and scale-structure bounds.
+//!
+//! `LbMode::Tree { group_size: npes }` degenerates to a one-level tree:
+//! every non-root PE is a leaf that ships its full candidate set to the
+//! root, whose refine input is then exactly what central
+//! [`GreedyRefineLb`] sees. The identity test pins that equivalence
+//! migration-for-migration; the peak test pins the point of the
+//! hierarchy — no PE materializes O(nchares) stat records.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use charm_core::prelude::*;
+use charm_core::{LbMode, RunReport, Runtime};
+use charm_lb::GreedyRefineLb;
+use charm_sim::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// AtSync worker with a deterministic, skewed, placement-independent load:
+/// `load(index, round)` depends only on the chare and the round, so both
+/// LB modes see identical stats every epoch regardless of where the
+/// balancer put the chare in earlier rounds.
+#[derive(Serialize, Deserialize)]
+struct Skew {
+    round: u32,
+    init: SkewInit,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct SkewInit {
+    rounds: u32,
+    nchares: u32,
+    done: Future<RedData>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum SkewMsg {
+    Go,
+}
+
+impl Skew {
+    fn work(&mut self, ctx: &mut Ctx) {
+        let i = ctx.my_index().first() as u64;
+        let r = self.round as u64;
+        // Front-loaded skew: the first sixteenth of the index space is
+        // heavy, and Block placement stacks it on the first PEs, so
+        // refinement must move work off them.
+        let heavy = i * 16 < self.init.nchares as u64;
+        let ms = (i * 31 + r * 17) % 11 + 1 + if heavy { 40 } else { 0 };
+        ctx.charge(Duration::from_millis(ms));
+        self.round += 1;
+        ctx.at_sync();
+    }
+
+    fn report(&self, ctx: &mut Ctx) {
+        // One slot per chare; Sum-reducing the one-hot rows yields the
+        // final index→PE placement map.
+        let mut v = vec![0i64; self.init.nchares as usize];
+        v[ctx.my_index().first() as usize] = ctx.my_pe() as i64;
+        ctx.contribute(
+            RedData::VecI64(v),
+            Reducer::Sum,
+            RedTarget::Future(self.init.done.id()),
+        );
+    }
+}
+
+impl Chare for Skew {
+    type Msg = SkewMsg;
+    type Init = SkewInit;
+
+    fn create(init: SkewInit, _ctx: &mut Ctx) -> Self {
+        Skew { round: 0, init }
+    }
+
+    fn receive(&mut self, _msg: SkewMsg, ctx: &mut Ctx) {
+        self.work(ctx);
+    }
+
+    fn resume_from_sync(&mut self, ctx: &mut Ctx) {
+        if self.round < self.init.rounds {
+            self.work(ctx);
+        } else {
+            self.report(ctx);
+        }
+    }
+}
+
+/// Run `nchares` skewed workers over `npes` simulated PEs for `rounds` LB
+/// epochs; return the final placement map and the run report.
+fn run_skew(npes: usize, nchares: u32, rounds: u32, mode: Option<LbMode>) -> (Vec<i64>, RunReport) {
+    let out: Arc<std::sync::Mutex<Option<RedData>>> = Arc::new(std::sync::Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let mut rt = Runtime::new(npes)
+        .backend(Backend::Sim(MachineModel::bluewaters(
+            npes.div_ceil(32).max(8),
+        )))
+        .meter_compute(false)
+        .register_migratable::<Skew>()
+        .lb_strategy(Arc::new(GreedyRefineLb));
+    if let Some(mode) = mode {
+        rt = rt.lb_mode(mode);
+    }
+    let report = rt.run(move |co| {
+        let done = co.ctx().create_future::<RedData>();
+        let arr = co.ctx().create_array_with::<Skew>(
+            &[nchares as i32],
+            SkewInit {
+                rounds,
+                nchares,
+                done,
+            },
+            ArrayOpts {
+                placement: Placement::Block,
+                use_lb: true,
+            },
+        );
+        arr.send(co.ctx(), SkewMsg::Go);
+        let RedData::VecI64(placements) = co.get(&done) else {
+            panic!("skew workers produced no placement map");
+        };
+        *out2.lock().unwrap() = Some(RedData::VecI64(placements));
+        co.ctx().exit();
+    });
+    let Some(RedData::VecI64(placements)) = out.lock().unwrap().take() else {
+        panic!("placement map did not surface");
+    };
+    (placements, report)
+}
+
+/// A one-level tree is the central balancer: same migrations, same final
+/// placements, same epoch count.
+#[test]
+fn tree_spanning_all_pes_matches_central() {
+    let (npes, nchares, rounds) = (8, 32, 2);
+    let (central, central_report) = run_skew(npes, nchares, rounds, None);
+    let (tree, tree_report) = run_skew(
+        npes,
+        nchares,
+        rounds,
+        Some(LbMode::Tree { group_size: npes }),
+    );
+    assert_eq!(central, tree, "final placements diverged");
+    assert_eq!(
+        central_report.migrations, tree_report.migrations,
+        "migration counts diverged"
+    );
+    assert_eq!(central_report.lb_epochs, rounds as u64);
+    assert_eq!(tree_report.lb_epochs, rounds as u64);
+    assert!(
+        central_report.migrations > 0,
+        "workload too balanced to exercise the strategies"
+    );
+}
+
+/// The hierarchy bounds what any PE holds: central PE 0 materializes every
+/// stat record, the tree root only its group's truncated residuals.
+#[test]
+fn tree_mode_bounds_peak_stats_per_pe() {
+    let (npes, nchares) = (64, 1024u32);
+    let (_, central_report) = run_skew(npes, nchares, 1, None);
+    let central_peak = central_report.pe_stats[0].lb_peak_stats;
+    assert_eq!(
+        central_peak, nchares as u64,
+        "central PE 0 should see every stat record"
+    );
+
+    let (_, tree_report) = run_skew(npes, nchares, 1, Some(LbMode::Tree { group_size: 4 }));
+    let tree_peak = tree_report
+        .pe_stats
+        .iter()
+        .map(|p| p.lb_peak_stats)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        tree_peak > 0,
+        "tree mode balanced without holding any stats"
+    );
+    assert!(
+        tree_peak <= nchares as u64 / 4,
+        "tree peak {tree_peak} is not o(nchares={nchares})"
+    );
+    assert!(tree_report.migrations > 0);
+    assert_eq!(tree_report.lb_epochs, 1);
+}
+
+/// Multiple Tree-mode epochs back to back: the epoch/pending-poll
+/// machinery must not wedge, and every epoch must improve or hold the
+/// placement (the workers complete all rounds).
+#[test]
+fn tree_mode_survives_repeated_epochs() {
+    let (placements, report) = run_skew(16, 128, 3, Some(LbMode::Tree { group_size: 4 }));
+    assert_eq!(report.lb_epochs, 3);
+    assert_eq!(placements.len(), 128);
+    for (i, &pe) in placements.iter().enumerate() {
+        assert!((pe as usize) < 16, "chare {i} reported bad PE {pe}");
+    }
+    assert!(report.clean_exit);
+}

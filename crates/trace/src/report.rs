@@ -79,6 +79,14 @@ pub struct PePerf {
     pub dispatch_misses: u64,
     /// Events overwritten in the full-capture ring.
     pub events_dropped: u64,
+    /// Entry messages this PE forwarded through a migration stub (the
+    /// chare lived here and moved on). Bounded per chain by the runtime's
+    /// forwarding-trail collapse.
+    pub fwd_hops: u64,
+    /// Peak load-balancing chare-stat records materialized on this PE at
+    /// once. Central mode concentrates O(nchares) on PE 0; hierarchical
+    /// mode bounds this by the group size.
+    pub lb_peak_stats: u64,
 }
 
 impl PePerf {

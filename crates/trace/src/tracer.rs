@@ -431,6 +431,8 @@ impl PeTracer {
             dispatch_hits: 0,
             dispatch_misses: 0,
             events_dropped: dropped,
+            fwd_hops: 0,
+            lb_peak_stats: 0,
         };
         let entries = std::mem::take(&mut self.entries)
             .into_iter()
